@@ -1,0 +1,41 @@
+"""DESIGN §6.1 ablation — what each hardened default contributes.
+
+Shape: starting from a deliberately wrong k = 1, the hardened defaults
+recover a clustering near the truth; removing the iteration-0
+calibration causes the irreversible everything-merges failure (the
+dominant safeguard); the other switches degrade more gently.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablation_modes import (
+    print_ablation_modes,
+    run_ablation_modes,
+)
+
+TRUE_K = 10
+
+
+def test_ablation_modes(benchmark, synthetic_db):
+    rows = run_once(
+        benchmark, run_ablation_modes, db=synthetic_db, true_k=TRUE_K
+    )
+    print_ablation_modes(rows, true_k=TRUE_K)
+
+    by_mode = {row.mode: row for row in rows}
+    hardened = by_mode["hardened defaults"]
+
+    # Shape 1: the hardened defaults work from a wrong k.
+    assert hardened.accuracy >= 0.6
+    assert abs(hardened.final_clusters - TRUE_K) <= 3
+
+    # Shape 2: no single safeguard *improves* on the full set by a
+    # wide margin — the defaults are not fighting each other.
+    for mode, row in by_mode.items():
+        assert row.accuracy <= hardened.accuracy + 0.15, mode
+
+    # Shape 3: dropping calibration is the catastrophic ablation; the
+    # literal configuration collapses toward one mixture cluster.
+    assert by_mode["no calibration"].accuracy < hardened.accuracy
+    assert by_mode["all literal"].accuracy < hardened.accuracy
+    assert by_mode["all literal"].final_clusters < TRUE_K

@@ -1,0 +1,46 @@
+"""§5.1 ablation — PST pruning strategies under a tight node budget.
+
+Paper's claim: with the proposed strategies, "little degradation of the
+accuracy of the similarity estimation can be observed in practice, even
+though a large number of nodes are pruned."
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablation_pruning import (
+    print_ablation_pruning,
+    run_ablation_pruning,
+)
+
+TRUE_K = 10
+BUDGET = 400  # far below the unbounded tree sizes on this workload
+
+
+def test_ablation_pruning(benchmark, synthetic_db):
+    rows = run_once(
+        benchmark, run_ablation_pruning, db=synthetic_db, max_nodes=BUDGET,
+        true_k=TRUE_K,
+    )
+    print_ablation_pruning(rows)
+
+    by_strategy = {row.strategy: row for row in rows}
+    assert "unbounded" in by_strategy
+    assert "paper" in by_strategy
+
+    unbounded = by_strategy["unbounded"].accuracy
+
+    # Shape 1 (the paper's claim): the combined "paper" policy loses
+    # little accuracy despite the tight budget.
+    assert by_strategy["paper"].accuracy >= unbounded - 0.20
+
+    # Shape 2: every strategy still produces a usable clustering.
+    for row in rows:
+        assert row.accuracy >= 0.4, f"{row.strategy}: {row.accuracy}"
+
+    # Shape 3: the combined policy is competitive with the best single
+    # strategy (it was designed as their composition).
+    singles = [
+        by_strategy[name].accuracy
+        for name in ("smallest_count", "longest_label", "expected_vector")
+    ]
+    assert by_strategy["paper"].accuracy >= max(singles) - 0.20

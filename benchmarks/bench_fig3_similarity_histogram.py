@@ -1,0 +1,36 @@
+"""Figure 3 — shape of the similarity distribution.
+
+Paper's shape: a huge mass of low-similarity sequence-cluster
+combinations declining quickly, a sparse high tail of members, and a
+valley in between where the threshold belongs.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.fig3_similarity_histogram import print_fig3, run_fig3
+
+
+def test_fig3_similarity_distribution(benchmark, synthetic_db):
+    result = run_once(benchmark, run_fig3, db=synthetic_db, true_k=10)
+    print_fig3(result)
+
+    # Shape 1: non-member combinations vastly outnumber members (the
+    # paper's "huge number of combinations with low similarities").
+    assert result.non_member_count > 3 * result.member_count
+
+    # Shape 2: the two populations separate — the member mass sits above
+    # the bulk of the non-member mass.
+    assert result.member_p10 > result.non_member_p99 - 5.0
+
+    # Shape 3: the histogram mass is concentrated on the left (declining
+    # curve): the half of buckets left of centre holds most counts.
+    counts = np.array([count for _, count in result.series], dtype=float)
+    left_mass = counts[: len(counts) // 2].sum()
+    assert left_mass >= 0.8 * counts.sum()
+
+    # Shape 4: the converged threshold lands in or near the boundary
+    # window between the populations.
+    low, high = result.boundary_window
+    assert result.final_log_threshold >= low - 6.0
+    assert result.final_log_threshold <= max(high, low) + 12.0

@@ -1,0 +1,46 @@
+"""Figure 4 — effect of the PST memory (node) budget.
+
+Paper's shape: accuracy climbs with the per-tree budget then plateaus
+(theirs at ~5 MB); response time keeps growing with the budget.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.fig4_pst_size import print_fig4, run_fig4
+
+BUDGETS = (100, 250, 500, 1000, 2000, 4000)
+TRUE_K = 10
+
+
+def test_fig4_pst_size(benchmark, synthetic_db):
+    rows = run_once(
+        benchmark, run_fig4, db=synthetic_db, node_budgets=BUDGETS, true_k=TRUE_K
+    )
+    print_fig4(rows)
+
+    assert [row.max_nodes for row in rows] == list(BUDGETS)
+    f1 = [
+        0.0
+        if row.precision + row.recall == 0
+        else 2 * row.precision * row.recall / (row.precision + row.recall)
+        for row in rows
+    ]
+
+    # Shape 1 (the paper's robust claim, §5.1): pruning costs little —
+    # even the tightest budget stays within a modest band of the best.
+    # Note the scaled-down twist recorded in EXPERIMENTS.md: at this
+    # workload size even ~100 nodes exceed the significant working set,
+    # so the paper's rising-then-plateau left edge is not visible; what
+    # remains testable is the plateau itself.
+    assert min(f1) >= max(f1) - 0.30
+    assert min(f1) >= 0.55
+
+    # Shape 2: the top half of the budget range is a plateau (paper:
+    # "the improvement of the accuracy is rather small" past the knee).
+    top_half = f1[len(f1) // 2 :]
+    assert max(top_half) - min(top_half) <= 0.15
+
+    # Shape 3: budgets are actually enforced (the sweep is not a no-op).
+    assert all(row.max_nodes == budget for row, budget in zip(rows, BUDGETS))
+    assert all(np.isfinite(row.elapsed_seconds) for row in rows)

@@ -1,0 +1,50 @@
+"""Figure 5 — effect of the seed-sampling size m.
+
+Paper's shape: precision/recall improve with m and plateau around
+m = 5k; the response time is worst at very small m (poor initial
+clusters take longer to fix) — the paper shows a valley near m = 3k.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig5_sample_size import print_fig5, run_fig5
+
+MULTIPLIERS = (1, 2, 3, 5, 8)
+TRUE_K = 10
+
+
+def test_fig5_sample_size(benchmark, synthetic_db):
+    rows = run_once(
+        benchmark, run_fig5, db=synthetic_db, multipliers=MULTIPLIERS,
+        true_k=TRUE_K,
+    )
+    print_fig5(rows)
+
+    assert [row.multiplier for row in rows] == list(MULTIPLIERS)
+    by_multiplier = {row.multiplier: row for row in rows}
+
+    def f1(row):
+        if row.precision + row.recall == 0:
+            return 0.0
+        return 2 * row.precision * row.recall / (row.precision + row.recall)
+
+    # Shape 1: the paper's recommended m = 5k is not materially worse
+    # than any other multiplier (at 200-sequence scale the left-edge
+    # rise of Figure 5a drowns in seed-sampling variance; the plateau
+    # and the recommended point's quality are what remains testable).
+    assert f1(by_multiplier[5]) >= f1(by_multiplier[1]) - 0.15
+
+    # Shape 2: quality rises towards the m = 3k..5k region (Figure 5a's
+    # rising-then-plateau left side).
+    assert max(f1(by_multiplier[3]), f1(by_multiplier[5])) >= f1(
+        by_multiplier[1]
+    ) - 0.05
+    assert abs(f1(by_multiplier[5]) - f1(by_multiplier[3])) <= 0.20
+
+    # Shape 3: quality at the recommended setting is in the paper's band.
+    assert f1(by_multiplier[5]) >= 0.6
+
+    # Note: the m = 8k point is printed but not asserted — at this scale
+    # a very large sample lets greedy min-max selection chase outliers
+    # and the run-to-run variance dwarfs the paper's plateau (see
+    # EXPERIMENTS.md).

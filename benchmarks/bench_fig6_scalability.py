@@ -1,0 +1,58 @@
+"""Figure 6 — scalability in four dimensions.
+
+Paper's shape, from the per-iteration complexity O(N · k' · l · L):
+  (a) time linear in the number of clusters,
+  (b) time linear in the number of sequences,
+  (c) time mildly super-linear in the average sequence length,
+  (d) time essentially flat in the alphabet size.
+
+The assertions use the log-log slope of per-iteration time, which
+removes convergence-count noise: slope ≈ 1 for (a)/(b), ≥ ~1 for (c),
+≈ 0 for (d). Generous tolerances — this is a laptop, not a testbed.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.fig6_scalability import (
+    linear_fit,
+    loglog_slope,
+    print_fig6,
+    run_fig6_dimension,
+)
+
+
+def test_fig6a_clusters(benchmark):
+    rows = run_once(benchmark, run_fig6_dimension, "num_clusters")
+    print_fig6({"num_clusters": rows})
+    # Linear in k' with an intercept, as in the paper's straight-line
+    # figure: positive slope, high linearity.
+    slope, r_squared = linear_fit(rows)
+    assert slope > 0, f"slope {slope}"
+    assert r_squared >= 0.85, f"R² {r_squared}"
+
+
+def test_fig6b_sequences(benchmark):
+    rows = run_once(benchmark, run_fig6_dimension, "num_sequences")
+    print_fig6({"num_sequences": rows})
+    # Linear in N with an intercept.
+    slope, r_squared = linear_fit(rows)
+    assert slope > 0, f"slope {slope}"
+    assert r_squared >= 0.85, f"R² {r_squared}"
+
+
+def test_fig6c_length(benchmark):
+    rows = run_once(benchmark, run_fig6_dimension, "avg_length")
+    print_fig6({"avg_length": rows})
+    slope = loglog_slope(rows)
+    # Super-linear but moderate in l (paper: "the slope is very
+    # moderate"): at least linear-ish, at most quadratic.
+    assert 0.7 <= slope <= 2.2, f"slope {slope}"
+
+
+def test_fig6d_alphabet(benchmark):
+    rows = run_once(benchmark, run_fig6_dimension, "alphabet_size")
+    print_fig6({"alphabet_size": rows})
+    slope = loglog_slope(rows)
+    # Flat in |Σ|: the alphabet size does not appear in the complexity.
+    assert -0.6 <= slope <= 0.6, f"slope {slope}"

@@ -1,0 +1,43 @@
+"""§6.1 — robustness to outliers.
+
+Paper's shape: "the accuracy of CLUSEQ is immune to the increase of
+outliers" across 1–20 % injected noise.
+"""
+
+from conftest import run_once
+
+from repro.experiments.outlier_robustness import (
+    accuracy_drop,
+    print_outlier_robustness,
+    run_outlier_robustness,
+)
+
+FRACTIONS = (0.01, 0.05, 0.10, 0.20)
+
+
+def test_outlier_robustness(benchmark):
+    rows = run_once(
+        benchmark, run_outlier_robustness, fractions=FRACTIONS, true_k=10,
+        num_sequences=200, seed=3,
+    )
+    print_outlier_robustness(rows)
+
+    assert [row.outlier_fraction for row in rows] == list(FRACTIONS)
+
+    # Shape 1: accuracy does not collapse from 1 % to 20 % noise. The
+    # paper reports full immunity at 100 000-sequence scale; at 200
+    # sequences, 20 % noise is 40 outliers against 18-member clusters
+    # and the greedy seeding feels it, so the band is wider here (the
+    # honest scaled-down number is recorded in EXPERIMENTS.md).
+    assert accuracy_drop(rows) <= 0.40
+
+    # Shape 2: quality stays usable at every noise level.
+    for row in rows:
+        assert row.accuracy >= 0.55, (
+            f"accuracy {row.accuracy} at {row.outlier_fraction:.0%} outliers"
+        )
+
+    # Shape 3: the model actually rejects noise — at the highest noise
+    # level a substantial number of sequences stay unclustered.
+    noisiest = max(rows, key=lambda row: row.outlier_fraction)
+    assert noisiest.predicted_outliers >= noisiest.true_outliers // 2

@@ -1,0 +1,43 @@
+"""Table 2 — model comparison: CLUSEQ vs ED, EDBO, HMM, q-gram.
+
+Paper's shape (8 000 proteins, 30 families):
+  accuracy: CLUSEQ 82 % ≥ HMM 81 % ≈ EDBO 80 % > q-gram 75 % >> ED 23 %
+  time:     q-gram 132 s ≈ CLUSEQ 144 s << ED 487 s << HMM 3117 s << EDBO 13754 s
+"""
+
+from conftest import run_once
+
+from repro.experiments.table2_model_comparison import print_table2, run_table2
+
+#: Model pairs whose ordering the paper's Table 2 establishes.
+FAST_MODELS = ("CLUSEQ", "q-gram")
+SLOW_MODELS = ("ED", "EDBO", "HMM")
+
+
+def test_table2_model_comparison(benchmark, small_protein_db):
+    rows = run_once(benchmark, run_table2, db=small_protein_db)
+    print_table2(rows)
+    by_model = {row.model: row for row in rows}
+    assert set(by_model) == set(FAST_MODELS) | set(SLOW_MODELS)
+
+    # Shape 1: CLUSEQ has the best (or tied-best) accuracy.
+    best_accuracy = max(row.accuracy for row in rows)
+    assert by_model["CLUSEQ"].accuracy >= best_accuracy - 0.10
+
+    # Shape 2: ED's accuracy collapses relative to CLUSEQ.
+    assert by_model["ED"].accuracy < by_model["CLUSEQ"].accuracy
+
+    # Shape 3: the sequence-statistics models beat global alignment.
+    assert by_model["q-gram"].accuracy > by_model["ED"].accuracy
+
+    # Shape 4: CLUSEQ runs in q-gram-like time, far below the
+    # alignment/EM baselines.
+    assert (
+        by_model["CLUSEQ"].elapsed_seconds
+        < min(by_model[m].elapsed_seconds for m in SLOW_MODELS)
+    )
+
+    # Shape 5: EDBO is the slowest model, as in the paper.
+    assert by_model["EDBO"].elapsed_seconds == max(
+        row.elapsed_seconds for row in rows
+    )

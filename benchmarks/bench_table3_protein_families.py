@@ -1,0 +1,38 @@
+"""Table 3 — per-family precision/recall on the protein database.
+
+Paper's shape: precision 75–88 %, recall 80–89 %, *consistent across
+family sizes spanning 141–884* — no systematic degradation for small
+families.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.table3_protein_families import print_table3, run_table3
+
+
+def test_table3_per_family_quality(benchmark, protein_db):
+    rows = run_once(benchmark, run_table3, db=protein_db)
+    print_table3(rows)
+
+    assert len(rows) == 10
+
+    # Shape 1: quality in (or above) the paper's band on average.
+    mean_precision = float(np.mean([row.precision for row in rows]))
+    mean_recall = float(np.mean([row.recall for row in rows]))
+    assert mean_precision >= 0.70
+    assert mean_recall >= 0.70
+
+    # Shape 2: consistency across sizes — the correlation between family
+    # size and recall must not be strongly positive (small families are
+    # not systematically sacrificed). The paper's own numbers have
+    # essentially zero correlation.
+    sizes = np.array([row.size for row in rows], dtype=float)
+    recalls = np.array([row.recall for row in rows])
+    if recalls.std() > 0:
+        correlation = float(np.corrcoef(sizes, recalls)[0, 1])
+        assert correlation > -0.9  # no pathological anti-correlation either
+        assert correlation < 0.9
+
+    # Shape 3: every family is actually discovered (nonzero recall).
+    assert all(row.recall > 0.0 for row in rows)

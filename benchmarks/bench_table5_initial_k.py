@@ -1,0 +1,41 @@
+"""Table 5 — robustness to the initial number of clusters k.
+
+Paper's shape (true k = 100): final cluster count 99–102 regardless of
+initial k ∈ {1, 20, 100, 200}; precision/recall stable at 81–83 %.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table5_initial_k import print_table5, run_table5
+
+TRUE_K = 10
+
+
+def test_table5_initial_k_robustness(benchmark, synthetic_db):
+    rows = run_once(
+        benchmark,
+        run_table5,
+        db=synthetic_db,
+        initial_ks=(1, 2, TRUE_K, 2 * TRUE_K),
+        true_k=TRUE_K,
+    )
+    print_table5(rows, true_k=TRUE_K)
+
+    # Shape 1: the final cluster count lands near the truth for every
+    # initial k (paper: within ±2 of 100).
+    for row in rows:
+        assert abs(row.final_clusters - TRUE_K) <= 3, (
+            f"init k={row.initial_k} ended at {row.final_clusters} clusters"
+        )
+
+    # Shape 2: the spread across initial settings is small.
+    finals = [row.final_clusters for row in rows]
+    assert max(finals) - min(finals) <= 3
+
+    # Shape 3: quality is stable across initial settings (the paper's
+    # 100k-scale spread is ~2 points; scaled runs wobble more).
+    recalls = [row.recall for row in rows]
+    precisions = [row.precision for row in rows]
+    assert max(recalls) - min(recalls) <= 0.30
+    assert max(precisions) - min(precisions) <= 0.35
+    assert min(precisions) >= 0.55

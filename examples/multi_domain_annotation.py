@@ -1,0 +1,85 @@
+"""Multi-domain sequence annotation — the paper's §2 motivation.
+
+Run with:  python examples/multi_domain_annotation.py
+
+The paper justifies its segment-maximising similarity with multi-domain
+sequences: "a protein may belong to multiple domains." This example
+builds chimeric proteins by fusing members of two synthetic families,
+fits CLUSEQ on the pure families, and then uses
+``repro.core.segment_sequence`` to recover *which part of each chimera
+came from which family* — unsupervised domain annotation.
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro import CLUSEQ, CluseqParams
+from repro.core import segment_sequence, domain_summary
+from repro.datasets import make_protein_database
+
+
+def main() -> None:
+    # 1. Train on pure families.
+    db = make_protein_database(
+        num_families=4, scale=0.05, mean_length=120, seed=11, concentration=0.2
+    )
+    params = CluseqParams(
+        k=4, significance_threshold=4, min_unique_members=4,
+        max_iterations=20, seed=1,
+    )
+    result = CLUSEQ(params).fit(db)
+    majority = {}
+    for cluster in result.clusters:
+        labels = [db[i].label for i in cluster.members]
+        majority[cluster.cluster_id] = Counter(labels).most_common(1)[0][0]
+    print(result.summary())
+    print(f"cluster → family map: {majority}\n")
+
+    # 2. Build chimeras: first half from one family, second half from
+    #    another — a two-domain protein.
+    rng = np.random.default_rng(5)
+    families = db.distinct_labels()
+    members = {
+        family: [i for i in range(len(db)) if db[i].label == family]
+        for family in families
+    }
+    correct = 0
+    total = 0
+    for trial in range(5):
+        fam_a, fam_b = rng.choice(families, size=2, replace=False)
+        left = db[int(rng.choice(members[fam_a]))].symbols[:60]
+        right = db[int(rng.choice(members[fam_b]))].symbols[:60]
+        chimera = db.alphabet.encode(left + right)
+
+        domains = segment_sequence(result, chimera, switch_penalty=4.0)
+        print(f"chimera {trial}: {fam_a} ⨝ {fam_b}")
+        print(domain_summary(domains, alphabet=db.alphabet, encoded=chimera))
+
+        # Check the annotation: the dominant label of each half.
+        def dominant_family(lo, hi):
+            votes = Counter()
+            for domain in domains:
+                if domain.cluster_id is None:
+                    continue
+                overlap = min(domain.end, hi) - max(domain.start, lo)
+                if overlap > 0:
+                    votes[majority[domain.cluster_id]] += overlap
+            return votes.most_common(1)[0][0] if votes else None
+
+        left_call = dominant_family(0, 60)
+        right_call = dominant_family(60, 120)
+        verdict_left = "✓" if left_call == fam_a else "✗"
+        verdict_right = "✓" if right_call == fam_b else "✗"
+        correct += (left_call == fam_a) + (right_call == fam_b)
+        total += 2
+        print(
+            f"  left half called {left_call} {verdict_left}, "
+            f"right half called {right_call} {verdict_right}\n"
+        )
+
+    print(f"domain calls correct: {correct}/{total}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Literal-paper mechanics vs this implementation's hardened defaults.
+
+Run with:  python examples/paper_vs_hardened_modes.py
+
+DESIGN.md §6.1 documents a handful of places where the paper's literal
+heuristics fail on general data, each behind a switch in CluseqParams.
+This example runs the same workload under four configurations and
+shows what each safeguard buys:
+
+1. hardened defaults (calibration + rebuild + dissolve),
+2. no iteration-0 calibration (the t bootstrap problem),
+3. additive PSTs (the paper's §4.4 maintenance),
+4. paper-style ascending consolidation (no mixture dissolution).
+"""
+
+from repro import CLUSEQ, CluseqParams
+from repro.evaluation import evaluate_clustering, print_table
+from repro.sequences import generate_clustered_database
+
+
+def run_mode(db, name, **overrides):
+    params = dict(
+        k=1,
+        significance_threshold=5,
+        min_unique_members=5,
+        similarity_threshold=1.2,
+        max_iterations=25,
+        seed=1,
+    )
+    params.update(overrides)
+    result = CLUSEQ(CluseqParams(**params)).fit(db)
+    report = evaluate_clustering(db.labels, result.labels())
+    return (
+        name,
+        result.num_clusters,
+        report.accuracy,
+        report.macro_precision,
+        report.macro_recall,
+        result.iterations,
+    )
+
+
+def main() -> None:
+    ds = generate_clustered_database(
+        num_sequences=200,
+        num_clusters=10,
+        avg_length=120,
+        alphabet_size=12,
+        outlier_fraction=0.05,
+        seed=3,
+    )
+    db = ds.database
+    print(f"workload: {db} — 10 embedded clusters, 5% outliers")
+    print("initial k = 1 (wrong on purpose), initial t = 1.2 (too low)\n")
+
+    rows = [
+        run_mode(db, "hardened defaults"),
+        run_mode(db, "no t calibration", calibrate_threshold=False),
+        run_mode(db, "additive PSTs (paper §4.4)", rebuild_each_iteration=False),
+        run_mode(db, "ascending consolidation (paper §4.5)", dissolve_covered=False),
+    ]
+    print_table(
+        headers=["mode", "clusters", "accuracy", "precision", "recall", "iters"],
+        rows=rows,
+        title="Paper-literal switches vs hardened defaults (true k = 10)",
+        float_digits=2,
+    )
+    print(
+        "Expected pattern: the hardened defaults recover ~10 pure\n"
+        "clusters; disabling calibration usually collapses everything\n"
+        "into one mixture cluster (the t=1.2 start admits every join\n"
+        "in iteration 0, irreversibly); the other two switches degrade\n"
+        "more gracefully — see DESIGN.md §6.1 for the mechanics."
+    )
+
+
+if __name__ == "__main__":
+    main()

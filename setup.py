@@ -1,0 +1,8 @@
+"""Shim for editable installs on environments without the `wheel`
+package (offline boxes): `python setup.py develop` or
+`pip install -e . --no-build-isolation`. All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

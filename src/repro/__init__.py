@@ -1,0 +1,63 @@
+"""repro — a from-scratch reproduction of *CLUSEQ: Efficient and
+Effective Sequence Clustering* (Yang & Wang, ICDE 2003).
+
+Public API highlights
+---------------------
+* :class:`~repro.core.cluseq.CLUSEQ` /
+  :func:`~repro.core.cluseq.cluster_sequences` — the clustering
+  algorithm.
+* :class:`~repro.core.pst.ProbabilisticSuffixTree` — the paper's PST.
+* :class:`~repro.sequences.database.SequenceDatabase` — input data.
+* :mod:`repro.baselines` — the Table 2 comparison models (edit
+  distance, block edit, HMM, q-grams).
+* :mod:`repro.evaluation` — precision/recall/accuracy against ground
+  truth.
+* :mod:`repro.datasets` — protein-family and natural-language dataset
+  substitutes.
+* :mod:`repro.experiments` — one harness per paper table/figure.
+"""
+
+from .core import (
+    CLUSEQ,
+    CluseqClusterer,
+    Cluster,
+    CluseqParams,
+    ClusteringResult,
+    ProbabilisticSuffixTree,
+    SimilarityResult,
+    cluster_sequences,
+    similarity,
+)
+from .sequences import (
+    Alphabet,
+    OUTLIER_LABEL,
+    SequenceDatabase,
+    SequenceRecord,
+    generate_clustered_database,
+    generate_two_cluster_toy,
+    read_fasta,
+    read_labelled_text,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CLUSEQ",
+    "CluseqClusterer",
+    "Cluster",
+    "CluseqParams",
+    "ClusteringResult",
+    "ProbabilisticSuffixTree",
+    "SimilarityResult",
+    "cluster_sequences",
+    "similarity",
+    "Alphabet",
+    "OUTLIER_LABEL",
+    "SequenceDatabase",
+    "SequenceRecord",
+    "generate_clustered_database",
+    "generate_two_cluster_toy",
+    "read_fasta",
+    "read_labelled_text",
+    "__version__",
+]

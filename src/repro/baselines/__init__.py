@@ -1,0 +1,49 @@
+"""Baseline models compared against CLUSEQ in the paper's Table 2."""
+
+from .base import BaselineResult, SequenceClusterer
+from .block_edit import (
+    BlockEditClusterer,
+    block_edit_distance,
+    longest_common_substring,
+    normalized_block_edit_distance,
+    pairwise_block_distance_matrix,
+)
+from .edit_distance import (
+    EditDistanceClusterer,
+    banded_edit_distance,
+    edit_distance,
+    normalized_edit_distance,
+    pairwise_distance_matrix,
+)
+from .hmm import DiscreteHMM, HMMClusterer
+from .kmedoids import kmedoids, total_within_cost, validate_distance_matrix
+from .qgram import (
+    QGramClusterer,
+    cosine_similarity,
+    qgram_profile,
+    spherical_kmeans,
+)
+
+__all__ = [
+    "BaselineResult",
+    "SequenceClusterer",
+    "BlockEditClusterer",
+    "block_edit_distance",
+    "longest_common_substring",
+    "normalized_block_edit_distance",
+    "pairwise_block_distance_matrix",
+    "EditDistanceClusterer",
+    "banded_edit_distance",
+    "edit_distance",
+    "normalized_edit_distance",
+    "pairwise_distance_matrix",
+    "DiscreteHMM",
+    "HMMClusterer",
+    "kmedoids",
+    "total_within_cost",
+    "validate_distance_matrix",
+    "QGramClusterer",
+    "cosine_similarity",
+    "qgram_profile",
+    "spherical_kmeans",
+]

@@ -1,0 +1,158 @@
+"""Edit distance with block operations (EDBO) baseline.
+
+Exact block edit distance is NP-hard (the paper cites Muthukrishnan &
+Sahinalp), so — like every practical system — we approximate it with
+greedy common-substring factoring:
+
+1. Repeatedly find the longest common substring of the two (remaining)
+   sequences; while it is at least *min_block* long, remove it from
+   both and charge **one** block operation.
+2. Charge the leftover symbols as per-symbol edits:
+   ``max(len(rest_a), len(rest_b))``.
+
+This preserves the property the paper introduces EDBO for: sequences
+that are block rearrangements of each other (``aaaabbb`` vs
+``bbbaaaa``) become cheap, while genuinely unrelated sequences stay
+expensive. Greedy factoring is the standard constant-factor
+approximation for block-move distances.
+
+The longest-common-substring search is an ``O(n·m)`` dynamic program
+(diagonal run lengths), vectorised one row at a time; factoring runs a
+handful of such rounds per pair, which is why EDBO is by far the
+slowest model in Table 2 — here as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sequences.database import SequenceDatabase
+from .base import SequenceClusterer
+from .kmedoids import kmedoids
+
+
+def longest_common_substring(
+    a: Sequence[int], b: Sequence[int]
+) -> Tuple[int, int, int]:
+    """Longest common substring as ``(length, start_a, start_b)``.
+
+    Ties resolve to the match found first in row order, keeping the
+    factoring deterministic. Returns ``(0, 0, 0)`` when the sequences
+    share no symbol.
+    """
+    if not a or not b:
+        return (0, 0, 0)
+    b_arr = np.asarray(b, dtype=np.int64)
+    prev = np.zeros(b_arr.size, dtype=np.int64)
+    best_len = 0
+    best_a = best_b = 0
+    for i, symbol in enumerate(a):
+        matches = b_arr == symbol
+        current = np.zeros_like(prev)
+        current[matches] = 1
+        current[1:][matches[1:]] += prev[:-1][matches[1:]]
+        row_best = int(current.max())
+        if row_best > best_len:
+            best_len = row_best
+            j = int(np.argmax(current))
+            best_a = i - best_len + 1
+            best_b = j - best_len + 1
+        prev = current
+    return (best_len, best_a, best_b)
+
+
+def block_edit_distance(
+    a: Sequence[int],
+    b: Sequence[int],
+    min_block: int = 3,
+    block_cost: float = 1.0,
+    max_rounds: int = 64,
+) -> float:
+    """Approximate block edit distance via greedy factoring.
+
+    Parameters
+    ----------
+    min_block:
+        Shortest substring worth a block operation; shorter matches are
+        cheaper to handle as per-symbol edits.
+    block_cost:
+        Cost charged per extracted block (the paper's "constant cost"
+        for a block operation).
+    max_rounds:
+        Safety cap on factoring rounds.
+    """
+    if min_block < 1:
+        raise ValueError("min_block must be at least 1")
+    work_a = list(a)
+    work_b = list(b)
+    # Canonicalise the argument order so the distance is exactly
+    # symmetric: greedy tie-breaking in the substring search would
+    # otherwise let d(a, b) and d(b, a) diverge by a block or two.
+    if (len(work_b), work_b) < (len(work_a), work_a):
+        work_a, work_b = work_b, work_a
+    cost = 0.0
+    for _ in range(max_rounds):
+        length, start_a, start_b = longest_common_substring(work_a, work_b)
+        if length < min_block:
+            break
+        del work_a[start_a : start_a + length]
+        del work_b[start_b : start_b + length]
+        cost += block_cost
+    return cost + max(len(work_a), len(work_b))
+
+
+def normalized_block_edit_distance(
+    a: Sequence[int], b: Sequence[int], min_block: int = 3
+) -> float:
+    """Block edit distance divided by the longer original length."""
+    longer = max(len(a), len(b))
+    if longer == 0:
+        return 0.0
+    return block_edit_distance(a, b, min_block=min_block) / longer
+
+
+def pairwise_block_distance_matrix(
+    sequences: Sequence[Sequence[int]],
+    min_block: int = 3,
+    normalized: bool = True,
+) -> np.ndarray:
+    """Symmetric pairwise EDBO distance matrix."""
+    n = len(sequences)
+    matrix = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if normalized:
+                d = normalized_block_edit_distance(
+                    sequences[i], sequences[j], min_block=min_block
+                )
+            else:
+                d = block_edit_distance(
+                    sequences[i], sequences[j], min_block=min_block
+                )
+            matrix[i, j] = matrix[j, i] = d
+    return matrix
+
+
+class BlockEditClusterer(SequenceClusterer):
+    """Table 2's "EDBO" model: block edit distance + k-medoids."""
+
+    name = "EDBO"
+
+    def __init__(self, min_block: int = 3, normalized: bool = True, seed: int = 0):
+        if min_block < 1:
+            raise ValueError("min_block must be at least 1")
+        self.min_block = min_block
+        self.normalized = normalized
+        self.seed = seed
+
+    def _cluster(
+        self, db: SequenceDatabase, num_clusters: int
+    ) -> List[Optional[int]]:
+        sequences = [db.encoded(i) for i in range(len(db))]
+        matrix = pairwise_block_distance_matrix(
+            sequences, min_block=self.min_block, normalized=self.normalized
+        )
+        labels, _ = kmedoids(matrix, num_clusters, seed=self.seed)
+        return list(labels)

@@ -1,0 +1,156 @@
+"""q-gram baseline.
+
+Each sequence is reduced to its bag of length-``q`` substrings (the
+"words" of the keyword-based document-clustering methods the paper
+discusses), weighted by term frequency and compared with cosine
+similarity. Clustering is spherical k-means with k-means++-style
+initialisation over the sparse profiles.
+
+Fast but, as the paper argues, blind to the *order* of the q-grams —
+which is exactly the information CLUSEQ's conditional probability
+model keeps.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sequences.database import SequenceDatabase
+from .base import SequenceClusterer
+
+QGram = Tuple[int, ...]
+Profile = Dict[QGram, float]
+
+
+def qgram_profile(sequence: Sequence[int], q: int) -> Profile:
+    """Term-frequency profile of all length-*q* sliding windows.
+
+    A sequence shorter than *q* falls back to a single gram covering
+    the whole sequence, so no input produces an empty profile.
+    """
+    if q < 1:
+        raise ValueError("q must be at least 1")
+    seq = tuple(sequence)
+    if len(seq) == 0:
+        raise ValueError("cannot profile an empty sequence")
+    if len(seq) < q:
+        return {seq: 1.0}
+    counts = Counter(seq[i : i + q] for i in range(len(seq) - q + 1))
+    total = sum(counts.values())
+    return {gram: count / total for gram, count in counts.items()}
+
+
+def _norm(profile: Profile) -> float:
+    return math.sqrt(sum(v * v for v in profile.values()))
+
+
+def cosine_similarity(a: Profile, b: Profile) -> float:
+    """Cosine of two sparse q-gram profiles (0.0 when either is empty)."""
+    if not a or not b:
+        return 0.0
+    if len(b) < len(a):
+        a, b = b, a
+    dot = sum(value * b.get(gram, 0.0) for gram, value in a.items())
+    denom = _norm(a) * _norm(b)
+    if denom == 0:
+        return 0.0
+    return dot / denom
+
+
+def _normalize(profile: Profile) -> Profile:
+    norm = _norm(profile)
+    if norm == 0:
+        return dict(profile)
+    return {gram: value / norm for gram, value in profile.items()}
+
+
+def _mean_profile(profiles: Sequence[Profile]) -> Profile:
+    accumulator: Dict[QGram, float] = defaultdict(float)
+    for profile in profiles:
+        for gram, value in profile.items():
+            accumulator[gram] += value
+    count = len(profiles)
+    return _normalize({gram: value / count for gram, value in accumulator.items()})
+
+
+def spherical_kmeans(
+    profiles: Sequence[Profile],
+    num_clusters: int,
+    max_iterations: int = 30,
+    seed: int = 0,
+) -> List[int]:
+    """Cosine k-means over sparse profiles; returns one label per profile."""
+    n = len(profiles)
+    if not 1 <= num_clusters <= n:
+        raise ValueError(f"num_clusters must be in [1, {n}]")
+    rng = np.random.default_rng(seed)
+    unit = [_normalize(p) for p in profiles]
+
+    # k-means++-style init on (1 - cosine) distances.
+    centroids = [dict(unit[int(rng.integers(n))])]
+    closest = np.array([1.0 - cosine_similarity(p, centroids[0]) for p in unit])
+    while len(centroids) < num_clusters:
+        weights = closest**2
+        total = weights.sum()
+        if total <= 0:
+            index = int(rng.integers(n))
+        else:
+            index = int(rng.choice(n, p=weights / total))
+        centroids.append(dict(unit[index]))
+        distances = np.array(
+            [1.0 - cosine_similarity(p, centroids[-1]) for p in unit]
+        )
+        closest = np.minimum(closest, distances)
+
+    labels = [0] * n
+    for _ in range(max_iterations):
+        new_labels = []
+        for profile in unit:
+            sims = [cosine_similarity(profile, c) for c in centroids]
+            new_labels.append(int(np.argmax(sims)))
+        changed = new_labels != labels
+        labels = new_labels
+        members: Dict[int, List[Profile]] = defaultdict(list)
+        for label, profile in zip(labels, unit):
+            members[label].append(profile)
+        for c in range(num_clusters):
+            if members[c]:
+                centroids[c] = _mean_profile(members[c])
+            else:
+                # Re-seed empty clusters with the point least similar to
+                # its current centroid.
+                worst = int(
+                    np.argmin(
+                        [
+                            cosine_similarity(p, centroids[label])
+                            for p, label in zip(unit, labels)
+                        ]
+                    )
+                )
+                centroids[c] = dict(unit[worst])
+        if not changed:
+            break
+    return labels
+
+
+class QGramClusterer(SequenceClusterer):
+    """Table 2's "q-gram" model (the paper uses ``q = 3``)."""
+
+    name = "q-gram"
+
+    def __init__(self, q: int = 3, seed: int = 0):
+        if q < 1:
+            raise ValueError("q must be at least 1")
+        self.q = q
+        self.seed = seed
+
+    def _cluster(
+        self, db: SequenceDatabase, num_clusters: int
+    ) -> List[Optional[int]]:
+        profiles = [qgram_profile(db.encoded(i), self.q) for i in range(len(db))]
+        labels = spherical_kmeans(profiles, num_clusters, seed=self.seed)
+        return list(labels)

@@ -1,0 +1,235 @@
+"""Command-line interface: ``cluseq`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``cluster``
+    Cluster a FASTA or labelled-text file and print the clusters (and,
+    when ground-truth labels are present, an evaluation).
+``generate``
+    Write a synthetic clustered database to disk, for experimentation.
+``experiment``
+    Run one of the paper-reproduction harnesses by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .core.cluseq import CLUSEQ, CluseqParams
+from .evaluation.metrics import evaluate_clustering
+from .evaluation.reporting import percent, print_table
+from .sequences.database import SequenceDatabase
+from .sequences.generators import generate_clustered_database
+from .sequences.io import read_fasta, read_labelled_text, write_labelled_text
+
+#: experiment name → (runner, printer) import paths, resolved lazily.
+EXPERIMENTS = {
+    "table2": ("table2_model_comparison", "run_table2", "print_table2"),
+    "table3": ("table3_protein_families", "run_table3", "print_table3"),
+    "table4": ("table4_languages", "run_table4", "print_table4"),
+    "table5": ("table5_initial_k", "run_table5", "print_table5"),
+    "table6": ("table6_initial_t", "run_table6", "print_table6"),
+    "fig3": ("fig3_similarity_histogram", "run_fig3", "print_fig3"),
+    "fig4": ("fig4_pst_size", "run_fig4", "print_fig4"),
+    "fig5": ("fig5_sample_size", "run_fig5", "print_fig5"),
+    "fig6": ("fig6_scalability", "run_fig6", "print_fig6"),
+    "ordering": ("ordering_policies", "run_ordering", "print_ordering"),
+    "outliers": (
+        "outlier_robustness",
+        "run_outlier_robustness",
+        "print_outlier_robustness",
+    ),
+    "modes": ("ablation_modes", "run_ablation_modes", "print_ablation_modes"),
+    "pruning": ("ablation_pruning", "run_ablation_pruning", "print_ablation_pruning"),
+    "smoothing": (
+        "ablation_smoothing",
+        "run_ablation_smoothing",
+        "print_ablation_smoothing",
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cluseq",
+        description="CLUSEQ sequence clustering (ICDE 2003 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    cluster = subparsers.add_parser("cluster", help="cluster a sequence file")
+    cluster.add_argument("input", help="FASTA (.fa/.fasta) or labelled-text file")
+    cluster.add_argument("--format", choices=("auto", "fasta", "text"), default="auto")
+    cluster.add_argument("-k", type=int, default=1, help="initial cluster count")
+    cluster.add_argument(
+        "-c",
+        "--significance",
+        type=int,
+        default=5,
+        help="significance threshold c (paper default 30 for huge data)",
+    )
+    cluster.add_argument(
+        "-t", "--threshold", type=float, default=1.2, help="initial similarity t"
+    )
+    cluster.add_argument("--max-depth", type=int, default=6, help="PST depth L")
+    cluster.add_argument("--max-iterations", type=int, default=25)
+    cluster.add_argument("--min-unique", type=int, default=None)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument(
+        "--show-members", action="store_true", help="list member ids per cluster"
+    )
+    cluster.add_argument(
+        "--save-model",
+        metavar="PATH",
+        default=None,
+        help="write the fitted clustering (JSON) for later `classify` runs",
+    )
+
+    classify = subparsers.add_parser(
+        "classify", help="assign new sequences with a saved model"
+    )
+    classify.add_argument("model", help="model file written by `cluster --save-model`")
+    classify.add_argument("input", help="FASTA or labelled-text file to classify")
+    classify.add_argument("--format", choices=("auto", "fasta", "text"), default="auto")
+
+    generate = subparsers.add_parser(
+        "generate", help="write a synthetic clustered database"
+    )
+    generate.add_argument("output", help="labelled-text output path")
+    generate.add_argument("--sequences", type=int, default=200)
+    generate.add_argument("--clusters", type=int, default=10)
+    generate.add_argument("--length", type=int, default=120)
+    generate.add_argument("--alphabet", type=int, default=12)
+    generate.add_argument("--outliers", type=float, default=0.05)
+    generate.add_argument("--seed", type=int, default=0)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run a paper-reproduction harness"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    return parser
+
+
+def _load_database(path: str, file_format: str) -> SequenceDatabase:
+    if file_format == "auto":
+        lowered = path.lower()
+        file_format = (
+            "fasta" if lowered.endswith((".fa", ".fasta", ".faa")) else "text"
+        )
+    if file_format == "fasta":
+        return read_fasta(path)
+    return read_labelled_text(path)
+
+
+def _command_cluster(args: argparse.Namespace) -> int:
+    db = _load_database(args.input, args.format)
+    params = CluseqParams(
+        k=args.k,
+        significance_threshold=args.significance,
+        similarity_threshold=args.threshold,
+        max_depth=args.max_depth,
+        max_iterations=args.max_iterations,
+        min_unique_members=args.min_unique,
+        seed=args.seed,
+    )
+    result = CLUSEQ(params).fit(db)
+    print(result.summary())
+    rows = []
+    for cluster in sorted(result.clusters, key=lambda cl: -cl.size):
+        rows.append(
+            (
+                cluster.cluster_id,
+                cluster.size,
+                cluster.seed_index,
+                cluster.pst.node_count,
+            )
+        )
+    print_table(["cluster", "size", "seed seq", "PST nodes"], rows)
+    if args.show_members:
+        for cluster in result.clusters:
+            members = " ".join(str(i) for i in sorted(cluster.members))
+            print(f"cluster {cluster.cluster_id}: {members}")
+    if any(label is not None for label in db.labels):
+        report = evaluate_clustering(db.labels, result.labels())
+        print(
+            f"ground truth present: accuracy {percent(report.accuracy)}, "
+            f"macro P {percent(report.macro_precision)}, "
+            f"macro R {percent(report.macro_recall)}"
+        )
+    if args.save_model:
+        from .core.persistence import save_result
+
+        save_result(result, args.save_model, alphabet=db.alphabet)
+        print(f"model written to {args.save_model}")
+    return 0
+
+
+def _command_classify(args: argparse.Namespace) -> int:
+    from .core.persistence import load_result_with_alphabet
+    from .sequences.alphabet import AlphabetError
+
+    result, alphabet = load_result_with_alphabet(args.model)
+    if alphabet is None:
+        print("model file does not embed an alphabet; cannot classify", flush=True)
+        return 1
+    db = _load_database(args.input, args.format)
+    for record in db:
+        try:
+            encoded = alphabet.encode(record.symbols)
+        except AlphabetError:
+            print(f"seq{record.sid}\t<unknown symbols>")
+            continue
+        assignment = result.predict(encoded)
+        label = "outlier" if assignment is None else f"cluster{assignment}"
+        print(f"seq{record.sid}\t{label}")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    ds = generate_clustered_database(
+        num_sequences=args.sequences,
+        num_clusters=args.clusters,
+        avg_length=args.length,
+        alphabet_size=args.alphabet,
+        outlier_fraction=args.outliers,
+        seed=args.seed,
+    )
+    write_labelled_text(ds.database, args.output)
+    print(
+        f"wrote {len(ds.database)} sequences "
+        f"({args.clusters} clusters, {percent(args.outliers)} outliers) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module_name, runner_name, printer_name = EXPERIMENTS[args.name]
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    rows = getattr(module, runner_name)()
+    getattr(module, printer_name)(rows)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "cluster":
+        return _command_cluster(args)
+    if args.command == "classify":
+        return _command_classify(args)
+    if args.command == "generate":
+        return _command_generate(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,665 @@
+"""The CLUSEQ clustering algorithm (paper §4).
+
+One :class:`CLUSEQ` run iterates four phases until the clustering is
+stable:
+
+1. **New cluster generation** (§4.1) — seed ``k_n`` fresh single-
+   sequence clusters from the unclustered pool (``k_n = k`` on the
+   first iteration, then ``k' · f`` with growth factor
+   ``f = max(k'_n − k'_c, 0) / k'_n``; see DESIGN.md for why the
+   denominator is ``k'_n``).
+2. **Sequence reclustering** (§4.2–§4.4) — score every sequence against
+   every cluster with the similarity DP; a sequence joins each cluster
+   whose similarity reaches the threshold ``t`` (clusters may overlap),
+   and each newly-joined cluster absorbs the sequence's best-scoring
+   segment into its PST.
+3. **Cluster consolidation** (§4.5) — dismiss clusters covered by
+   larger ones.
+4. **Threshold adjustment** (§4.6, optional) — move ``t`` halfway
+   towards the valley ``t̂`` of the similarity histogram.
+
+The run terminates when an iteration changes neither the number of
+clusters nor any sequence's membership (or at ``max_iterations``).
+
+Thresholds are handled in log scale throughout: similarities span
+hundreds of orders of magnitude, so the paper's arithmetic blend
+``t ← (t + t̂)/2`` is applied to ``log t`` (a geometric mean in linear
+scale) and the 1 % convergence test becomes ``|log t − log t̂| < 0.01``,
+i.e. the thresholds agree within 1 % as a ratio.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..sequences.database import SequenceDatabase
+from .cluster import Cluster, Membership
+from .consolidation import consolidate
+from .pst import ProbabilisticSuffixTree
+from .seeding import build_seed_pst, select_seeds
+from .similarity import SimilarityResult, similarity
+from .smoothing import default_p_min
+from .threshold import VALLEY_METHODS, find_valley
+
+#: Valid sequence-examination orders for the reclustering phase (§6.3).
+ORDERINGS = ("fixed", "random", "cluster")
+
+
+@dataclass
+class CluseqParams:
+    """Tunable parameters of a CLUSEQ run.
+
+    The three inputs of the paper's algorithm are *k* (initial cluster
+    count), *significance_threshold* (``c``) and *similarity_threshold*
+    (initial ``t``); the rest are engineering knobs the paper fixes in
+    prose (sample multiplier, PST memory budget, smoothing, ordering).
+    """
+
+    k: int = 1
+    significance_threshold: int = 30
+    similarity_threshold: float = 1.2
+    max_depth: int = 6
+    sample_multiplier: int = 5
+    adjust_threshold: bool = True
+    calibrate_threshold: bool = True
+    max_iterations: int = 25
+    max_nodes: Optional[int] = None
+    prune_strategy: str = "paper"
+    p_min: Optional[float] = None
+    ordering: str = "fixed"
+    min_unique_members: Optional[int] = None
+    dissolve_covered: bool = True
+    rebuild_each_iteration: bool = True
+    histogram_buckets: int = 100
+    valley_method: str = "regression"
+    calibration_method: str = "max"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        if self.significance_threshold < 1:
+            raise ValueError("significance_threshold must be at least 1")
+        if self.similarity_threshold <= 0:
+            raise ValueError("similarity_threshold must be positive")
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if self.sample_multiplier < 1:
+            raise ValueError("sample_multiplier must be at least 1")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        if self.ordering not in ORDERINGS:
+            raise ValueError(f"ordering must be one of {ORDERINGS}")
+        if self.valley_method not in VALLEY_METHODS:
+            raise ValueError(
+                f"valley_method must be one of {tuple(VALLEY_METHODS)}"
+            )
+        if (
+            self.calibration_method != "max"
+            and self.calibration_method not in VALLEY_METHODS
+        ):
+            raise ValueError(
+                "calibration_method must be 'max' or one of "
+                f"{tuple(VALLEY_METHODS)}"
+            )
+
+    def resolved_min_unique(self) -> int:
+        """The consolidation threshold (defaults to ``c``, per the paper)."""
+        if self.min_unique_members is not None:
+            return self.min_unique_members
+        return self.significance_threshold
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """What one CLUSEQ iteration did, for history/diagnostics."""
+
+    iteration: int
+    new_clusters: int
+    clusters_before_consolidation: int
+    clusters_removed: int
+    clusters_after: int
+    unclustered: int
+    membership_changes: int
+    threshold: float
+    log_threshold: float
+    valley: Optional[float]
+    elapsed_seconds: float
+    #: Symbols scored during this iteration's reclustering phase —
+    #: the deterministic counterpart of wall time, ∝ N · k' · l̄ (the
+    #: paper's §4.7 per-iteration cost model).
+    reclustering_work: int = 0
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of one CLUSEQ run.
+
+    ``assignments`` maps each sequence index to the ids of every
+    cluster it belongs to (CLUSEQ clusters can overlap); ``labels()``
+    flattens that to one primary cluster per sequence for evaluation.
+    """
+
+    clusters: List[Cluster]
+    assignments: Dict[int, Set[int]]
+    params: CluseqParams
+    background: np.ndarray
+    final_log_threshold: float
+    history: List[IterationStats] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def final_threshold(self) -> float:
+        """Final ``t`` in linear scale (``inf`` if beyond float range)."""
+        if self.final_log_threshold > 709:
+            return math.inf
+        return math.exp(self.final_log_threshold)
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.clusters)
+
+    @property
+    def total_reclustering_work(self) -> int:
+        """Total symbols scored across all reclustering phases.
+
+        A deterministic, machine-independent cost measurement
+        (∝ M · N · k' · l̄, the paper's §4.7 total); the scalability
+        benchmarks assert on this rather than contention-prone wall
+        time.
+        """
+        return sum(stats.reclustering_work for stats in self.history)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.history)
+
+    def cluster_by_id(self, cluster_id: int) -> Cluster:
+        for cluster in self.clusters:
+            if cluster.cluster_id == cluster_id:
+                return cluster
+        raise KeyError(f"no cluster with id {cluster_id}")
+
+    def labels(self) -> List[Optional[int]]:
+        """Primary cluster id per sequence (``None`` for outliers).
+
+        The primary cluster of a sequence is the member cluster with
+        the highest recorded log-similarity.
+        """
+        size = max(self.assignments.keys(), default=-1) + 1
+        out: List[Optional[int]] = [None] * size
+        for index, cluster_ids in self.assignments.items():
+            best_id: Optional[int] = None
+            best_log = -math.inf
+            for cid in cluster_ids:
+                membership = self.cluster_by_id(cid).membership_of(index)
+                if membership is not None and membership.log_similarity > best_log:
+                    best_log = membership.log_similarity
+                    best_id = cid
+            out[index] = best_id
+        return out
+
+    def outliers(self) -> List[int]:
+        """Indices of sequences assigned to no cluster."""
+        return [index for index, ids in sorted(self.assignments.items()) if not ids]
+
+    def score_sequence(self, encoded: Sequence[int]) -> Dict[int, SimilarityResult]:
+        """Score a (possibly unseen) encoded sequence against every cluster."""
+        return {
+            cluster.cluster_id: similarity(cluster.pst, encoded, self.background)
+            for cluster in self.clusters
+        }
+
+    def predict(self, encoded: Sequence[int]) -> Optional[int]:
+        """Best cluster for an encoded sequence, or ``None`` (outlier).
+
+        Uses the run's final similarity threshold.
+        """
+        scores = self.score_sequence(encoded)
+        if not scores:
+            return None
+        best_id, best = max(scores.items(), key=lambda kv: kv[1].log_similarity)
+        if best.log_similarity >= self.final_log_threshold:
+            return best_id
+        return None
+
+    def assign_and_absorb(self, encoded: Sequence[int]) -> Optional[int]:
+        """Incrementally add one new sequence to the fitted clustering.
+
+        The streaming counterpart of ``fit``: the sequence is scored
+        against every cluster; if its best similarity clears the final
+        threshold it joins that cluster, the cluster's PST absorbs its
+        best-scoring segment (§4.4) and the assignment map grows by one
+        entry. Returns the cluster id, or ``None`` when the sequence is
+        an outlier (which is also recorded).
+
+        This performs no re-iteration — existing memberships are left
+        untouched — so it suits append-only deployment; rerun ``fit``
+        periodically if the data distribution drifts.
+        """
+        if len(encoded) == 0:
+            raise ValueError("cannot assign an empty sequence")
+        new_index = max(self.assignments.keys(), default=-1) + 1
+        best_id: Optional[int] = None
+        best: Optional[SimilarityResult] = None
+        for cluster in self.clusters:
+            result = similarity(cluster.pst, encoded, self.background)
+            if best is None or result.log_similarity > best.log_similarity:
+                best = result
+                best_id = cluster.cluster_id
+        if best is None or best.log_similarity < self.final_log_threshold:
+            self.assignments[new_index] = set()
+            return None
+        cluster = self.cluster_by_id(best_id)
+        cluster.set_member(
+            Membership(
+                sequence_index=new_index,
+                log_similarity=best.log_similarity,
+                best_start=best.best_start,
+                best_end=best.best_end,
+            )
+        )
+        cluster.absorb_segment(list(encoded[best.best_start : best.best_end]))
+        self.assignments[new_index] = {best_id}
+        return best_id
+
+    def summary(self) -> str:
+        """A short human-readable report of the run."""
+        sizes = sorted((c.size for c in self.clusters), reverse=True)
+        return (
+            f"CLUSEQ: {self.num_clusters} clusters after {self.iterations} "
+            f"iterations ({self.elapsed_seconds:.2f}s); "
+            f"final t={self.final_threshold:.4g}; "
+            f"{len(self.outliers())} outliers; sizes={sizes}"
+        )
+
+
+class CLUSEQ:
+    """The CLUSEQ clustering engine.
+
+    Example
+    -------
+    >>> from repro import CLUSEQ, CluseqParams, generate_two_cluster_toy
+    >>> db = generate_two_cluster_toy()
+    >>> params = CluseqParams(k=2, significance_threshold=2,
+    ...                       min_unique_members=3, seed=1)
+    >>> result = CLUSEQ(params).fit(db)
+    >>> result.num_clusters >= 1
+    True
+    """
+
+    def __init__(self, params: Optional[CluseqParams] = None, **overrides):
+        if params is None:
+            params = CluseqParams(**overrides)
+        elif overrides:
+            raise TypeError("pass either params or keyword overrides, not both")
+        self.params = params
+
+    # -- public API -------------------------------------------------------------
+
+    def fit(self, db: SequenceDatabase) -> ClusteringResult:
+        """Cluster every sequence of *db* and return the result."""
+        if len(db) == 0:
+            raise ValueError("cannot cluster an empty database")
+        params = self.params
+        rng = np.random.default_rng(params.seed)
+        alphabet_size = db.alphabet.size
+        p_min = (
+            params.p_min
+            if params.p_min is not None
+            else default_p_min(alphabet_size)
+        )
+        background = db.background_probabilities()
+        encoded = [db.encoded(i) for i in range(len(db))]
+
+        pst_factory = partial(
+            build_seed_pst,
+            alphabet_size=alphabet_size,
+            max_depth=params.max_depth,
+            significance_threshold=params.significance_threshold,
+            p_min=p_min,
+            max_nodes=params.max_nodes,
+            prune_strategy=params.prune_strategy,
+        )
+
+        clusters: List[Cluster] = []
+        assignments: Dict[int, Set[int]] = {i: set() for i in range(len(db))}
+        # Consecutive iterations each sequence has spent unclustered.
+        # Sequences with long streaks behave like outliers: greedy
+        # min-max selection would keep choosing them as seeds (they are
+        # maximally dissimilar from everything) and waste the iteration.
+        unclustered_streak: Dict[int, int] = {i: 0 for i in range(len(db))}
+        history: List[IterationStats] = []
+        log_t = math.log(params.similarity_threshold)
+        log_t_floor = 0.0
+        valley_finder = VALLEY_METHODS[params.valley_method]
+        threshold_converged = not params.adjust_threshold
+        next_cluster_id = 0
+        k_n = params.k
+        prev_snapshot: Optional[Tuple] = None
+        run_start = time.perf_counter()
+
+        for iteration in range(params.max_iterations):
+            iter_start = time.perf_counter()
+
+            # -- phase 1: new cluster generation ---------------------------------
+            unclustered = [i for i, ids in assignments.items() if not ids]
+            # While the similarity threshold is still being adjusted,
+            # keep seeds flowing from the unclustered pool: sequences
+            # ejected by a rising t must be able to found new clusters,
+            # otherwise an early over-merge is irreversible. The floor
+            # scales with the pool because greedy min-max selection
+            # favours outliers (they are maximally dissimilar), so with
+            # a large pool a single seed per iteration is usually
+            # wasted on noise.
+            requested = k_n
+            if requested == 0 and unclustered and not threshold_converged:
+                requested = max(1, len(unclustered) // 20)
+            # Prefer recently-ejected sequences as seed candidates; a
+            # sequence unclustered for many consecutive iterations is
+            # most likely a genuine outlier, not an undiscovered
+            # cluster. Fall back to the full pool when the filter would
+            # empty it (e.g. the first iterations).
+            fresh = [i for i in unclustered if unclustered_streak[i] <= 3]
+            candidates = fresh if fresh else unclustered
+            seeds = select_seeds(
+                candidates=candidates,
+                encoded_lookup=lambda i: encoded[i],
+                existing_clusters=clusters,
+                background=background,
+                count=min(requested, len(unclustered)),
+                sample_multiplier=params.sample_multiplier,
+                rng=rng,
+                pst_factory=pst_factory,
+            )
+            for choice in seeds:
+                clusters.append(
+                    Cluster(
+                        cluster_id=next_cluster_id,
+                        pst=pst_factory(encoded[choice.sequence_index]),
+                        seed_index=choice.sequence_index,
+                        created_at_iteration=iteration,
+                    )
+                )
+                next_cluster_id += 1
+            n_new = len(seeds)
+
+            # -- iteration-0 threshold calibration ---------------------------------
+            # Committing memberships with a grossly under-set initial t
+            # merges everything into one irreversible mixture cluster
+            # before the paper's end-of-iteration adjustment can react.
+            # A dry scoring pass against the fresh seed models lets the
+            # valley heuristic pick the starting t; Table 6 shows the
+            # final t should not depend on the initial one anyway.
+            if (
+                iteration == 0
+                and params.adjust_threshold
+                and params.calibrate_threshold
+                and clusters
+            ):
+                # Calibrate against at least a handful of single-
+                # sequence models: with only one or two seeds (or a
+                # seed that happens to be an outlier) the dry
+                # distribution is too thin for a reliable valley. The
+                # extra reference models are temporary — they never
+                # become clusters.
+                reference_psts = [cluster.pst for cluster in clusters]
+                min_references = 8
+                if len(reference_psts) < min_references and len(db) > len(
+                    reference_psts
+                ):
+                    seeded = {cluster.seed_index for cluster in clusters}
+                    candidates = [i for i in range(len(db)) if i not in seeded]
+                    extra = rng.choice(
+                        np.asarray(candidates),
+                        size=min(
+                            min_references - len(reference_psts),
+                            len(candidates),
+                        ),
+                        replace=False,
+                    )
+                    reference_psts.extend(
+                        pst_factory(encoded[int(i)]) for i in extra
+                    )
+                # Valleys are estimated per reference model, not on the
+                # pooled distribution: each reference's own similarity
+                # column is a clean bimodal "its class vs everything
+                # else", whereas pooling across references (some of
+                # which may be outlier seeds with no class at all)
+                # smears the modes together and drags the estimate into
+                # the merge zone. The final calibration is the 75th
+                # percentile of the per-reference estimates: estimates
+                # from outlier seeds sit at the bottom of the spread
+                # (no class mode to find) and single extreme estimates
+                # at the top are domain artefacts — a high-but-not-max
+                # statistic sits in the usable window between them.
+                # Leaning high is deliberate: an over-tight starting t
+                # merely grows clusters more slowly, while an under-set
+                # one triggers the irreversible full merge.
+                if params.calibration_method == "max":
+                    finders = list(VALLEY_METHODS.values())
+                else:
+                    finders = [VALLEY_METHODS[params.calibration_method]]
+                found: List[float] = []
+                for pst in reference_psts:
+                    reference_sims = [
+                        similarity(pst, seq, background).log_similarity
+                        for seq in encoded
+                    ]
+                    for finder in finders:
+                        estimate = finder(
+                            reference_sims, buckets=params.histogram_buckets
+                        )
+                        if estimate is not None:
+                            found.append(estimate.log_threshold)
+                if found:
+                    log_t = max(float(np.quantile(found, 0.75)), 0.0)
+                    # Permanent floor: separation between a cluster and
+                    # foreign sequences only improves as models mature,
+                    # so any later valley estimate *below* the one seen
+                    # against the pristine single-seed models is an
+                    # artefact (half-grown patchwork models compress
+                    # the similarity scale). Following it down is the
+                    # irreversible everything-merges failure mode.
+                    log_t_floor = log_t
+
+            # -- phase 2: sequence reclustering ------------------------------------
+            order = self._examination_order(len(db), clusters, assignments, rng)
+            all_log_sims: List[float] = []
+            membership_changes = 0
+            reclustering_work = 0
+            for index in order:
+                seq = encoded[index]
+                joined: List[Tuple[Cluster, SimilarityResult]] = []
+                for cluster in clusters:
+                    result = similarity(cluster.pst, seq, background)
+                    reclustering_work += len(seq)
+                    all_log_sims.append(result.log_similarity)
+                    if result.log_similarity >= log_t:
+                        joined.append((cluster, result))
+                new_ids = {cluster.cluster_id for cluster, _ in joined}
+                if new_ids != assignments[index]:
+                    membership_changes += 1
+                for cluster, result in joined:
+                    cluster.set_member(
+                        Membership(
+                            sequence_index=index,
+                            log_similarity=result.log_similarity,
+                            best_start=result.best_start,
+                            best_end=result.best_end,
+                        )
+                    )
+                    # §4.2: *each* join — including a re-join on a later
+                    # iteration — feeds the current best-scoring segment
+                    # into the cluster's PST. Re-absorption is what lets
+                    # a young model mature: as it improves, a member's
+                    # best segment extends towards the whole sequence.
+                    cluster.absorb_segment(seq[result.best_start : result.best_end])
+                for cluster in clusters:
+                    if cluster.cluster_id not in new_ids:
+                        cluster.drop_member(index)
+                assignments[index] = new_ids
+                if new_ids:
+                    unclustered_streak[index] = 0
+                else:
+                    unclustered_streak[index] += 1
+
+            # -- phase 3: consolidation ----------------------------------------------
+            before = len(clusters)
+            clusters, removed = consolidate(
+                clusters,
+                params.resolved_min_unique(),
+                dissolve_covered=params.dissolve_covered,
+            )
+            if removed:
+                removed_ids = {cluster.cluster_id for cluster in removed}
+                for index, ids in assignments.items():
+                    if ids & removed_ids:
+                        assignments[index] = ids - removed_ids
+            n_removed = len(removed)
+
+            if params.rebuild_each_iteration:
+                self._rebuild_cluster_models(clusters, encoded, pst_factory)
+
+            # -- phase 4: threshold adjustment ------------------------------------------
+            valley_linear: Optional[float] = None
+            threshold_moved = False
+            if params.adjust_threshold and not threshold_converged:
+                valley = valley_finder(
+                    all_log_sims, buckets=params.histogram_buckets
+                )
+                if valley is not None:
+                    valley_linear = valley.threshold
+                    if abs(log_t - valley.log_threshold) < 0.01:
+                        threshold_converged = True
+                    else:
+                        # Blend in log scale (geometric mean). Clamp at
+                        # max(1, calibration floor): t ≥ 1 is the
+                        # paper's lower bound, and the calibration floor
+                        # guards against artefact valleys from immature
+                        # models (see the calibration comment above).
+                        blended = (log_t + valley.log_threshold) / 2.0
+                        new_log_t = max(blended, log_t_floor, 0.0)
+                        threshold_moved = abs(new_log_t - log_t) > 1e-12
+                        log_t = new_log_t
+
+            history.append(
+                IterationStats(
+                    iteration=iteration,
+                    new_clusters=n_new,
+                    clusters_before_consolidation=before,
+                    clusters_removed=n_removed,
+                    clusters_after=len(clusters),
+                    unclustered=sum(1 for ids in assignments.values() if not ids),
+                    membership_changes=membership_changes,
+                    threshold=math.exp(log_t) if log_t < 709 else math.inf,
+                    log_threshold=log_t,
+                    valley=valley_linear,
+                    elapsed_seconds=time.perf_counter() - iter_start,
+                    reclustering_work=reclustering_work,
+                )
+            )
+
+            # -- growth factor & termination ---------------------------------------------
+            if n_new > 0:
+                growth = max(n_new - n_removed, 0) / n_new
+            else:
+                growth = 0.0
+            k_n = int(round(len(clusters) * growth))
+
+            # The paper terminates when "the clustering produced by the
+            # current iteration remains the same as that of the previous
+            # iteration" — compared *after* consolidation, so a seed
+            # cluster that was immediately dismissed does not count as a
+            # change. While t is still converging the run continues even
+            # if memberships momentarily repeat.
+            snapshot = (
+                tuple(sorted(cluster.cluster_id for cluster in clusters)),
+                tuple(
+                    tuple(sorted(assignments[i])) for i in range(len(db))
+                ),
+            )
+            stable = (
+                prev_snapshot is not None
+                and snapshot == prev_snapshot
+                and not threshold_moved
+            )
+            prev_snapshot = snapshot
+            if stable:
+                break
+
+        return ClusteringResult(
+            clusters=clusters,
+            assignments=assignments,
+            params=params,
+            background=background,
+            final_log_threshold=log_t,
+            history=history,
+            elapsed_seconds=time.perf_counter() - run_start,
+        )
+
+    # -- internals ------------------------------------------------------------------
+
+    def _examination_order(
+        self,
+        n_sequences: int,
+        clusters: List[Cluster],
+        assignments: Dict[int, Set[int]],
+        rng: np.random.Generator,
+    ) -> List[int]:
+        """Sequence order for the reclustering phase (§6.3 policies).
+
+        ``fixed`` scans by id every iteration, ``random`` draws a fresh
+        permutation per iteration, and ``cluster`` examines each
+        cluster's previous members consecutively before the rest (the
+        policy the paper shows gets stuck in local optima).
+        """
+        ordering = self.params.ordering
+        if ordering == "fixed":
+            return list(range(n_sequences))
+        if ordering == "random":
+            return [int(i) for i in rng.permutation(n_sequences)]
+        order: List[int] = []
+        seen: Set[int] = set()
+        for cluster in clusters:
+            for index in sorted(cluster.members):
+                if index not in seen:
+                    order.append(index)
+                    seen.add(index)
+        for index in range(n_sequences):
+            if index not in seen:
+                order.append(index)
+        return order
+
+    @staticmethod
+    def _rebuild_cluster_models(
+        clusters: List[Cluster], encoded: List[List[int]], pst_factory
+    ) -> None:
+        """Rebuild every cluster's PST from current members' best segments.
+
+        The optional non-paper variant (``rebuild_each_iteration``):
+        discards the additive history so departed sequences stop
+        influencing the model.
+        """
+        for cluster in clusters:
+            fresh = pst_factory(encoded[cluster.seed_index])
+            for membership in list(cluster._members.values()):
+                segment = encoded[membership.sequence_index][
+                    membership.best_start : membership.best_end
+                ]
+                if segment:
+                    fresh.add_sequence(segment)
+            cluster.pst = fresh
+
+
+def cluster_sequences(
+    db: SequenceDatabase, **param_overrides
+) -> ClusteringResult:
+    """One-call convenience wrapper: ``cluster_sequences(db, k=5, ...)``."""
+    return CLUSEQ(CluseqParams(**param_overrides)).fit(db)

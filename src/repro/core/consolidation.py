@@ -1,0 +1,116 @@
+"""Cluster consolidation (paper §4.5).
+
+Successive seed generation can create clusters that heavily overlap —
+e.g. when two sequences from the same true cluster are both drawn as
+seeds. Consolidation dismisses clusters that are "covered" by others:
+clusters are examined in ascending size order, and any cluster whose
+*unique* members (sequences belonging to no larger cluster) number
+fewer than a threshold is removed. Surviving clusters therefore differ
+substantially from each other.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .cluster import Cluster
+
+
+def consolidate(
+    clusters: Sequence[Cluster],
+    min_unique_members: int,
+    dissolve_covered: bool = True,
+) -> Tuple[List[Cluster], List[Cluster]]:
+    """Apply the paper's consolidation procedure.
+
+    Parameters
+    ----------
+    clusters:
+        The current cluster collection.
+    min_unique_members:
+        A cluster survives only if at least this many of its members
+        belong to no other retained cluster. The paper suggests the
+        significance threshold ``c`` for this value.
+    dissolve_covered:
+        When ``True`` (the default) the examination runs **largest
+        first** and a cluster — regardless of size — is dismissed when
+        its members are covered by the union of the *other* retained
+        clusters. The paper's ascending-size pass (``False``) can never
+        remove an over-merged "mixture" cluster: being the largest, it
+        is examined last, after every pure cluster it covers has
+        already been dismissed — so the mixture survives and the pure
+        clusters die. The descending pass dissolves mixtures once purer
+        clusters exist while leaving genuinely distinct clusters
+        untouched (they keep unique members). See DESIGN.md.
+
+    Returns
+    -------
+    (retained, removed):
+        The surviving clusters (original relative order preserved) and
+        the dismissed ones.
+
+    Notes
+    -----
+    * Uniqueness is evaluated against retained clusters only, so
+      removing one cluster cannot be justified by another cluster that
+      is itself removed.
+    * Empty clusters are always dismissed — a cluster that attracted no
+      sequences carries no model worth keeping.
+    """
+    if min_unique_members < 0:
+        raise ValueError("min_unique_members must be non-negative")
+
+    removed: List[Cluster] = []
+    removed_ids = set()
+
+    for cluster in clusters:
+        if cluster.size == 0:
+            removed.append(cluster)
+            removed_ids.add(cluster.cluster_id)
+
+    live = [cl for cl in clusters if cl.cluster_id not in removed_ids]
+    if dissolve_covered:
+        # Largest first; ties broken by id for determinism.
+        order = sorted(live, key=lambda cl: (-cl.size, cl.cluster_id))
+        for cluster in order:
+            others = [
+                other
+                for other in order
+                if other is not cluster and other.cluster_id not in removed_ids
+            ]
+            if not others:
+                break  # never dissolve the last remaining cluster
+            unique = cluster.unique_members(others)
+            if len(unique) < min_unique_members:
+                removed.append(cluster)
+                removed_ids.add(cluster.cluster_id)
+    else:
+        # The paper's §4.5 pass: ascending size, uniqueness against the
+        # retained larger clusters only.
+        order = sorted(live, key=lambda cl: (cl.size, cl.cluster_id))
+        for position, cluster in enumerate(order):
+            larger = [
+                other
+                for other in order[position + 1 :]
+                if other.cluster_id not in removed_ids
+            ]
+            unique = cluster.unique_members(larger)
+            if len(unique) < min_unique_members:
+                removed.append(cluster)
+                removed_ids.add(cluster.cluster_id)
+
+    retained = [cl for cl in clusters if cl.cluster_id not in removed_ids]
+    return retained, removed
+
+
+def overlap_fraction(a: Cluster, b: Cluster) -> float:
+    """Jaccard overlap between two clusters' member sets.
+
+    A diagnostic aid for inspecting how much consolidation is needed;
+    not part of the algorithm itself.
+    """
+    members_a, members_b = a.members, b.members
+    union = members_a | members_b
+    if not union:
+        return 0.0
+    return len(members_a & members_b) / len(union)

@@ -1,0 +1,134 @@
+"""Distribution-difference measures from the paper's §2.
+
+Before introducing the predict-probability similarity, the paper
+discusses the classical ways to compare two conditional probability
+distributions — the **variational distance**
+
+    V(P₁, P₂) = Σ_σ |P₁(σ) − P₂(σ)|
+
+and the (symmetrised Kullback-Leibler) **J-divergence**
+
+    J(P₁, P₂) = Σ_σ (P₁(σ) − P₂(σ)) · log(P₁(σ)/P₂(σ))
+
+— and rejects them because evaluating them over all segments up to
+length L costs O(|ℑ|^L). This module implements them anyway: as vector
+measures for probability vectors, and as *model* measures between two
+PSTs where the sum runs only over contexts actually materialised in
+the trees (the paper's "significant portion of the CPD"), weighted by
+observed context frequency. That turns the intractable full sum into
+the tractable empirical one, and lets tests confirm that clusters
+CLUSEQ separates are exactly those whose CPDs diverge.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from .pst import ProbabilisticSuffixTree
+
+_EPS = 1e-12
+
+
+def variational_distance(p: Sequence[float], q: Sequence[float]) -> float:
+    """``Σ |p_i − q_i|`` over two probability vectors (range [0, 2])."""
+    p_arr = np.asarray(p, dtype=np.float64)
+    q_arr = np.asarray(q, dtype=np.float64)
+    if p_arr.shape != q_arr.shape:
+        raise ValueError(f"shape mismatch: {p_arr.shape} vs {q_arr.shape}")
+    return float(np.abs(p_arr - q_arr).sum())
+
+
+def kl_divergence(p: Sequence[float], q: Sequence[float]) -> float:
+    """``Σ p_i log(p_i/q_i)`` with epsilon flooring (finite, ≥ 0)."""
+    p_arr = np.asarray(p, dtype=np.float64) + _EPS
+    q_arr = np.asarray(q, dtype=np.float64) + _EPS
+    if p_arr.shape != q_arr.shape:
+        raise ValueError(f"shape mismatch: {p_arr.shape} vs {q_arr.shape}")
+    p_arr = p_arr / p_arr.sum()
+    q_arr = q_arr / q_arr.sum()
+    return float((p_arr * np.log(p_arr / q_arr)).sum())
+
+
+def j_divergence(p: Sequence[float], q: Sequence[float]) -> float:
+    """The paper's symmetrised KL: ``J = KL(p‖q) + KL(q‖p)``."""
+    return kl_divergence(p, q) + kl_divergence(q, p)
+
+
+def _context_weights(
+    pst: ProbabilisticSuffixTree, max_context: int
+) -> Dict[Tuple[int, ...], float]:
+    """Observed contexts (labels up to *max_context*) → frequency weight."""
+    weights: Dict[Tuple[int, ...], float] = {}
+    total = 0.0
+    for label, node in pst.iter_nodes():
+        if len(label) > max_context:
+            continue
+        if node.next_total == 0:
+            continue
+        weights[label] = float(node.next_total)
+        total += node.next_total
+    if total <= 0:
+        return {(): 1.0}
+    return {label: weight / total for label, weight in weights.items()}
+
+
+def pst_divergence(
+    a: ProbabilisticSuffixTree,
+    b: ProbabilisticSuffixTree,
+    max_context: int = 2,
+    measure: str = "variational",
+) -> float:
+    """Empirical CPD difference between two PST models.
+
+    For every context materialised in either tree (up to *max_context*
+    symbols), compare the two next-symbol distributions with the chosen
+    *measure* and average, weighting by how often each context occurs
+    (averaged over the two models' own context frequencies). This is
+    the paper's §2 comparison restricted to the observed — rather than
+    the exponential — context space.
+    """
+    if a.alphabet_size != b.alphabet_size:
+        raise ValueError("cannot compare PSTs over different alphabets")
+    measures = {
+        "variational": variational_distance,
+        "kl": kl_divergence,
+        "j": j_divergence,
+    }
+    if measure not in measures:
+        raise ValueError(f"measure must be one of {tuple(measures)}")
+    distance = measures[measure]
+
+    weights_a = _context_weights(a, max_context)
+    weights_b = _context_weights(b, max_context)
+    contexts = set(weights_a) | set(weights_b)
+    total_weight = 0.0
+    accumulated = 0.0
+    for context in contexts:
+        weight = (weights_a.get(context, 0.0) + weights_b.get(context, 0.0)) / 2
+        if weight <= 0:
+            continue
+        vec_a = a.probability_vector(list(context))
+        vec_b = b.probability_vector(list(context))
+        accumulated += weight * distance(vec_a, vec_b)
+        total_weight += weight
+    if total_weight <= 0:
+        return 0.0
+    return accumulated / total_weight
+
+
+def pairwise_pst_divergence(
+    psts: Sequence[ProbabilisticSuffixTree],
+    max_context: int = 2,
+    measure: str = "variational",
+) -> np.ndarray:
+    """Symmetric matrix of :func:`pst_divergence` over a model list."""
+    n = len(psts)
+    matrix = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = pst_divergence(psts[i], psts[j], max_context, measure)
+            matrix[i, j] = matrix[j, i] = d
+    return matrix

@@ -1,0 +1,130 @@
+"""A scikit-learn-style estimator facade over CLUSEQ.
+
+:class:`CluseqClusterer` follows the familiar ``fit`` / ``predict`` /
+``fit_predict`` protocol with a ``labels_`` attribute, so CLUSEQ drops
+into pipelines and comparisons people already have, without adding a
+scikit-learn dependency. Inputs are plain Python sequences (strings or
+lists of hashable tokens); the estimator owns alphabet inference and
+encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence
+
+from ..sequences.alphabet import Alphabet
+from ..sequences.database import SequenceDatabase
+from .cluseq import CLUSEQ, CluseqParams, ClusteringResult
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict``/``labels_`` are used before ``fit``."""
+
+
+class CluseqClusterer:
+    """CLUSEQ with a scikit-learn-style interface.
+
+    Parameters mirror :class:`~repro.core.cluseq.CluseqParams`; pass
+    them as keyword arguments.
+
+    Attributes
+    ----------
+    labels_:
+        After ``fit``: one cluster id per input sequence, ``-1`` for
+        outliers (the scikit-learn noise convention, as in DBSCAN).
+    result_:
+        The full :class:`~repro.core.cluseq.ClusteringResult`.
+
+    Example
+    -------
+    >>> from repro.core.estimator import CluseqClusterer
+    >>> model = CluseqClusterer(k=1, significance_threshold=2,
+    ...                         min_unique_members=2, seed=0)
+    >>> X = ["ababab", "bababa", "cdcdcd", "dcdcdc"] * 4
+    >>> labels = model.fit_predict(X)
+    >>> len(labels) == len(X)
+    True
+    """
+
+    def __init__(self, **params):
+        self.params = CluseqParams(**params)
+        self.result_: Optional[ClusteringResult] = None
+        self.alphabet_: Optional[Alphabet] = None
+        self.labels_: Optional[List[int]] = None
+
+    # -- protocol -----------------------------------------------------------------
+
+    def fit(
+        self,
+        X: Sequence[Sequence[Hashable]],
+        y: Optional[Sequence] = None,
+    ) -> "CluseqClusterer":
+        """Cluster the sequences in *X* (``y`` is ignored, per sklearn)."""
+        if len(X) == 0:
+            raise ValueError("X must contain at least one sequence")
+        db = SequenceDatabase.from_sequences([tuple(x) for x in X])
+        self.alphabet_ = db.alphabet
+        self.result_ = CLUSEQ(self.params).fit(db)
+        self.labels_ = [
+            -1 if label is None else label for label in self.result_.labels()
+        ]
+        return self
+
+    def fit_predict(
+        self,
+        X: Sequence[Sequence[Hashable]],
+        y: Optional[Sequence] = None,
+    ) -> List[int]:
+        """``fit`` then return ``labels_``."""
+        return self.fit(X, y).labels_  # type: ignore[return-value]
+
+    def predict(self, X: Sequence[Sequence[Hashable]]) -> List[int]:
+        """Assign new sequences to the fitted clusters (-1 = outlier).
+
+        Symbols never seen during ``fit`` raise — the model has no
+        probability estimates for them.
+        """
+        self._check_fitted()
+        assert self.result_ is not None and self.alphabet_ is not None
+        out: List[int] = []
+        for x in X:
+            encoded = self.alphabet_.encode(tuple(x))
+            assignment = self.result_.predict(encoded)
+            out.append(-1 if assignment is None else assignment)
+        return out
+
+    # -- conveniences ----------------------------------------------------------------
+
+    @property
+    def n_clusters_(self) -> int:
+        """Number of discovered clusters."""
+        self._check_fitted()
+        assert self.result_ is not None
+        return self.result_.num_clusters
+
+    @property
+    def threshold_(self) -> float:
+        """The converged similarity threshold ``t`` (linear scale)."""
+        self._check_fitted()
+        assert self.result_ is not None
+        return self.result_.final_threshold
+
+    def get_params(self, deep: bool = True) -> dict:
+        """sklearn-compatible parameter accessor."""
+        from dataclasses import asdict
+
+        return asdict(self.params)
+
+    def set_params(self, **params) -> "CluseqClusterer":
+        """sklearn-compatible parameter setter (re-validates)."""
+        merged = self.get_params()
+        merged.update(params)
+        self.params = CluseqParams(**merged)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.result_ is None:
+            raise NotFittedError(
+                "this CluseqClusterer instance is not fitted yet; "
+                "call fit() first"
+            )

@@ -1,0 +1,453 @@
+"""Probabilistic suffix trees (PSTs).
+
+The PST is the paper's §3 data structure: a suffix-tree variant built
+over *reversed* sequences where every node carries
+
+* ``count`` — the number of occurrences of the node's label (a segment,
+  read in original orientation) in the cluster, and
+* a next-symbol counter from which the conditional probability vector
+  ``P(s | label)`` is derived.
+
+Because the similarity measure only ever conditions on the last
+``max_depth`` symbols (the *short memory* property), the tree is a
+bounded-depth trie: inserting a sequence of length ``l`` walks at most
+``max_depth`` ancestors per position, i.e. ``O(l · max_depth)`` total.
+
+Locating the *longest significant suffix* of a context — the heart of
+the paper's prediction procedure — is a single root-to-leaf walk along
+the reversed context that stops before the first insignificant node.
+
+Example
+-------
+>>> from repro.core.pst import ProbabilisticSuffixTree
+>>> pst = ProbabilisticSuffixTree(alphabet_size=2, max_depth=3,
+...                               significance_threshold=2)
+>>> pst.add_sequence([0, 1, 0, 1, 0, 1, 0])
+>>> round(pst.probability(1, [0]), 2)   # P(b | a) with a=0, b=1
+1.0
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .smoothing import adjust_probability, validate_p_min
+
+#: Rough per-node memory footprint used to translate the paper's
+#: megabyte budgets into node budgets (children dict + counters).
+APPROX_BYTES_PER_NODE = 200
+
+
+class PSTNode:
+    """A node of the probabilistic suffix tree.
+
+    Attributes
+    ----------
+    children:
+        Maps a symbol id to the child node; following the edge
+        *prepends* that symbol to the node label (the tree is built
+        over reversed sequences).
+    count:
+        Occurrences of the node label in the cluster (the paper's
+        ``C``).
+    next_counts:
+        Maps a symbol id ``s`` to the number of times ``s`` was
+        observed immediately after the node label.
+    """
+
+    __slots__ = ("children", "count", "next_counts")
+
+    def __init__(self) -> None:
+        self.children: Dict[int, "PSTNode"] = {}
+        self.count: int = 0
+        self.next_counts: Dict[int, int] = {}
+
+    @property
+    def next_total(self) -> int:
+        """Total next-symbol observations at this node."""
+        return sum(self.next_counts.values())
+
+    def subtree_size(self) -> int:
+        """Number of nodes in the subtree rooted here (inclusive)."""
+        total = 1
+        stack = list(self.children.values())
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.children.values())
+        return total
+
+
+class ProbabilisticSuffixTree:
+    """The paper's probabilistic suffix tree, with incremental updates.
+
+    Parameters
+    ----------
+    alphabet_size:
+        Number of distinct symbol ids (``n`` in the paper).
+    max_depth:
+        Maximum context length ``L`` retained (short-memory bound).
+    significance_threshold:
+        The paper's ``c``: a node is *significant* when its count is at
+        least this value. Only significant nodes participate in
+        prediction; insignificant nodes are kept (until pruned) because
+        they may become significant as the cluster grows (§5.1).
+    p_min:
+        Smoothing floor for the adjusted probability estimation (§5.2).
+        ``0.0`` disables smoothing.
+    max_nodes:
+        Optional node budget; exceeding it triggers pruning (§5.1).
+        ``None`` means unbounded.
+    prune_strategy:
+        Strategy name forwarded to :func:`repro.core.pruning.prune_to`
+        when the budget is hit.
+    """
+
+    def __init__(
+        self,
+        alphabet_size: int,
+        max_depth: int = 6,
+        significance_threshold: int = 30,
+        p_min: float = 0.0,
+        max_nodes: Optional[int] = None,
+        prune_strategy: str = "paper",
+    ):
+        if alphabet_size <= 0:
+            raise ValueError("alphabet_size must be positive")
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if significance_threshold < 1:
+            raise ValueError("significance_threshold must be at least 1")
+        if max_nodes is not None and max_nodes < 1:
+            raise ValueError("max_nodes must be positive when set")
+        validate_p_min(alphabet_size, p_min)
+        self.alphabet_size = alphabet_size
+        self.max_depth = max_depth
+        self.significance_threshold = significance_threshold
+        self.p_min = p_min
+        self.max_nodes = max_nodes
+        self.prune_strategy = prune_strategy
+        self.root = PSTNode()
+        self._node_count = 1
+        self._sequences_added = 0
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_sequences(
+        cls, sequences: Sequence[Sequence[int]], **kwargs
+    ) -> "ProbabilisticSuffixTree":
+        """Build a PST from already-encoded sequences."""
+        pst = cls(**kwargs)
+        for seq in sequences:
+            pst.add_sequence(seq)
+        return pst
+
+    def add_sequence(self, encoded: Sequence[int]) -> None:
+        """Insert one encoded sequence (or segment) into the tree.
+
+        Every position contributes its next-symbol observation to the
+        (at most ``max_depth``) context nodes preceding it; a final
+        walk from the sequence end updates occurrence counts for
+        segments that end the sequence, so ``count`` reflects *all*
+        occurrences of a label, exactly as in a suffix tree.
+        """
+        length = len(encoded)
+        if length == 0:
+            return
+        max_depth = self.max_depth
+        root = self.root
+        root.count += length
+        root_next = root.next_counts
+
+        for i in range(length):
+            symbol = encoded[i]
+            if not 0 <= symbol < self.alphabet_size:
+                raise ValueError(
+                    f"symbol id {symbol} out of range "
+                    f"(alphabet size {self.alphabet_size})"
+                )
+            root_next[symbol] = root_next.get(symbol, 0) + 1
+            node = root
+            lowest = i - max_depth
+            j = i - 1
+            while j >= 0 and j >= lowest:
+                context_symbol = encoded[j]
+                child = node.children.get(context_symbol)
+                if child is None:
+                    child = PSTNode()
+                    node.children[context_symbol] = child
+                    self._node_count += 1
+                child.count += 1
+                child.next_counts[symbol] = child.next_counts.get(symbol, 0) + 1
+                node = child
+                j -= 1
+
+        # Terminal contexts: segments ending exactly at the sequence end
+        # occur but precede no symbol; count them without next-symbol
+        # observations so node counts equal true occurrence counts.
+        node = root
+        j = length - 1
+        while j >= 0 and j >= length - max_depth:
+            context_symbol = encoded[j]
+            child = node.children.get(context_symbol)
+            if child is None:
+                child = PSTNode()
+                node.children[context_symbol] = child
+                self._node_count += 1
+            child.count += 1
+            node = child
+            j -= 1
+
+        self._sequences_added += 1
+        if self.max_nodes is not None and self._node_count > self.max_nodes:
+            from .pruning import prune_to
+
+            prune_to(self, self.max_nodes, strategy=self.prune_strategy)
+
+    # -- lookup --------------------------------------------------------------------
+
+    def node_for(self, segment: Sequence[int]) -> Optional[PSTNode]:
+        """Exact lookup: the node labelled *segment*, or ``None``.
+
+        The walk consumes *segment* back-to-front because edges prepend
+        symbols (reversed-sequence tree).
+        """
+        node = self.root
+        for symbol in reversed(list(segment)):
+            node = node.children.get(symbol)
+            if node is None:
+                return None
+        return node
+
+    def count_of(self, segment: Sequence[int]) -> int:
+        """Occurrence count of *segment* (0 when absent or too long)."""
+        if len(segment) > self.max_depth:
+            return 0
+        node = self.node_for(segment)
+        return node.count if node is not None else 0
+
+    def is_significant(self, segment: Sequence[int]) -> bool:
+        """Whether *segment* is a significant segment (count ≥ c)."""
+        if len(segment) == 0:
+            return True
+        return self.count_of(segment) >= self.significance_threshold
+
+    def prediction_node(self, context: Sequence[int]) -> PSTNode:
+        """The paper's prediction node of *context*.
+
+        Walks from the root along the reversed context, advancing only
+        while the child exists and is significant; the node reached is
+        labelled with the longest significant suffix of *context*
+        (possibly the root, whose label is the empty segment).
+        """
+        node = self.root
+        threshold = self.significance_threshold
+        start = max(0, len(context) - self.max_depth)
+        for i in range(len(context) - 1, start - 1, -1):
+            child = node.children.get(context[i])
+            if child is None or child.count < threshold:
+                break
+            node = child
+        return node
+
+    def longest_significant_suffix(self, context: Sequence[int]) -> Tuple[int, ...]:
+        """The longest significant suffix of *context* as a tuple of ids."""
+        node = self.root
+        threshold = self.significance_threshold
+        depth = 0
+        start = max(0, len(context) - self.max_depth)
+        for i in range(len(context) - 1, start - 1, -1):
+            child = node.children.get(context[i])
+            if child is None or child.count < threshold:
+                break
+            node = child
+            depth += 1
+        return tuple(context[len(context) - depth :])
+
+    def probability(self, symbol: int, context: Sequence[int]) -> float:
+        """Estimate ``P(symbol | context)`` via the prediction node.
+
+        Applies the adjusted probability estimation (§5.2) when
+        ``p_min > 0``. Falls back to the uniform distribution if the
+        prediction node has no next-symbol observations at all (an
+        empty tree).
+        """
+        node = self.prediction_node(context)
+        total = node.next_total
+        if total == 0:
+            return 1.0 / self.alphabet_size
+        raw = node.next_counts.get(symbol, 0) / total
+        return adjust_probability(raw, self.alphabet_size, self.p_min)
+
+    def probability_vector(self, context: Sequence[int]) -> np.ndarray:
+        """The full (smoothed) next-symbol distribution given *context*."""
+        node = self.prediction_node(context)
+        return self.node_probability_vector(node)
+
+    def node_probability_vector(self, node: PSTNode) -> np.ndarray:
+        """The (smoothed) probability vector stored at *node*."""
+        vec = np.zeros(self.alphabet_size, dtype=np.float64)
+        total = node.next_total
+        if total == 0:
+            vec[:] = 1.0 / self.alphabet_size
+            return vec
+        for symbol, count in node.next_counts.items():
+            vec[symbol] = count / total
+        if self.p_min > 0.0:
+            vec = (1.0 - self.alphabet_size * self.p_min) * vec + self.p_min
+        return vec
+
+    # -- traversal / stats -----------------------------------------------------------
+
+    def iter_nodes(self) -> Iterator[Tuple[Tuple[int, ...], PSTNode]]:
+        """Depth-first iteration over ``(label, node)`` pairs.
+
+        Labels are in original (unreversed) orientation; the root has
+        the empty label.
+        """
+        stack: List[Tuple[Tuple[int, ...], PSTNode]] = [((), self.root)]
+        while stack:
+            label, node = stack.pop()
+            yield label, node
+            for symbol, child in node.children.items():
+                stack.append(((symbol,) + label, child))
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes, root included."""
+        return self._node_count
+
+    @property
+    def sequences_added(self) -> int:
+        """How many sequences/segments have been inserted."""
+        return self._sequences_added
+
+    @property
+    def total_symbols(self) -> int:
+        """Sum of inserted sequence lengths (the root count)."""
+        return self.root.count
+
+    def significant_node_count(self) -> int:
+        """Number of nodes with count ≥ the significance threshold."""
+        threshold = self.significance_threshold
+        return sum(1 for _, node in self.iter_nodes() if node.count >= threshold)
+
+    def depth(self) -> int:
+        """Length of the longest label currently in the tree."""
+        best = 0
+        for label, _ in self.iter_nodes():
+            if len(label) > best:
+                best = len(label)
+        return best
+
+    def approx_memory_bytes(self) -> int:
+        """Rough memory footprint, for the PST-size experiments."""
+        return self._node_count * APPROX_BYTES_PER_NODE
+
+    def __repr__(self) -> str:
+        return (
+            f"ProbabilisticSuffixTree(nodes={self._node_count}, "
+            f"depth≤{self.max_depth}, c={self.significance_threshold}, "
+            f"symbols={self.total_symbols})"
+        )
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def _forget_subtree(self, parent: PSTNode, symbol: int) -> int:
+        """Detach and discount the child subtree at ``parent.children[symbol]``.
+
+        Returns the number of nodes removed. Used by the pruning
+        strategies; counts stored elsewhere in the tree are untouched
+        (pruning loses information, it does not rescale it).
+        """
+        child = parent.children.pop(symbol, None)
+        if child is None:
+            return 0
+        removed = child.subtree_size()
+        self._node_count -= removed
+        return removed
+
+    def recount_nodes(self) -> int:
+        """Recompute the cached node count from the tree (debug aid)."""
+        self._node_count = self.root.subtree_size()
+        return self._node_count
+
+    # -- sampling ----------------------------------------------------------------------
+
+    def sample(
+        self, length: int, rng: Optional[np.random.Generator] = None
+    ) -> List[int]:
+        """Generate a sequence of *length* symbols from this PST.
+
+        Sampling follows exactly the prediction procedure used for
+        scoring, so a cluster's PST can act as its generative model
+        (how the paper builds its synthetic workloads).
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        rng = rng or np.random.default_rng()
+        out: List[int] = []
+        ids = np.arange(self.alphabet_size)
+        for _ in range(length):
+            vec = self.probability_vector(out[-self.max_depth :])
+            total = vec.sum()
+            if total <= 0:  # pragma: no cover - defensive
+                vec = np.full(self.alphabet_size, 1.0 / self.alphabet_size)
+            else:
+                vec = vec / total
+            out.append(int(rng.choice(ids, p=vec)))
+        return out
+
+    # -- serialization -------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot of the tree."""
+
+        def encode(node: PSTNode) -> dict:
+            return {
+                "count": node.count,
+                "next": {str(s): c for s, c in node.next_counts.items()},
+                "children": {
+                    str(s): encode(child) for s, child in node.children.items()
+                },
+            }
+
+        return {
+            "alphabet_size": self.alphabet_size,
+            "max_depth": self.max_depth,
+            "significance_threshold": self.significance_threshold,
+            "p_min": self.p_min,
+            "max_nodes": self.max_nodes,
+            "prune_strategy": self.prune_strategy,
+            "sequences_added": self._sequences_added,
+            "root": encode(self.root),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProbabilisticSuffixTree":
+        """Rebuild a tree from :meth:`to_dict` output."""
+        pst = cls(
+            alphabet_size=data["alphabet_size"],
+            max_depth=data["max_depth"],
+            significance_threshold=data["significance_threshold"],
+            p_min=data.get("p_min", 0.0),
+            max_nodes=data.get("max_nodes"),
+            prune_strategy=data.get("prune_strategy", "paper"),
+        )
+
+        def decode(payload: dict) -> PSTNode:
+            node = PSTNode()
+            node.count = payload["count"]
+            node.next_counts = {int(s): c for s, c in payload["next"].items()}
+            node.children = {
+                int(s): decode(child) for s, child in payload["children"].items()
+            }
+            return node
+
+        pst.root = decode(data["root"])
+        pst._sequences_added = data.get("sequences_added", 0)
+        pst.recount_nodes()
+        return pst

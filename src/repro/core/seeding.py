@@ -1,0 +1,133 @@
+"""New-cluster seed selection (paper §4.1).
+
+Each CLUSEQ iteration may generate new clusters from the unclustered
+sequences. Seeds should resemble existing clusters — and each other —
+as little as possible, so the paper uses a sampled greedy min-max
+procedure:
+
+1. Sample ``m`` unclustered sequences uniformly (``m = 5 · k_n`` by
+   default) and build a single-sequence PST for each.
+2. Repeat ``k_n`` times: score every remaining sample against all
+   existing clusters *and already-chosen seeds*, take each sample's
+   highest similarity, and pick the sample whose highest similarity is
+   lowest.
+
+The sampling keeps the cost at ``O(m · (m + k') · l²)`` instead of the
+quadratic-in-N pairwise alternative.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .cluster import Cluster
+from .pst import ProbabilisticSuffixTree
+from .similarity import similarity
+
+
+@dataclass(frozen=True)
+class SeedChoice:
+    """One selected seed and the evidence behind the choice."""
+
+    sequence_index: int
+    max_similarity_log: float  # highest log-sim to any prior cluster/seed
+
+
+def build_seed_pst(
+    encoded: Sequence[int],
+    alphabet_size: int,
+    max_depth: int,
+    significance_threshold: int,
+    p_min: float,
+    max_nodes: Optional[int] = None,
+    prune_strategy: str = "paper",
+) -> ProbabilisticSuffixTree:
+    """A PST modelling a single seed sequence (a cluster's initial state)."""
+    pst = ProbabilisticSuffixTree(
+        alphabet_size=alphabet_size,
+        max_depth=max_depth,
+        significance_threshold=significance_threshold,
+        p_min=p_min,
+        max_nodes=max_nodes,
+        prune_strategy=prune_strategy,
+    )
+    pst.add_sequence(encoded)
+    return pst
+
+
+def select_seeds(
+    candidates: Sequence[int],
+    encoded_lookup,
+    existing_clusters: Sequence[Cluster],
+    background: np.ndarray,
+    count: int,
+    sample_multiplier: int,
+    rng: np.random.Generator,
+    pst_factory,
+) -> List[SeedChoice]:
+    """Choose up to *count* seed sequences from *candidates*.
+
+    Parameters
+    ----------
+    candidates:
+        Database indices of currently-unclustered sequences.
+    encoded_lookup:
+        Callable mapping a database index to its encoded sequence.
+    existing_clusters:
+        The clusters already in play; seeds are pushed away from them.
+    background:
+        Background symbol probabilities for the similarity measure.
+    count:
+        ``k_n`` — how many seeds to select.
+    sample_multiplier:
+        The ``m = multiplier · k_n`` sample-size rule; the paper uses 5.
+    rng:
+        Random generator for the sample draw.
+    pst_factory:
+        Callable ``encoded -> ProbabilisticSuffixTree`` building a
+        single-sequence PST (bind cluster parameters with
+        ``functools.partial`` around :func:`build_seed_pst`).
+
+    Returns fewer than *count* choices when there are not enough
+    candidates.
+    """
+    if count <= 0 or not candidates:
+        return []
+    sample_size = min(len(candidates), max(count, sample_multiplier * count))
+    sampled = list(
+        rng.choice(np.asarray(candidates), size=sample_size, replace=False)
+    )
+    sampled = [int(i) for i in sampled]
+
+    sample_psts = {i: pst_factory(encoded_lookup(i)) for i in sampled}
+    reference_psts: List[ProbabilisticSuffixTree] = [
+        cluster.pst for cluster in existing_clusters
+    ]
+
+    # Each sample's best log-similarity against the current references;
+    # incremental: adding a seed only requires scoring remaining samples
+    # against that one new reference.
+    best_log: dict = {}
+    for i in sampled:
+        encoded = encoded_lookup(i)
+        best = -math.inf
+        for pst in reference_psts:
+            best = max(best, similarity(pst, encoded, background).log_similarity)
+        best_log[i] = best
+
+    chosen: List[SeedChoice] = []
+    remaining = list(sampled)
+    while remaining and len(chosen) < count:
+        pick = min(remaining, key=lambda i: (best_log[i], i))
+        chosen.append(SeedChoice(sequence_index=pick, max_similarity_log=best_log[pick]))
+        remaining.remove(pick)
+        new_pst = sample_psts[pick]
+        for i in remaining:
+            score = similarity(new_pst, encoded_lookup(i), background).log_similarity
+            if score > best_log[i]:
+                best_log[i] = score
+    return chosen

@@ -1,0 +1,228 @@
+"""Similarity-threshold adjustment via histogram valley detection (§4.6).
+
+During each iteration CLUSEQ already computes the similarity of every
+(sequence, cluster) combination. Their distribution typically shows a
+mass of low similarities (non-members) falling away quickly, then a
+long flat tail of genuine members — and the *valley* between the two
+regimes is a natural similarity threshold.
+
+The paper locates the valley as the histogram point where the curve
+makes the "sharpest turn": for every bucket ``i``, fit a least-squares
+regression line to the left part ``[1..i]`` and the right part
+``[i..n]`` of the histogram and pick the ``i`` maximising the absolute
+difference of the two slopes. Both slopes for all ``i`` are computed
+from prefix/suffix sums, keeping the whole search ``O(n)``.
+
+Similarities span many orders of magnitude, so the histogram is built
+over **log similarity** (with an upper quantile clip so a single member
+with astronomical similarity cannot stretch the domain); the returned
+threshold is converted back to linear scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ValleyResult:
+    """Outcome of a valley search on a similarity histogram."""
+
+    threshold: float  # linear-scale t̂
+    log_threshold: float
+    bucket_index: int
+    slope_difference: float
+    bin_centers: np.ndarray
+    counts: np.ndarray
+
+
+def build_histogram(
+    log_similarities: Sequence[float],
+    buckets: int = 100,
+    upper_quantile: float = 0.99,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram of log similarities as ``(bin_centers, counts)``.
+
+    The domain runs from the minimum value to the *upper_quantile*
+    quantile; values above the clip are **dropped**. They are member
+    similarities many orders of magnitude past any plausible valley,
+    and folding them into the last bucket would plant a phantom spike
+    there that distorts the right-hand regression line.
+    """
+    if buckets < 3:
+        raise ValueError("need at least 3 buckets")
+    if not 0.0 < upper_quantile <= 1.0:
+        raise ValueError("upper_quantile must be in (0, 1]")
+    values = np.asarray(
+        [v for v in log_similarities if math.isfinite(v)], dtype=np.float64
+    )
+    if values.size == 0:
+        raise ValueError("no finite similarity values to histogram")
+    low = float(values.min())
+    high = float(np.quantile(values, upper_quantile))
+    if high <= low:
+        high = low + 1.0
+    kept = values[values <= high]
+    counts, edges = np.histogram(kept, bins=buckets, range=(low, high))
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, counts.astype(np.float64)
+
+
+def _regression_slopes(x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Left and right regression slopes at every split point.
+
+    ``left[i]`` is the slope of the least-squares line through points
+    ``0..i`` (inclusive); ``right[i]`` through points ``i..n-1``. Both
+    are computed from cumulative sums in ``O(n)``. Degenerate fits
+    (fewer than 2 points or zero x-variance) yield ``nan``.
+    """
+    n = x.size
+    cx = np.cumsum(x)
+    cy = np.cumsum(y)
+    cxy = np.cumsum(x * y)
+    cxx = np.cumsum(x * x)
+
+    counts_left = np.arange(1, n + 1, dtype=np.float64)
+    num_left = cxy - cx * cy / counts_left
+    den_left = cxx - cx * cx / counts_left
+    with np.errstate(divide="ignore", invalid="ignore"):
+        left = np.where(np.abs(den_left) > 1e-12, num_left / den_left, np.nan)
+
+    sx, sy, sxy, sxx = cx[-1], cy[-1], cxy[-1], cxx[-1]
+    # suffix sums over i..n-1: total minus prefix up to i-1
+    px = np.concatenate(([0.0], cx[:-1]))
+    py = np.concatenate(([0.0], cy[:-1]))
+    pxy = np.concatenate(([0.0], cxy[:-1]))
+    pxx = np.concatenate(([0.0], cxx[:-1]))
+    counts_right = np.arange(n, 0, -1, dtype=np.float64)
+    rx = sx - px
+    ry = sy - py
+    rxy = sxy - pxy
+    rxx = sxx - pxx
+    num_right = rxy - rx * ry / counts_right
+    den_right = rxx - rx * rx / counts_right
+    with np.errstate(divide="ignore", invalid="ignore"):
+        right = np.where(np.abs(den_right) > 1e-12, num_right / den_right, np.nan)
+    return left, right
+
+
+def find_valley(
+    log_similarities: Sequence[float],
+    buckets: int = 100,
+    upper_quantile: float = 0.99,
+    min_observations: int = 20,
+) -> Optional[ValleyResult]:
+    """Locate the histogram valley and return the implied threshold.
+
+    Returns ``None`` when there is not enough data for a meaningful
+    fit (fewer than *min_observations* finite values, or no interior
+    split point with valid regressions on both sides) — the caller then
+    simply skips the threshold adjustment this iteration.
+    """
+    finite = [v for v in log_similarities if math.isfinite(v)]
+    if len(finite) < min_observations:
+        return None
+    centers, counts = build_histogram(finite, buckets, upper_quantile)
+    n = centers.size
+    if n < 3:
+        return None
+    left, right = _regression_slopes(centers, counts)
+
+    best_index = -1
+    best_diff = -math.inf
+    # Interior points only (paper: i = 2 .. n-1, 1-based).
+    for i in range(1, n - 1):
+        if math.isnan(left[i]) or math.isnan(right[i]):
+            continue
+        diff = abs(left[i] - right[i])
+        if diff > best_diff:
+            best_diff = diff
+            best_index = i
+    if best_index < 0:
+        return None
+    log_t = float(centers[best_index])
+    return ValleyResult(
+        threshold=math.exp(log_t) if log_t < 700 else math.inf,
+        log_threshold=log_t,
+        bucket_index=best_index,
+        slope_difference=best_diff,
+        bin_centers=centers,
+        counts=counts,
+    )
+
+
+def find_valley_otsu(
+    log_similarities: Sequence[float],
+    buckets: int = 100,
+    upper_quantile: float = 0.995,
+    min_observations: int = 20,
+) -> Optional[ValleyResult]:
+    """Otsu's method on the log-similarity histogram.
+
+    An alternative valley estimator to the paper's regression-slope
+    heuristic. The regression heuristic locates the sharpest turn of a
+    monotonically declining histogram, which on data with a hard
+    similarity margin (like the paper's synthetic workloads) coincides
+    with the member/non-member boundary. On data where member
+    similarities sit far above the non-member mass — typical once
+    cluster models mature, because the predict probability compounds
+    per symbol — the sharpest turn hugs the non-member spike and badly
+    underestimates the boundary. Otsu's criterion (maximise the
+    between-class variance of the two sides of the split) instead lands
+    in the gap between the two modes, wherever it is.
+
+    Same return contract as :func:`find_valley`.
+    """
+    finite = [v for v in log_similarities if math.isfinite(v)]
+    if len(finite) < min_observations:
+        return None
+    centers, counts = build_histogram(finite, buckets, upper_quantile)
+    total = counts.sum()
+    if total <= 0:
+        return None
+    weights = counts / total
+    cum_w = np.cumsum(weights)
+    cum_mean = np.cumsum(weights * centers)
+    grand_mean = cum_mean[-1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        between = (grand_mean * cum_w - cum_mean) ** 2 / (cum_w * (1.0 - cum_w))
+    between[~np.isfinite(between)] = -math.inf
+    # Exclude the extreme ends so both sides keep some mass.
+    between[0] = between[-1] = -math.inf
+    best_index = int(np.argmax(between))
+    if not math.isfinite(between[best_index]):
+        return None
+    log_t = float(centers[best_index])
+    return ValleyResult(
+        threshold=math.exp(log_t) if log_t < 700 else math.inf,
+        log_threshold=log_t,
+        bucket_index=best_index,
+        slope_difference=float(between[best_index]),
+        bin_centers=centers,
+        counts=counts,
+    )
+
+
+#: Valley-estimator registry used by the engine's ``valley_method``.
+VALLEY_METHODS = {
+    "regression": find_valley,
+    "otsu": find_valley_otsu,
+}
+
+
+def blend_threshold(current_t: float, valley_t: float) -> float:
+    """The paper's conservative update ``t ← (t + t̂) / 2``."""
+    if current_t <= 0 or valley_t <= 0:
+        raise ValueError("thresholds must be positive")
+    return (current_t + valley_t) / 2.0
+
+
+def thresholds_converged(current_t: float, valley_t: float, tolerance: float = 0.01) -> bool:
+    """The paper's stop rule: ``t`` and ``t̂`` within *tolerance* (1 %)."""
+    if current_t <= 0 or valley_t <= 0:
+        raise ValueError("thresholds must be positive")
+    return abs(current_t - valley_t) / max(current_t, valley_t) < tolerance

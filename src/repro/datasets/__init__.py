@@ -1,0 +1,31 @@
+"""Dataset substitutes for the paper's real-data experiments."""
+
+from .languages import (
+    LANGUAGE_INVENTORIES,
+    NOISE_INVENTORIES,
+    make_language_database,
+    make_sentence,
+)
+from .traces import ARCHETYPES, SYSCALLS, make_trace_database
+from .protein import (
+    PAPER_FAMILY_SIZES,
+    ProteinFamilySpec,
+    family_names,
+    make_family_specs,
+    make_protein_database,
+)
+
+__all__ = [
+    "ARCHETYPES",
+    "SYSCALLS",
+    "make_trace_database",
+    "LANGUAGE_INVENTORIES",
+    "NOISE_INVENTORIES",
+    "make_language_database",
+    "make_sentence",
+    "PAPER_FAMILY_SIZES",
+    "ProteinFamilySpec",
+    "family_names",
+    "make_family_specs",
+    "make_protein_database",
+]

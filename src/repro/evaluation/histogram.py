@@ -1,0 +1,83 @@
+"""Similarity-distribution inspection helpers (the paper's Figure 3).
+
+These utilities expose the sequence-cluster similarity histogram that
+drives the threshold adjustment, for diagnostics, the ablation benches
+and the documentation plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cluseq import ClusteringResult
+from ..core.similarity import similarity
+from ..core.threshold import VALLEY_METHODS, build_histogram
+from ..sequences.database import SequenceDatabase
+
+
+@dataclass(frozen=True)
+class SimilarityDistribution:
+    """All sequence×cluster log-similarities of a fitted clustering."""
+
+    log_similarities: np.ndarray
+    member_mask: np.ndarray  # True where the pair is a current membership
+
+    @property
+    def member_values(self) -> np.ndarray:
+        return self.log_similarities[self.member_mask]
+
+    @property
+    def non_member_values(self) -> np.ndarray:
+        return self.log_similarities[~self.member_mask]
+
+    def separation_margin(self) -> Optional[float]:
+        """``min(member) − max(non-member)`` log-sims, or ``None``.
+
+        Positive values mean the two populations are linearly separable
+        by a single threshold.
+        """
+        if self.member_values.size == 0 or self.non_member_values.size == 0:
+            return None
+        return float(self.member_values.min() - self.non_member_values.max())
+
+
+def similarity_distribution(
+    result: ClusteringResult, db: SequenceDatabase
+) -> SimilarityDistribution:
+    """Recompute every sequence×cluster similarity for a fitted result."""
+    values: List[float] = []
+    member: List[bool] = []
+    for index in range(len(db)):
+        encoded = db.encoded(index)
+        for cluster in result.clusters:
+            values.append(
+                similarity(cluster.pst, encoded, result.background).log_similarity
+            )
+            member.append(cluster.contains(index))
+    return SimilarityDistribution(
+        log_similarities=np.asarray(values, dtype=np.float64),
+        member_mask=np.asarray(member, dtype=bool),
+    )
+
+
+def histogram_series(
+    log_similarities: Sequence[float], buckets: int = 50
+) -> List[Tuple[float, int]]:
+    """``(bucket_center, count)`` pairs — the paper's Figure 3 series."""
+    centers, counts = build_histogram(log_similarities, buckets=buckets)
+    return [(float(x), int(y)) for x, y in zip(centers, counts)]
+
+
+def valley_comparison(
+    log_similarities: Sequence[float], buckets: int = 100
+) -> Dict[str, Optional[float]]:
+    """Valley estimate (in log scale) from every registered method."""
+    out: Dict[str, Optional[float]] = {}
+    for name, finder in VALLEY_METHODS.items():
+        found = finder(log_similarities, buckets=buckets)
+        out[name] = None if found is None else found.log_threshold
+    return out

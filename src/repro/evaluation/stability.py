@@ -1,0 +1,114 @@
+"""Multi-seed stability analysis.
+
+At the scaled-down workload sizes of this reproduction, a single CLUSEQ
+run's quality moves by several points with the engine seed; any claim
+about a configuration should therefore be made over a seed ensemble.
+This module runs a configuration across seeds and reports
+mean/std/min/max for the headline metrics — the experiment harnesses
+(e.g. the §6.3 ordering study) and users tuning parameters both build
+on it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..sequences.database import SequenceDatabase
+from .metrics import evaluate_clustering
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Distribution of one metric over the seed ensemble."""
+
+    name: str
+    values: tuple
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        mu = self.mean
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self.values) / len(self.values)
+        )
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.mean:.3f} ± {self.std:.3f} "
+            f"[{self.minimum:.3f}, {self.maximum:.3f}]"
+        )
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Seed-ensemble summary of one CLUSEQ configuration."""
+
+    seeds: tuple
+    metrics: Dict[str, MetricSummary]
+
+    def __getitem__(self, name: str) -> MetricSummary:
+        return self.metrics[name]
+
+    def summary(self) -> str:
+        lines = [f"stability over seeds {list(self.seeds)}:"]
+        lines.extend(f"  {metric}" for metric in self.metrics.values())
+        return "\n".join(lines)
+
+
+def stability_analysis(
+    db: SequenceDatabase,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    **param_overrides,
+) -> StabilityReport:
+    """Run CLUSEQ once per seed and summarise the metric spread.
+
+    Keyword arguments are forwarded to
+    :class:`~repro.core.cluseq.CluseqParams` (except ``seed``, which
+    the ensemble controls).
+    """
+    from ..core.cluseq import cluster_sequences
+
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if "seed" in param_overrides:
+        raise ValueError("seed is controlled by the ensemble; do not pass it")
+
+    collected: Dict[str, List[float]] = {
+        "accuracy": [],
+        "macro_precision": [],
+        "macro_recall": [],
+        "num_clusters": [],
+        "iterations": [],
+        "outlier_fraction": [],
+    }
+    for seed in seeds:
+        result = cluster_sequences(db, seed=seed, **param_overrides)
+        report = evaluate_clustering(db.labels, result.labels())
+        collected["accuracy"].append(report.accuracy)
+        collected["macro_precision"].append(report.macro_precision)
+        collected["macro_recall"].append(report.macro_recall)
+        collected["num_clusters"].append(float(result.num_clusters))
+        collected["iterations"].append(float(result.iterations))
+        collected["outlier_fraction"].append(
+            len(result.outliers()) / len(db)
+        )
+    return StabilityReport(
+        seeds=tuple(seeds),
+        metrics={
+            name: MetricSummary(name=name, values=tuple(values))
+            for name, values in collected.items()
+        },
+    )

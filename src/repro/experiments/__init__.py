@@ -1,0 +1,23 @@
+"""Experiment harnesses — one module per paper table/figure.
+
+| Module                     | Paper result                         |
+|----------------------------|--------------------------------------|
+| ``table2_model_comparison``| Table 2, model accuracy/time         |
+| ``table3_protein_families``| Table 3, per-family P/R              |
+| ``table4_languages``       | Table 4, language clustering         |
+| ``table5_initial_k``       | Table 5, robustness to initial k     |
+| ``table6_initial_t``       | Table 6, robustness to initial t     |
+| ``fig3_similarity_histogram`` | Figure 3, similarity distribution |
+| ``fig4_pst_size``          | Figure 4, PST memory budget          |
+| ``fig5_sample_size``       | Figure 5, seed sample size           |
+| ``fig6_scalability``       | Figure 6, four scalability sweeps    |
+| ``ordering_policies``      | §6.3, examination-order study        |
+| ``outlier_robustness``     | §6.1, outlier immunity               |
+| ``ablation_modes``         | DESIGN §6.1, hardened-default ablation |
+| ``ablation_pruning``       | §5.1, pruning-strategy ablation      |
+| ``ablation_smoothing``     | §5.2, smoothing ablation             |
+"""
+
+from .common import CluseqRun, run_cluseq, scaled_params
+
+__all__ = ["CluseqRun", "run_cluseq", "scaled_params"]

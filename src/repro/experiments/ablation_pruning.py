@@ -1,0 +1,88 @@
+"""§5.1 ablation — PST pruning strategies under a tight node budget.
+
+The paper claims "little degradation of the accuracy of the similarity
+estimation" under its pruning strategies. This ablation fixes a tight
+per-tree node budget and compares the three strategies (plus the
+paper's combined policy and an unbounded control) on clustering
+quality and speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.pruning import STRATEGIES
+from ..evaluation.reporting import percent, print_table
+from ..sequences.database import SequenceDatabase
+from .common import CluseqRun, run_cluseq, scaled_params
+from .table5_initial_k import default_database
+
+
+@dataclass(frozen=True)
+class PruningRow:
+    """One pruning configuration's outcome."""
+
+    strategy: str
+    max_nodes: Optional[int]
+    accuracy: float
+    precision: float
+    recall: float
+    elapsed_seconds: float
+
+
+def run_ablation_pruning(
+    db: Optional[SequenceDatabase] = None,
+    max_nodes: int = 400,
+    true_k: int = 10,
+    seed: int = 3,
+) -> List[PruningRow]:
+    """Compare all pruning strategies at one node budget + a control."""
+    if db is None:
+        db = default_database(true_k=true_k, seed=seed)
+
+    configurations: List[tuple] = [("unbounded", None)]
+    configurations += [(strategy, max_nodes) for strategy in STRATEGIES]
+
+    rows: List[PruningRow] = []
+    for strategy, budget in configurations:
+        overrides = scaled_params(
+            db,
+            k=true_k,
+            significance_threshold=5,
+            min_unique_members=5,
+            seed=seed,
+        )
+        if budget is not None:
+            overrides["max_nodes"] = budget
+            overrides["prune_strategy"] = strategy
+        run: CluseqRun = run_cluseq(db, **overrides)
+        rows.append(
+            PruningRow(
+                strategy=strategy,
+                max_nodes=budget,
+                accuracy=run.accuracy,
+                precision=run.precision,
+                recall=run.recall,
+                elapsed_seconds=run.elapsed_seconds,
+            )
+        )
+    return rows
+
+
+def print_ablation_pruning(rows: List[PruningRow]) -> None:
+    print_table(
+        headers=["strategy", "node budget", "accuracy", "precision", "recall", "time (s)"],
+        rows=[
+            (
+                row.strategy,
+                row.max_nodes,
+                percent(row.accuracy),
+                percent(row.precision),
+                percent(row.recall),
+                row.elapsed_seconds,
+            )
+            for row in rows
+        ],
+        title="§5.1 ablation — pruning strategies under a tight node budget",
+    )

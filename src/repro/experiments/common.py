@@ -1,0 +1,66 @@
+"""Shared plumbing for the per-table/figure experiment harnesses.
+
+Each experiment module exposes a ``run_*`` function returning plain
+row dicts plus a ``print_*`` helper rendering them the way the paper's
+table/figure reports, so the pytest-benchmark targets stay thin.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.cluseq import CLUSEQ, CluseqParams, ClusteringResult
+from ..evaluation.metrics import EvaluationReport, evaluate_clustering
+from ..sequences.database import SequenceDatabase
+
+
+@dataclass(frozen=True)
+class CluseqRun:
+    """A fitted CLUSEQ result together with its evaluation and timing."""
+
+    result: ClusteringResult
+    report: EvaluationReport
+    elapsed_seconds: float
+
+    @property
+    def accuracy(self) -> float:
+        return self.report.accuracy
+
+    @property
+    def precision(self) -> float:
+        return self.report.macro_precision
+
+    @property
+    def recall(self) -> float:
+        return self.report.macro_recall
+
+
+def run_cluseq(db: SequenceDatabase, **param_overrides) -> CluseqRun:
+    """Fit CLUSEQ on *db*, evaluate against its ground truth, and time it."""
+    params = CluseqParams(**param_overrides)
+    start = time.perf_counter()
+    result = CLUSEQ(params).fit(db)
+    elapsed = time.perf_counter() - start
+    report = evaluate_clustering(db.labels, result.labels())
+    return CluseqRun(result=result, report=report, elapsed_seconds=elapsed)
+
+
+def scaled_params(db: SequenceDatabase, **overrides) -> Dict[str, object]:
+    """Default CLUSEQ parameters scaled to a laptop-sized database.
+
+    The paper's ``c = 30`` and consolidation threshold assume 100 000
+    sequences of length 1 000; our workloads are ~100× smaller, so the
+    defaults here keep the same *relative* statistical strength.
+    """
+    base: Dict[str, object] = {
+        "k": 1,
+        "significance_threshold": max(3, int(db.average_length // 25)),
+        "min_unique_members": max(3, len(db) // 60),
+        "similarity_threshold": 1.2,
+        "max_iterations": 25,
+        "seed": 0,
+    }
+    base.update(overrides)
+    return base

@@ -1,0 +1,109 @@
+"""Figure 3 — the similarity distribution and its valley.
+
+The paper's Figure 3 sketches the histogram of sequence-cluster
+similarities that drives the threshold adjustment: a large mass of
+low-similarity combinations falling away quickly, a long sparse tail
+of genuine members, and the *valley* between them where the threshold
+belongs. This harness fits CLUSEQ on the shared synthetic workload,
+recomputes every sequence×cluster similarity, and reports the
+histogram series plus where each valley estimator lands relative to
+the true member/non-member boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..evaluation.histogram import (
+    SimilarityDistribution,
+    histogram_series,
+    similarity_distribution,
+    valley_comparison,
+)
+from ..evaluation.reporting import print_table
+from ..sequences.database import SequenceDatabase
+from .common import run_cluseq, scaled_params
+from .table5_initial_k import default_database
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    """The Figure 3 data: histogram, estimator positions, separation."""
+
+    series: List[Tuple[float, int]]
+    valley_estimates: Dict[str, Optional[float]]
+    member_count: int
+    non_member_count: int
+    member_p10: float
+    non_member_p99: float
+    final_log_threshold: float
+
+    @property
+    def boundary_window(self) -> Tuple[float, float]:
+        """The log-sim window a correct threshold must land near:
+        (upper edge of the non-member mass, lower edge of the member
+        mass). The window edges can overlap on hard data."""
+        return (self.non_member_p99, self.member_p10)
+
+
+def run_fig3(
+    db: Optional[SequenceDatabase] = None,
+    true_k: int = 10,
+    seed: int = 3,
+    buckets: int = 50,
+) -> Fig3Result:
+    """Fit, recompute all similarities, and build the Figure 3 data."""
+    if db is None:
+        db = default_database(true_k=true_k, seed=seed)
+    run = run_cluseq(
+        db,
+        **scaled_params(
+            db, k=true_k, significance_threshold=5, min_unique_members=5,
+            seed=seed,
+        ),
+    )
+    dist: SimilarityDistribution = similarity_distribution(run.result, db)
+    values = dist.log_similarities.tolist()
+    return Fig3Result(
+        series=histogram_series(values, buckets=buckets),
+        valley_estimates=valley_comparison(values),
+        member_count=int(dist.member_mask.sum()),
+        non_member_count=int((~dist.member_mask).sum()),
+        member_p10=float(np.percentile(dist.member_values, 10))
+        if dist.member_values.size
+        else float("nan"),
+        non_member_p99=float(np.percentile(dist.non_member_values, 99))
+        if dist.non_member_values.size
+        else float("nan"),
+        final_log_threshold=run.result.final_log_threshold,
+    )
+
+
+def print_fig3(result: Fig3Result) -> None:
+    bar_unit = max(count for _, count in result.series) / 40 or 1
+    print("Figure 3 — similarity distribution (log scale)")
+    print("=" * 46)
+    for center, count in result.series:
+        if count == 0:
+            continue
+        bar = "#" * max(1, int(count / bar_unit))
+        print(f"{center:8.1f} | {bar} {count}")
+    print()
+    print_table(
+        headers=["estimator", "log t̂"],
+        rows=[
+            (name, value)
+            for name, value in result.valley_estimates.items()
+        ],
+        title="Valley estimates vs the member boundary",
+    )
+    low, high = result.boundary_window
+    print(
+        f"non-member p99 = {low:.2f}, member p10 = {high:.2f}, "
+        f"final log t = {result.final_log_threshold:.2f} "
+        f"({result.member_count} member pairs, "
+        f"{result.non_member_count} non-member pairs)\n"
+    )

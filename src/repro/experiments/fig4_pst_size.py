@@ -1,0 +1,91 @@
+"""Figure 4 — effect of the PST memory budget.
+
+Paper's result: precision/recall climb with the per-tree memory budget
+and plateau once each PST gets ~5 MB; response time keeps growing with
+the budget. The reproduction sweeps a per-tree *node* budget (the
+paper's megabytes ≈ nodes × bytes-per-node) and reports the same
+series: precision, recall and response time per budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.pst import APPROX_BYTES_PER_NODE
+from ..evaluation.reporting import percent, print_table
+from ..sequences.database import SequenceDatabase
+from .common import CluseqRun, run_cluseq, scaled_params
+from .table5_initial_k import default_database
+
+
+@dataclass(frozen=True)
+class PstSizeRow:
+    """One x-position of Figure 4 (a) and (b)."""
+
+    max_nodes: int
+    approx_kib: float
+    precision: float
+    recall: float
+    elapsed_seconds: float
+    final_clusters: int
+
+
+def run_fig4(
+    db: Optional[SequenceDatabase] = None,
+    node_budgets: Sequence[int] = (100, 250, 500, 1000, 2000, 4000),
+    true_k: int = 10,
+    seed: int = 3,
+) -> List[PstSizeRow]:
+    """Sweep the per-tree node budget."""
+    if db is None:
+        db = default_database(true_k=true_k, seed=seed)
+    rows: List[PstSizeRow] = []
+    for budget in node_budgets:
+        run: CluseqRun = run_cluseq(
+            db,
+            **scaled_params(
+                db,
+                k=true_k,
+                significance_threshold=5,
+                min_unique_members=5,
+                max_nodes=budget,
+                seed=seed,
+            ),
+        )
+        rows.append(
+            PstSizeRow(
+                max_nodes=budget,
+                approx_kib=budget * APPROX_BYTES_PER_NODE / 1024.0,
+                precision=run.precision,
+                recall=run.recall,
+                elapsed_seconds=run.elapsed_seconds,
+                final_clusters=run.result.num_clusters,
+            )
+        )
+    return rows
+
+
+def print_fig4(rows: List[PstSizeRow]) -> None:
+    print_table(
+        headers=[
+            "max nodes/tree",
+            "≈ KiB",
+            "precision",
+            "recall",
+            "time (s)",
+            "clusters",
+        ],
+        rows=[
+            (
+                row.max_nodes,
+                row.approx_kib,
+                percent(row.precision),
+                percent(row.recall),
+                row.elapsed_seconds,
+                row.final_clusters,
+            )
+            for row in rows
+        ],
+        title="Figure 4 — Effect of PST size (accuracy plateaus, time grows)",
+    )

@@ -1,0 +1,100 @@
+"""§6.3 — effect of the sequence examination order.
+
+Paper's result: fixed order 82 % and random order 83 % accuracy, while
+cluster-based order collapses to 65 % — examining a cluster's members
+consecutively locks the algorithm into local optima. The reproduction
+runs the three policies on the shared synthetic workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.cluseq import ORDERINGS
+from ..evaluation.reporting import percent, print_table
+from ..sequences.database import SequenceDatabase
+from .common import CluseqRun, run_cluseq, scaled_params
+from .table5_initial_k import default_database
+
+#: Paper-reported accuracy per ordering policy.
+PAPER_ORDERING_ACCURACY = {"fixed": 0.82, "random": 0.83, "cluster": 0.65}
+
+
+@dataclass(frozen=True)
+class OrderingRow:
+    """One examination-order policy's outcome."""
+
+    ordering: str
+    accuracy: float
+    precision: float
+    recall: float
+    elapsed_seconds: float
+    final_clusters: int
+
+
+def run_ordering(
+    db: Optional[SequenceDatabase] = None,
+    orderings: Sequence[str] = ORDERINGS,
+    true_k: int = 10,
+    seed: int = 3,
+    repeats: int = 3,
+) -> List[OrderingRow]:
+    """Run CLUSEQ per examination-order policy, averaged over seeds.
+
+    At 200-sequence scale a single run's quality wobbles by several
+    points with the engine seed; averaging over *repeats* seeds
+    exposes the systematic policy effect the paper measures.
+    """
+    if db is None:
+        db = default_database(true_k=true_k, seed=seed)
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    rows: List[OrderingRow] = []
+    for ordering in orderings:
+        runs: List[CluseqRun] = [
+            run_cluseq(
+                db,
+                **scaled_params(
+                    db,
+                    k=true_k,
+                    significance_threshold=5,
+                    min_unique_members=5,
+                    ordering=ordering,
+                    seed=seed + repeat,
+                ),
+            )
+            for repeat in range(repeats)
+        ]
+        rows.append(
+            OrderingRow(
+                ordering=ordering,
+                accuracy=sum(r.accuracy for r in runs) / repeats,
+                precision=sum(r.precision for r in runs) / repeats,
+                recall=sum(r.recall for r in runs) / repeats,
+                elapsed_seconds=sum(r.elapsed_seconds for r in runs) / repeats,
+                final_clusters=round(
+                    sum(r.result.num_clusters for r in runs) / repeats
+                ),
+            )
+        )
+    return rows
+
+
+def print_ordering(rows: List[OrderingRow]) -> None:
+    print_table(
+        headers=["ordering", "accuracy", "precision", "recall", "time (s)", "clusters", "paper acc."],
+        rows=[
+            (
+                row.ordering,
+                percent(row.accuracy),
+                percent(row.precision),
+                percent(row.recall),
+                row.elapsed_seconds,
+                row.final_clusters,
+                percent(PAPER_ORDERING_ACCURACY.get(row.ordering, float("nan"))),
+            )
+            for row in rows
+        ],
+        title="§6.3 — Effect of the sequence examination order",
+    )

@@ -1,0 +1,107 @@
+"""§6.1 — robustness to the fraction of outliers.
+
+Paper's result: "the accuracy of CLUSEQ is immune to the increase of
+outliers" across 1–20 %. The reproduction sweeps the same range on the
+synthetic workload; the bench asserts that accuracy does not degrade
+materially from the low-noise to the high-noise end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..evaluation.reporting import percent, print_table
+from ..sequences.generators import generate_clustered_database
+from .common import CluseqRun, run_cluseq, scaled_params
+
+
+@dataclass(frozen=True)
+class OutlierRow:
+    """One outlier-fraction setting's outcome."""
+
+    outlier_fraction: float
+    accuracy: float
+    precision: float
+    recall: float
+    predicted_outliers: int
+    true_outliers: int
+    final_clusters: int
+
+
+def run_outlier_robustness(
+    fractions: Sequence[float] = (0.01, 0.05, 0.10, 0.20),
+    true_k: int = 10,
+    num_sequences: int = 200,
+    seed: int = 3,
+) -> List[OutlierRow]:
+    """Sweep the injected-outlier percentage."""
+    rows: List[OutlierRow] = []
+    for fraction in fractions:
+        ds = generate_clustered_database(
+            num_sequences=num_sequences,
+            num_clusters=true_k,
+            avg_length=120,
+            alphabet_size=12,
+            outlier_fraction=fraction,
+            seed=seed,
+        )
+        db = ds.database
+        run: CluseqRun = run_cluseq(
+            db,
+            **scaled_params(
+                db,
+                k=true_k,
+                significance_threshold=5,
+                min_unique_members=5,
+                seed=seed,
+            ),
+        )
+        true_outliers = sum(
+            1 for record in db if record.label == "__outlier__"
+        )
+        rows.append(
+            OutlierRow(
+                outlier_fraction=fraction,
+                accuracy=run.accuracy,
+                precision=run.precision,
+                recall=run.recall,
+                predicted_outliers=len(run.result.outliers()),
+                true_outliers=true_outliers,
+                final_clusters=run.result.num_clusters,
+            )
+        )
+    return rows
+
+
+def accuracy_drop(rows: Sequence[OutlierRow]) -> float:
+    """Accuracy at the lowest noise level minus at the highest."""
+    ordered = sorted(rows, key=lambda row: row.outlier_fraction)
+    return ordered[0].accuracy - ordered[-1].accuracy
+
+
+def print_outlier_robustness(rows: List[OutlierRow]) -> None:
+    print_table(
+        headers=[
+            "outlier %",
+            "accuracy",
+            "precision",
+            "recall",
+            "pred. outliers",
+            "true outliers",
+            "clusters",
+        ],
+        rows=[
+            (
+                percent(row.outlier_fraction),
+                percent(row.accuracy),
+                percent(row.precision),
+                percent(row.recall),
+                row.predicted_outliers,
+                row.true_outliers,
+                row.final_clusters,
+            )
+            for row in rows
+        ],
+        title="§6.1 — Robustness to outliers (accuracy should stay flat)",
+    )

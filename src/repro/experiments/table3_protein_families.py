@@ -1,0 +1,83 @@
+"""Table 3 — per-family precision/recall on the protein database.
+
+Paper's result: precision 75–88 % and recall 80–89 % across families
+sized 141–884, i.e. quality consistent across very different family
+sizes. The reproduction checks the same property on the scaled
+substitute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..evaluation.reporting import percent, print_table
+from ..sequences.database import SequenceDatabase
+from .common import CluseqRun, run_cluseq, scaled_params
+from .table2_model_comparison import default_database
+
+#: Paper-reported (family, size, precision, recall) rows of Table 3.
+PAPER_TABLE3 = (
+    ("ig", 884, 0.85, 0.82),
+    ("pkinase", 725, 0.77, 0.89),
+    ("globin", 681, 0.88, 0.86),
+    ("7tm_1", 515, 0.82, 0.83),
+    ("homeobox", 383, 0.84, 0.81),
+    ("efhand", 320, 0.80, 0.83),
+    ("RuBisCO_large", 311, 0.85, 0.80),
+    ("gluts", 144, 0.85, 0.89),
+    ("actin", 142, 0.87, 0.85),
+    ("rrm", 141, 0.75, 0.82),
+)
+
+
+@dataclass(frozen=True)
+class FamilyRow:
+    """One row of Table 3."""
+
+    family: str
+    size: int
+    precision: float
+    recall: float
+
+
+def run_table3(
+    db: Optional[SequenceDatabase] = None, seed: int = 1
+) -> List[FamilyRow]:
+    """Cluster the protein database and score each family."""
+    if db is None:
+        db = default_database(seed)
+    num_families = len(db.distinct_labels())
+    run: CluseqRun = run_cluseq(
+        db, **scaled_params(db, k=num_families, significance_threshold=4, seed=seed)
+    )
+    rows = [
+        FamilyRow(
+            family=score.family,
+            size=score.size,
+            precision=score.precision,
+            recall=score.recall,
+        )
+        for score in run.report.family_scores
+    ]
+    rows.sort(key=lambda row: -row.size)
+    return rows
+
+
+def print_table3(rows: List[FamilyRow]) -> None:
+    paper = {name: (p, r) for name, _, p, r in PAPER_TABLE3}
+    print_table(
+        headers=["Family", "Size", "Precision", "Recall", "Paper P", "Paper R"],
+        rows=[
+            (
+                row.family,
+                row.size,
+                percent(row.precision),
+                percent(row.recall),
+                percent(paper[row.family][0]) if row.family in paper else None,
+                percent(paper[row.family][1]) if row.family in paper else None,
+            )
+            for row in rows
+        ],
+        title="Table 3 — CLUSEQ per-family results (scaled protein database)",
+    )

@@ -1,0 +1,108 @@
+"""Table 5 — robustness to the initial number of clusters ``k``.
+
+Paper's result (100 embedded clusters, 100 000 sequences, 10 %
+outliers): the final cluster count lands at 99–102 for initial
+``k ∈ {1, 20, 100, 200}``, precision/recall stay ≈ 81–83 %, and a badly
+under-set ``k`` costs ~60 % extra response time.
+
+The reproduction embeds ``true_k`` clusters (default 10) at ~1/500
+scale and sweeps the same relative initial-k regimes: far below, below,
+exact, and above the truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..evaluation.reporting import percent, print_table
+from ..sequences.generators import generate_clustered_database
+from ..sequences.database import SequenceDatabase
+from .common import CluseqRun, run_cluseq, scaled_params
+
+
+@dataclass(frozen=True)
+class InitialKRow:
+    """One column of the paper's Table 5."""
+
+    initial_k: int
+    final_clusters: int
+    elapsed_seconds: float
+    precision: float
+    recall: float
+    iterations: int
+
+
+def default_database(true_k: int = 10, seed: int = 3) -> SequenceDatabase:
+    """The synthetic workload shared by the sensitivity experiments.
+
+    The paper's sensitivity workloads carry 10 % outliers at 100 000
+    sequences; at this 200-sequence scale we use 5 % — with 10 %, the
+    ~20 outliers dominate the greedy min-max seed selection (outliers
+    are maximally dissimilar by construction) and the k-recovery
+    dynamics under test drown in seed noise. The outlier-robustness
+    experiment sweeps 1–20 % explicitly.
+    """
+    return generate_clustered_database(
+        num_sequences=200,
+        num_clusters=true_k,
+        avg_length=120,
+        alphabet_size=12,
+        outlier_fraction=0.05,
+        seed=seed,
+    ).database
+
+
+def run_table5(
+    db: Optional[SequenceDatabase] = None,
+    initial_ks: Sequence[int] = (1, 2, 10, 20),
+    true_k: int = 10,
+    seed: int = 3,
+) -> List[InitialKRow]:
+    """Sweep the initial cluster count and record the recovery."""
+    if db is None:
+        db = default_database(true_k=true_k, seed=seed)
+    rows: List[InitialKRow] = []
+    for k in initial_ks:
+        run: CluseqRun = run_cluseq(
+            db,
+            **scaled_params(
+                db, k=k, significance_threshold=5, min_unique_members=5, seed=seed
+            ),
+        )
+        rows.append(
+            InitialKRow(
+                initial_k=k,
+                final_clusters=run.result.num_clusters,
+                elapsed_seconds=run.elapsed_seconds,
+                precision=run.precision,
+                recall=run.recall,
+                iterations=run.result.iterations,
+            )
+        )
+    return rows
+
+
+def print_table5(rows: List[InitialKRow], true_k: int = 10) -> None:
+    print_table(
+        headers=[
+            "init k",
+            "final clusters",
+            "time (s)",
+            "precision",
+            "recall",
+            "iterations",
+        ],
+        rows=[
+            (
+                row.initial_k,
+                row.final_clusters,
+                row.elapsed_seconds,
+                percent(row.precision),
+                percent(row.recall),
+                row.iterations,
+            )
+            for row in rows
+        ],
+        title=f"Table 5 — Effect of initial cluster count (true k = {true_k})",
+    )

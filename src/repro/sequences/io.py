@@ -1,0 +1,181 @@
+"""Reading and writing sequence databases.
+
+Two disk formats are supported:
+
+* **FASTA** — the standard biological-sequence format. Family labels
+  can be carried in the header (``>id family`` or ``>id |family=...|``).
+* **Labelled text** — one sequence per line, optionally prefixed with
+  ``label<TAB>``; used by the language-clustering experiments.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, List, Optional, TextIO, Tuple, Union
+
+from .alphabet import Alphabet
+from .database import SequenceDatabase, SequenceRecord
+
+PathOrFile = Union[str, os.PathLike, TextIO]
+
+
+class SequenceFormatError(ValueError):
+    """Raised when an input file cannot be parsed."""
+
+
+def _open_for_read(source: PathOrFile):
+    """Return ``(file, should_close)`` for a path or an open handle."""
+    if hasattr(source, "read"):
+        return source, False
+    return open(source, "r", encoding="utf-8"), True
+
+
+def _open_for_write(target: PathOrFile):
+    if hasattr(target, "write"):
+        return target, False
+    return open(target, "w", encoding="utf-8"), True
+
+
+# -- FASTA ----------------------------------------------------------------------
+
+
+def iter_fasta(source: PathOrFile) -> Iterator[Tuple[str, str]]:
+    """Yield ``(header, sequence)`` pairs from a FASTA file.
+
+    Sequence lines are concatenated and whitespace is stripped; the
+    leading ``>`` is removed from headers. Raises
+    :class:`SequenceFormatError` on content before the first header or
+    on a header with no sequence.
+    """
+    handle, should_close = _open_for_read(source)
+    try:
+        header: Optional[str] = None
+        chunks: List[str] = []
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if header is not None:
+                    if not chunks:
+                        raise SequenceFormatError(
+                            f"FASTA record {header!r} has no sequence"
+                        )
+                    yield header, "".join(chunks)
+                header = line[1:].strip()
+                chunks = []
+            else:
+                if header is None:
+                    raise SequenceFormatError(
+                        f"line {lineno}: sequence data before first '>' header"
+                    )
+                chunks.append(line)
+        if header is not None:
+            if not chunks:
+                raise SequenceFormatError(f"FASTA record {header!r} has no sequence")
+            yield header, "".join(chunks)
+    finally:
+        if should_close:
+            handle.close()
+
+
+def parse_fasta_header(header: str) -> Tuple[str, Optional[str]]:
+    """Split a FASTA header into ``(name, label)``.
+
+    The label is the second whitespace-separated token when present:
+    ``"P12345 globin"`` → ``("P12345", "globin")``.
+    """
+    parts = header.split(None, 1)
+    if not parts:
+        return "", None
+    name = parts[0]
+    label = parts[1].strip() if len(parts) > 1 else None
+    return name, label or None
+
+
+def read_fasta(
+    source: PathOrFile, alphabet: Optional[Alphabet] = None
+) -> SequenceDatabase:
+    """Read a FASTA file into a :class:`SequenceDatabase`.
+
+    The second header token, when present, becomes the record label.
+    """
+    sequences: List[str] = []
+    labels: List[Optional[str]] = []
+    for header, seq in iter_fasta(source):
+        _, label = parse_fasta_header(header)
+        sequences.append(seq)
+        labels.append(label)
+    if not sequences:
+        raise SequenceFormatError("FASTA input contains no records")
+    return SequenceDatabase.from_strings(sequences, labels, alphabet)
+
+
+def write_fasta(
+    db: SequenceDatabase, target: PathOrFile, line_width: int = 70
+) -> None:
+    """Write *db* as FASTA; labels are stored as the second header token."""
+    if line_width <= 0:
+        raise ValueError("line_width must be positive")
+    handle, should_close = _open_for_write(target)
+    try:
+        for record in db:
+            label = f" {record.label}" if record.label else ""
+            handle.write(f">seq{record.sid}{label}\n")
+            text = record.as_string()
+            for start in range(0, len(text), line_width):
+                handle.write(text[start : start + line_width] + "\n")
+    finally:
+        if should_close:
+            handle.close()
+
+
+# -- labelled text ----------------------------------------------------------------
+
+
+def read_labelled_text(
+    source: PathOrFile, alphabet: Optional[Alphabet] = None
+) -> SequenceDatabase:
+    """Read a labelled-text file: ``label<TAB>sequence`` per line.
+
+    Lines without a tab are treated as unlabelled sequences; blank
+    lines and ``#`` comments are skipped.
+    """
+    sequences: List[str] = []
+    labels: List[Optional[str]] = []
+    handle, should_close = _open_for_read(source)
+    try:
+        for raw in handle:
+            line = raw.rstrip("\n")
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            if "\t" in line:
+                label, seq = line.split("\t", 1)
+                labels.append(label.strip() or None)
+            else:
+                seq = line
+                labels.append(None)
+            seq = seq.strip()
+            if not seq:
+                raise SequenceFormatError("labelled-text line has empty sequence")
+            sequences.append(seq)
+    finally:
+        if should_close:
+            handle.close()
+    if not sequences:
+        raise SequenceFormatError("labelled-text input contains no sequences")
+    return SequenceDatabase.from_strings(sequences, labels, alphabet)
+
+
+def write_labelled_text(db: SequenceDatabase, target: PathOrFile) -> None:
+    """Write *db* as ``label<TAB>sequence`` lines (tab omitted if unlabelled)."""
+    handle, should_close = _open_for_write(target)
+    try:
+        for record in db:
+            if record.label is not None:
+                handle.write(f"{record.label}\t{record.as_string()}\n")
+            else:
+                handle.write(record.as_string() + "\n")
+    finally:
+        if should_close:
+            handle.close()

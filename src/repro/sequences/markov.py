@@ -1,0 +1,212 @@
+"""Fixed- and variable-order Markov sources over finite alphabets.
+
+These are the *generative* counterparts of the probabilistic suffix
+tree: the synthetic experiments in the paper embed clusters whose
+sequences "are all generated according to the same probabilistic
+suffix tree" (§6.4). A :class:`MarkovSource` holds conditional
+next-symbol distributions keyed by a bounded-length context and can
+sample sequences from them; :func:`random_markov_source` draws a
+random source, which is how embedded clusters are created.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Context = Tuple[int, ...]
+
+
+class MarkovSource:
+    """A variable-order Markov sequence generator.
+
+    Parameters
+    ----------
+    alphabet_size:
+        Number of distinct symbol ids (``0 .. alphabet_size-1``).
+    order:
+        Maximum context length used when sampling the next symbol.
+    transitions:
+        Mapping from context tuple (most recent symbol last) to a
+        probability vector over the next symbol. Must contain the empty
+        context ``()`` which seeds generation and serves as fallback.
+
+    Notes
+    -----
+    When the current context has no entry, progressively shorter
+    suffixes are tried, ending at the empty context — the sampling
+    analogue of the paper's *longest significant suffix* rule.
+    """
+
+    def __init__(
+        self,
+        alphabet_size: int,
+        order: int,
+        transitions: Dict[Context, np.ndarray],
+    ):
+        if alphabet_size <= 0:
+            raise ValueError("alphabet_size must be positive")
+        if order < 0:
+            raise ValueError("order must be non-negative")
+        if () not in transitions:
+            raise ValueError("transitions must define the empty context ()")
+        self.alphabet_size = alphabet_size
+        self.order = order
+        self._transitions: Dict[Context, np.ndarray] = {}
+        for context, probs in transitions.items():
+            vec = np.asarray(probs, dtype=np.float64)
+            if vec.shape != (alphabet_size,):
+                raise ValueError(
+                    f"context {context}: expected vector of length "
+                    f"{alphabet_size}, got shape {vec.shape}"
+                )
+            if np.any(vec < 0):
+                raise ValueError(f"context {context}: negative probability")
+            total = vec.sum()
+            if total <= 0:
+                raise ValueError(f"context {context}: probabilities sum to 0")
+            self._transitions[tuple(context)] = vec / total
+
+    @property
+    def contexts(self) -> List[Context]:
+        """All contexts with an explicit distribution."""
+        return list(self._transitions.keys())
+
+    def distribution_for(self, context: Sequence[int]) -> np.ndarray:
+        """Next-symbol distribution for *context* (longest-suffix lookup)."""
+        context = tuple(context)[-self.order :] if self.order else ()
+        while True:
+            dist = self._transitions.get(context)
+            if dist is not None:
+                return dist
+            if not context:  # pragma: no cover - () is always present
+                raise RuntimeError("empty context missing")
+            context = context[1:]
+
+    def sample(
+        self, length: int, rng: Optional[np.random.Generator] = None
+    ) -> List[int]:
+        """Sample one sequence of exactly *length* symbols."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        rng = rng or np.random.default_rng()
+        out: List[int] = []
+        symbol_ids = np.arange(self.alphabet_size)
+        for _ in range(length):
+            dist = self.distribution_for(out)
+            out.append(int(rng.choice(symbol_ids, p=dist)))
+        return out
+
+    def sample_many(
+        self,
+        count: int,
+        mean_length: int,
+        rng: Optional[np.random.Generator] = None,
+        length_jitter: float = 0.2,
+        min_length: int = 2,
+    ) -> List[List[int]]:
+        """Sample *count* sequences with lengths around *mean_length*.
+
+        Lengths are drawn from a normal distribution with standard
+        deviation ``length_jitter * mean_length`` and clamped at
+        *min_length*, matching the "1000 symbols on average" phrasing
+        of the paper's synthetic workloads.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng = rng or np.random.default_rng()
+        sigma = max(length_jitter, 0.0) * mean_length
+        lengths = rng.normal(mean_length, sigma, size=count)
+        return [
+            self.sample(max(min_length, int(round(length))), rng)
+            for length in lengths
+        ]
+
+    def log_likelihood(self, sequence: Sequence[int]) -> float:
+        """Log-probability of *sequence* under this source.
+
+        Returns ``-inf`` when any step has probability 0.
+        """
+        total = 0.0
+        seq = list(sequence)
+        for i, symbol in enumerate(seq):
+            p = self.distribution_for(seq[:i])[symbol]
+            if p <= 0.0:
+                return float("-inf")
+            total += float(np.log(p))
+        return total
+
+
+def _dirichlet_rows(
+    rng: np.random.Generator, rows: int, size: int, concentration: float
+) -> np.ndarray:
+    """Draw *rows* probability vectors from a symmetric Dirichlet."""
+    return rng.dirichlet(np.full(size, concentration), size=rows)
+
+
+def random_markov_source(
+    alphabet_size: int,
+    order: int = 2,
+    rng: Optional[np.random.Generator] = None,
+    concentration: float = 0.2,
+    context_fraction: float = 1.0,
+    max_contexts: int = 4096,
+) -> MarkovSource:
+    """Draw a random :class:`MarkovSource`, used to embed clusters.
+
+    Parameters
+    ----------
+    alphabet_size:
+        Number of symbols.
+    order:
+        Context length of the source.
+    rng:
+        Random generator (``numpy.random.default_rng()`` if omitted).
+    concentration:
+        Symmetric Dirichlet concentration for each next-symbol
+        distribution. Small values (< 1) produce *peaked* distributions,
+        i.e. strongly characteristic clusters; large values approach the
+        uniform background, making clusters hard to separate.
+    context_fraction:
+        Fraction of the ``alphabet_size**order`` full-order contexts to
+        assign explicit distributions (the rest fall back to shorter
+        suffixes). Capped by *max_contexts* to keep generation cheap
+        for large alphabets.
+    """
+    if not 0.0 <= context_fraction <= 1.0:
+        raise ValueError("context_fraction must be within [0, 1]")
+    rng = rng or np.random.default_rng()
+    transitions: Dict[Context, np.ndarray] = {}
+    transitions[()] = rng.dirichlet(np.full(alphabet_size, 1.0))
+
+    if order >= 1:
+        # Explicit order-1 contexts keep the source characteristic even
+        # when higher-order contexts are subsampled.
+        rows = _dirichlet_rows(rng, alphabet_size, alphabet_size, concentration)
+        for s in range(alphabet_size):
+            transitions[(s,)] = rows[s]
+
+    if order >= 2:
+        full = alphabet_size**order
+        n_contexts = min(int(round(full * context_fraction)), max_contexts, full)
+        if n_contexts > 0:
+            chosen = rng.choice(full, size=n_contexts, replace=False)
+            rows = _dirichlet_rows(rng, n_contexts, alphabet_size, concentration)
+            for row, code in zip(rows, chosen):
+                context = []
+                value = int(code)
+                for _ in range(order):
+                    context.append(value % alphabet_size)
+                    value //= alphabet_size
+                transitions[tuple(context)] = row
+    return MarkovSource(alphabet_size, order, transitions)
+
+
+def uniform_source(alphabet_size: int) -> MarkovSource:
+    """A memoryless uniform source — the generator used for outliers."""
+    return MarkovSource(
+        alphabet_size,
+        order=0,
+        transitions={(): np.full(alphabet_size, 1.0 / alphabet_size)},
+    )

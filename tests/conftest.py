@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.pst import ProbabilisticSuffixTree
+from repro.sequences.alphabet import Alphabet
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.generators import (
+    generate_clustered_database,
+    generate_two_cluster_toy,
+)
+
+
+@pytest.fixture
+def ab_alphabet():
+    return Alphabet("ab")
+
+
+@pytest.fixture
+def abcd_alphabet():
+    return Alphabet("abcd")
+
+
+@pytest.fixture
+def toy_db():
+    """Two easily-separable character clusters (ab vs cd), 60 sequences."""
+    return generate_two_cluster_toy(size_per_cluster=30, length=40, seed=7)
+
+
+@pytest.fixture
+def small_synthetic():
+    """120 sequences, 4 embedded clusters, 5% outliers."""
+    return generate_clustered_database(
+        num_sequences=120,
+        num_clusters=4,
+        avg_length=80,
+        alphabet_size=10,
+        outlier_fraction=0.05,
+        seed=11,
+    )
+
+
+@pytest.fixture
+def tiny_db():
+    """Four short handwritten sequences over {a, b}."""
+    return SequenceDatabase.from_strings(
+        ["ababab", "bababa", "aabbaa", "bbaabb"],
+        labels=["x", "x", "y", "y"],
+    )
+
+
+@pytest.fixture
+def simple_pst():
+    """A PST over {a=0, b=1} trained on one alternating sequence."""
+    pst = ProbabilisticSuffixTree(
+        alphabet_size=2, max_depth=3, significance_threshold=2
+    )
+    pst.add_sequence([0, 1, 0, 1, 0, 1, 0, 1])
+    return pst
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

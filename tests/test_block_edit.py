@@ -1,0 +1,138 @@
+"""Tests for repro.baselines.block_edit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.block_edit import (
+    BlockEditClusterer,
+    block_edit_distance,
+    longest_common_substring,
+    normalized_block_edit_distance,
+    pairwise_block_distance_matrix,
+)
+from repro.sequences.database import SequenceDatabase
+
+ENC = {c: i for i, c in enumerate("abcdefgxyz")}
+
+
+def encode(text):
+    return [ENC[c] for c in text]
+
+
+class TestLongestCommonSubstring:
+    @pytest.mark.parametrize(
+        "a,b,expected_len",
+        [
+            ("abcdef", "zabcz", 3),  # "abc"
+            ("abc", "xyz", 0),
+            ("aaa", "aaa", 3),
+            ("", "abc", 0),
+            ("abc", "", 0),
+            ("ababab", "babab", 5),
+        ],
+    )
+    def test_lengths(self, a, b, expected_len):
+        length, _, _ = longest_common_substring(encode(a), encode(b))
+        assert length == expected_len
+
+    def test_positions_point_to_match(self):
+        a, b = encode("xxabcyy"), encode("zzzabc")
+        length, sa, sb = longest_common_substring(a, b)
+        assert a[sa : sa + length] == b[sb : sb + length]
+        assert length == 3
+
+
+class TestBlockEditDistance:
+    def test_paper_example_block_rearrangement(self):
+        """The paper's footnote: aaaabbb vs bbbaaaa should be cheap with
+        block operations, while aaaabbb vs abcdefg stays expensive."""
+        rearranged = block_edit_distance(encode("aaaabbb"), encode("bbbaaaa"))
+        unrelated = block_edit_distance(encode("aaaabbb"), encode("abcdefg"))
+        assert rearranged < unrelated
+        assert rearranged <= 2.0  # two block moves
+
+    def test_identical_sequences(self):
+        assert block_edit_distance(encode("abcabc"), encode("abcabc")) == 1.0
+
+    def test_empty_sequences(self):
+        assert block_edit_distance([], []) == 0.0
+        assert block_edit_distance(encode("abc"), []) == 3.0
+
+    def test_min_block_validation(self):
+        with pytest.raises(ValueError):
+            block_edit_distance([0], [0], min_block=0)
+
+    def test_short_matches_counted_as_edits(self):
+        # Common substrings below min_block are charged per symbol.
+        d = block_edit_distance(encode("ab"), encode("ba"), min_block=3)
+        assert d == 2.0
+
+    def test_normalized_range(self):
+        assert normalized_block_edit_distance(encode("abc"), encode("abc")) <= 1.0
+        assert normalized_block_edit_distance([], []) == 0.0
+
+
+class TestMatrix:
+    def test_symmetric(self):
+        sequences = [encode("aabb"), encode("bbaa"), encode("abab")]
+        matrix = pairwise_block_distance_matrix(sequences)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0)
+
+
+class TestClusterer:
+    def test_groups_block_rearrangements(self):
+        db = SequenceDatabase.from_strings(
+            [
+                "aaaabbbb",
+                "bbbbaaaa",
+                "aabbbbaa",
+                "cdcdcdcd",
+                "dcdcdcdc",
+                "ccddccdd",
+            ]
+        )
+        result = BlockEditClusterer(min_block=2, seed=0).fit_predict(db, 2)
+        assert result.labels[0] == result.labels[1]
+        assert result.labels[3] == result.labels[4]
+        assert result.labels[0] != result.labels[3]
+        assert result.model_name == "EDBO"
+
+    def test_min_block_validation(self):
+        with pytest.raises(ValueError):
+            BlockEditClusterer(min_block=0)
+
+
+sequences_strategy = st.lists(st.integers(0, 3), min_size=0, max_size=20)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences_strategy, sequences_strategy)
+def test_symmetric_within_greedy_tolerance(a, b):
+    """Greedy factoring is order-dependent only in block choice, and the
+    cost is symmetric because extraction removes from both sides."""
+    assert block_edit_distance(a, b) == block_edit_distance(b, a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences_strategy)
+def test_self_distance_small(a):
+    """A sequence against itself costs at most ceil(len/min_block) blocks
+    worth of operations (one when it is a single block)."""
+    d = block_edit_distance(a, a, min_block=3)
+    if len(a) == 0:
+        assert d == 0.0
+    else:
+        assert d <= max(1.0, len(a) / 1.0)  # never exceeds per-symbol cost
+        assert d <= len(a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences_strategy, sequences_strategy)
+def test_nonnegative_and_bounded(a, b):
+    d = block_edit_distance(a, b)
+    assert d >= 0.0
+    # Never worse than treating everything as per-symbol edits.
+    assert d <= max(len(a), len(b)) + min(len(a), len(b)) / 3 + 1

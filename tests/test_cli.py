@@ -1,0 +1,153 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.generators import generate_two_cluster_toy
+from repro.sequences.io import write_fasta, write_labelled_text
+
+
+@pytest.fixture
+def toy_text_file(tmp_path):
+    db = generate_two_cluster_toy(size_per_cluster=15, length=30, seed=7)
+    path = tmp_path / "toy.txt"
+    write_labelled_text(db, path)
+    return str(path)
+
+
+@pytest.fixture
+def toy_fasta_file(tmp_path):
+    db = SequenceDatabase.from_strings(
+        ["ACGTACGTAC", "CGTACGTACG", "TTTTGGGGTT", "GGTTTTGGTT"],
+        labels=["x", "x", "y", "y"],
+    )
+    path = tmp_path / "toy.fasta"
+    write_fasta(db, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster", "x.txt"])
+        assert args.k == 1
+        assert args.significance == 5
+        assert args.format == "auto"
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table2"])
+        assert args.name == "table2"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "bogus"])
+
+    def test_experiments_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table2", "table3", "table4", "table5", "table6",
+            "fig3", "fig4", "fig5", "fig6", "ordering", "outliers",
+            "modes", "pruning", "smoothing",
+        }
+
+
+class TestClusterCommand:
+    def test_cluster_text_file(self, toy_text_file, capsys):
+        code = main(
+            [
+                "cluster",
+                toy_text_file,
+                "-k", "2",
+                "-c", "2",
+                "--min-unique", "3",
+                "--max-iterations", "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CLUSEQ" in out
+        assert "accuracy" in out  # labels present -> evaluation printed
+
+    def test_cluster_fasta_autodetect(self, toy_fasta_file, capsys):
+        code = main(
+            [
+                "cluster",
+                toy_fasta_file,
+                "-k", "2",
+                "-c", "2",
+                "--min-unique", "1",
+                "--max-iterations", "5",
+            ]
+        )
+        assert code == 0
+        assert "cluster" in capsys.readouterr().out
+
+    def test_show_members(self, toy_text_file, capsys):
+        main(
+            [
+                "cluster", toy_text_file,
+                "-k", "2", "-c", "2", "--min-unique", "3",
+                "--max-iterations", "5", "--show-members",
+            ]
+        )
+        assert "cluster " in capsys.readouterr().out
+
+
+class TestModelPersistenceFlow:
+    def test_save_and_classify(self, toy_text_file, tmp_path, capsys):
+        model_path = tmp_path / "model.json"
+        code = main(
+            [
+                "cluster", toy_text_file,
+                "-k", "2", "-c", "2", "--min-unique", "3",
+                "--max-iterations", "10",
+                "--save-model", str(model_path),
+            ]
+        )
+        assert code == 0
+        assert model_path.exists()
+        capsys.readouterr()
+
+        code = main(["classify", str(model_path), toy_text_file])
+        assert code == 0
+        out = capsys.readouterr().out.strip().split("\n")
+        assert len(out) == 30  # one line per sequence
+        assert all("\t" in line for line in out)
+        assert any("cluster" in line for line in out)
+
+    def test_classify_model_without_alphabet(self, toy_text_file, tmp_path, capsys):
+        import json
+
+        from repro.core.cluseq import cluster_sequences
+        from repro.core.persistence import result_to_dict
+        from repro.sequences.io import read_labelled_text
+
+        db = read_labelled_text(toy_text_file)
+        result = cluster_sequences(
+            db, k=2, significance_threshold=2, min_unique_members=3,
+            max_iterations=5, seed=0,
+        )
+        model_path = tmp_path / "no_alphabet.json"
+        model_path.write_text(json.dumps(result_to_dict(result)))
+        code = main(["classify", str(model_path), toy_text_file])
+        assert code == 1
+        assert "alphabet" in capsys.readouterr().out
+
+
+class TestGenerateCommand:
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "synth.txt"
+        code = main(
+            [
+                "generate", str(out_path),
+                "--sequences", "30", "--clusters", "3",
+                "--length", "20", "--alphabet", "6",
+            ]
+        )
+        assert code == 0
+        assert out_path.exists()
+        assert "wrote 30 sequences" in capsys.readouterr().out
+        lines = out_path.read_text().strip().split("\n")
+        assert len(lines) == 30
+        assert all("\t" in line for line in lines)

@@ -1,0 +1,110 @@
+"""Edge-case and robustness tests for the CLUSEQ engine."""
+
+import pytest
+
+from repro.core.cluseq import cluster_sequences
+from repro.sequences.alphabet import Alphabet
+from repro.sequences.database import SequenceDatabase
+
+
+def small_params(**overrides):
+    base = dict(
+        k=1,
+        significance_threshold=2,
+        min_unique_members=1,
+        max_iterations=8,
+        seed=0,
+    )
+    base.update(overrides)
+    return base
+
+
+class TestDegenerateInputs:
+    def test_all_identical_sequences(self):
+        db = SequenceDatabase.from_strings(["abab"] * 10)
+        result = cluster_sequences(db, **small_params())
+        # Identical sequences should end up in one cluster (or all
+        # unclustered if the tiny data defeats calibration) — never in
+        # several conflicting clusters.
+        assert result.num_clusters <= 2
+
+    def test_single_symbol_alphabet(self):
+        db = SequenceDatabase.from_strings(["aaaa", "aaaaa", "aaa"] * 4)
+        result = cluster_sequences(db, **small_params())
+        # With one symbol every ratio is 1 (log 0); nothing crashes.
+        assert result.iterations >= 1
+
+    def test_two_sequences(self):
+        db = SequenceDatabase.from_strings(["abababab", "cdcdcdcd"])
+        result = cluster_sequences(db, **small_params())
+        assert len(result.assignments) == 2
+
+    def test_length_one_sequences(self):
+        db = SequenceDatabase.from_strings(["a", "b", "a", "b"] * 3)
+        result = cluster_sequences(db, **small_params())
+        assert result.iterations >= 1
+
+    def test_wildly_varying_lengths(self):
+        db = SequenceDatabase.from_strings(
+            ["ab" * 2, "ab" * 50, "ab" * 200, "cd" * 2, "cd" * 50, "cd" * 200]
+            * 3
+        )
+        result = cluster_sequences(db, **small_params())
+        assert len(result.assignments) == 18
+
+
+class TestParameterExtremes:
+    def test_huge_significance_threshold(self):
+        """c larger than any count: all prediction falls back to the
+        root (composition model); the run must still terminate."""
+        db = SequenceDatabase.from_strings(["abab", "baba", "cdcd", "dcdc"] * 5)
+        result = cluster_sequences(
+            db, **small_params(significance_threshold=10_000)
+        )
+        assert result.iterations <= 8
+
+    def test_max_depth_one(self):
+        db = SequenceDatabase.from_strings(["abab", "baba", "cdcd", "dcdc"] * 5)
+        result = cluster_sequences(db, **small_params(max_depth=1))
+        assert result.iterations >= 1
+
+    def test_k_equals_database_size(self):
+        db = SequenceDatabase.from_strings(["abab", "baba", "cdcd", "dcdc"])
+        result = cluster_sequences(db, **small_params(k=4))
+        assert result.num_clusters <= 4
+
+    def test_tiny_node_budget(self):
+        db = SequenceDatabase.from_strings(["abab", "baba", "cdcd", "dcdc"] * 5)
+        result = cluster_sequences(db, **small_params(max_nodes=5))
+        for cluster in result.clusters:
+            assert cluster.pst.node_count <= 5
+
+    def test_zero_min_unique(self):
+        db = SequenceDatabase.from_strings(["abab", "cdcd"] * 5)
+        result = cluster_sequences(db, **small_params(min_unique_members=0))
+        assert result.iterations >= 1
+
+
+class TestExplicitAlphabet:
+    def test_unused_symbols_in_alphabet(self):
+        """Symbols present in the alphabet but absent from the data must
+        not break the background model or similarity."""
+        alphabet = Alphabet("abcdxyz")
+        db = SequenceDatabase.from_strings(
+            ["abab", "baba", "cdcd", "dcdc"] * 5, alphabet=alphabet
+        )
+        result = cluster_sequences(db, **small_params())
+        assert result.iterations >= 1
+
+
+class TestDuplicates:
+    def test_duplicate_heavy_database(self):
+        """Many exact duplicates (common in log data) are fine."""
+        db = SequenceDatabase.from_strings(
+            ["ababab"] * 15 + ["cdcdcd"] * 15 + ["ababab"] * 5
+        )
+        result = cluster_sequences(db, **small_params(min_unique_members=2))
+        labels = result.labels()
+        # Duplicates always land in the same cluster.
+        first = [labels[i] for i in range(15)]
+        assert len(set(first)) == 1

@@ -1,0 +1,93 @@
+"""Hypothesis fuzzing of the full CLUSEQ engine.
+
+The engine must never crash and must uphold its structural invariants
+on arbitrary small databases — including adversarial shapes hypothesis
+finds (all-identical sequences, singleton alphabets, extreme length
+skew).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluseq import cluster_sequences
+from repro.sequences.database import SequenceDatabase
+
+databases = st.lists(
+    st.lists(st.integers(0, 3), min_size=1, max_size=30),
+    min_size=2,
+    max_size=25,
+)
+
+
+def to_db(raw):
+    alphabet_symbols = "abcd"
+    return SequenceDatabase.from_strings(
+        ["".join(alphabet_symbols[v] for v in seq) for seq in raw]
+    )
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(databases, st.integers(1, 3), st.integers(0, 3))
+def test_engine_invariants_hold(raw, k, seed):
+    db = to_db(raw)
+    result = cluster_sequences(
+        db,
+        k=min(k, len(db)),
+        significance_threshold=2,
+        min_unique_members=1,
+        max_iterations=5,
+        seed=seed,
+    )
+
+    # 1. Every sequence has an assignment entry.
+    assert set(result.assignments) == set(range(len(db)))
+
+    # 2. Assignments reference only live clusters, and mirror the
+    #    clusters' own membership sets exactly.
+    live = {cluster.cluster_id for cluster in result.clusters}
+    for index, ids in result.assignments.items():
+        assert ids <= live
+        for cluster in result.clusters:
+            assert (cluster.cluster_id in ids) == cluster.contains(index)
+
+    # 3. Labels are consistent with assignments.
+    for index, label in enumerate(result.labels()):
+        if label is None:
+            assert result.assignments[index] == set()
+        else:
+            assert label in result.assignments[index]
+
+    # 4. History is well-formed and bounded.
+    assert 1 <= result.iterations <= 5
+    for stats in result.history:
+        assert stats.clusters_after >= 0
+        assert 0 <= stats.unclustered <= len(db)
+
+    # 5. Cluster PSTs stay structurally sound.
+    for cluster in result.clusters:
+        assert cluster.pst.recount_nodes() == cluster.pst.node_count
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(databases, st.integers(0, 3))
+def test_engine_deterministic(raw, seed):
+    db = to_db(raw)
+    kwargs = dict(
+        k=1,
+        significance_threshold=2,
+        min_unique_members=1,
+        max_iterations=4,
+        seed=seed,
+    )
+    a = cluster_sequences(db, **kwargs)
+    b = cluster_sequences(db, **kwargs)
+    assert a.labels() == b.labels()
+    assert a.final_log_threshold == b.final_log_threshold

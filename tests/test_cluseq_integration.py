@@ -1,0 +1,132 @@
+"""End-to-end behaviour of CLUSEQ on ground-truth workloads."""
+
+import pytest
+
+from repro.core.cluseq import cluster_sequences
+from repro.evaluation.metrics import evaluate_clustering
+from repro.sequences.generators import generate_clustered_database
+
+
+class TestToyRecovery:
+    def test_two_clusters_recovered(self, toy_db):
+        result = cluster_sequences(
+            toy_db,
+            k=2,
+            significance_threshold=2,
+            min_unique_members=3,
+            max_iterations=20,
+            seed=1,
+        )
+        report = evaluate_clustering(toy_db.labels, result.labels())
+        # Both behaviours must be found; a pure split of one of them
+        # into two clusters is acceptable on 60 sequences.
+        assert 2 <= result.num_clusters <= 3
+        assert report.purity >= 0.75
+
+
+class TestSyntheticRecovery:
+    def test_cluster_count_near_truth(self, small_synthetic):
+        db = small_synthetic.database
+        result = cluster_sequences(
+            db,
+            k=1,
+            significance_threshold=4,
+            min_unique_members=4,
+            max_iterations=25,
+            seed=1,
+        )
+        assert 3 <= result.num_clusters <= 6  # truth: 4
+        report = evaluate_clustering(db.labels, result.labels())
+        assert report.accuracy >= 0.6
+        assert report.purity >= 0.8
+
+    def test_k_independence(self, small_synthetic):
+        """The paper's Table 5 claim: the final cluster count does not
+        depend on the initial k."""
+        db = small_synthetic.database
+        finals = []
+        for k in (1, 4, 8):
+            result = cluster_sequences(
+                db,
+                k=k,
+                significance_threshold=4,
+                min_unique_members=4,
+                max_iterations=25,
+                seed=1,
+            )
+            finals.append(result.num_clusters)
+        assert max(finals) - min(finals) <= 2
+
+    def test_t_independence(self, small_synthetic):
+        """The paper's Table 6 claim: the final threshold does not
+        depend on the initial t (calibration replaces it)."""
+        db = small_synthetic.database
+        final_ts = []
+        for t in (1.05, 2.0, 3.0):
+            result = cluster_sequences(
+                db,
+                k=4,
+                significance_threshold=4,
+                min_unique_members=4,
+                similarity_threshold=t,
+                max_iterations=25,
+                seed=1,
+            )
+            final_ts.append(result.final_log_threshold)
+        assert max(final_ts) - min(final_ts) < 1e-9
+
+    def test_outliers_stay_unclustered(self):
+        ds = generate_clustered_database(
+            num_sequences=150,
+            num_clusters=3,
+            avg_length=100,
+            alphabet_size=10,
+            outlier_fraction=0.10,
+            seed=21,
+        )
+        db = ds.database
+        result = cluster_sequences(
+            db,
+            k=3,
+            significance_threshold=4,
+            min_unique_members=4,
+            max_iterations=25,
+            seed=1,
+        )
+        predicted_outliers = set(result.outliers())
+        true_outliers = {
+            i for i in range(len(db)) if db[i].label == "__outlier__"
+        }
+        # Most true outliers should be left unclustered.
+        assert len(true_outliers & predicted_outliers) >= len(true_outliers) // 2
+
+
+class TestOverlapSupport:
+    def test_assignments_may_overlap(self, small_synthetic):
+        """CLUSEQ clusters are allowed to overlap; the assignment map is
+        a set per sequence and memberships mirror it exactly."""
+        db = small_synthetic.database
+        result = cluster_sequences(
+            db,
+            k=4,
+            significance_threshold=4,
+            min_unique_members=4,
+            max_iterations=15,
+            seed=1,
+        )
+        for index, ids in result.assignments.items():
+            for cluster in result.clusters:
+                assert (cluster.cluster_id in ids) == cluster.contains(index)
+
+
+class TestProgressTermination:
+    def test_terminates_before_max_on_easy_data(self, toy_db):
+        result = cluster_sequences(
+            toy_db,
+            k=2,
+            significance_threshold=2,
+            min_unique_members=3,
+            max_iterations=50,
+            seed=1,
+        )
+        assert result.iterations < 50

@@ -1,0 +1,143 @@
+"""Tests for the §2 distribution-difference measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.divergence import (
+    j_divergence,
+    kl_divergence,
+    pairwise_pst_divergence,
+    pst_divergence,
+    variational_distance,
+)
+from repro.core.pst import ProbabilisticSuffixTree
+from repro.sequences.markov import MarkovSource
+
+
+def fit(source, seed, sequences=20, length=150):
+    rng = np.random.default_rng(seed)
+    pst = ProbabilisticSuffixTree(
+        alphabet_size=source.alphabet_size, max_depth=3,
+        significance_threshold=10,
+    )
+    for seq in source.sample_many(sequences, length, rng, length_jitter=0.0):
+        pst.add_sequence(seq)
+    return pst
+
+
+def alternating_source():
+    return MarkovSource(
+        2, 1,
+        {(): np.array([0.5, 0.5]),
+         (0,): np.array([0.1, 0.9]),
+         (1,): np.array([0.9, 0.1])},
+    )
+
+
+def repeating_source():
+    return MarkovSource(
+        2, 1,
+        {(): np.array([0.5, 0.5]),
+         (0,): np.array([0.9, 0.1]),
+         (1,): np.array([0.1, 0.9])},
+    )
+
+
+class TestVectorMeasures:
+    def test_identical_is_zero(self):
+        p = [0.2, 0.3, 0.5]
+        assert variational_distance(p, p) == 0.0
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+        assert j_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_disjoint_variational_is_two(self):
+        assert variational_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(2.0)
+
+    def test_kl_asymmetric_j_symmetric(self):
+        p, q = [0.9, 0.1], [0.5, 0.5]
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+        assert j_divergence(p, q) == pytest.approx(j_divergence(q, p))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            variational_distance([0.5, 0.5], [1.0])
+        with pytest.raises(ValueError):
+            kl_divergence([0.5, 0.5], [1.0])
+
+    def test_known_value(self):
+        # V([1,0],[0.5,0.5]) = 0.5 + 0.5 = 1.0
+        assert variational_distance([1.0, 0.0], [0.5, 0.5]) == pytest.approx(1.0)
+
+
+class TestPstDivergence:
+    def test_same_source_low_divergence(self):
+        a = fit(alternating_source(), seed=1)
+        b = fit(alternating_source(), seed=2)
+        assert pst_divergence(a, b) < 0.15
+
+    def test_different_sources_high_divergence(self):
+        a = fit(alternating_source(), seed=1)
+        b = fit(repeating_source(), seed=1)
+        assert pst_divergence(a, b) > 0.5
+
+    def test_self_divergence_zero(self):
+        a = fit(alternating_source(), seed=1)
+        assert pst_divergence(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_measures_agree_on_ordering(self):
+        near_a = fit(alternating_source(), seed=1)
+        near_b = fit(alternating_source(), seed=2)
+        far = fit(repeating_source(), seed=1)
+        for measure in ("variational", "kl", "j"):
+            close = pst_divergence(near_a, near_b, measure=measure)
+            distant = pst_divergence(near_a, far, measure=measure)
+            assert distant > close, measure
+
+    def test_alphabet_mismatch(self):
+        a = fit(alternating_source(), seed=1)
+        b = ProbabilisticSuffixTree(alphabet_size=3)
+        with pytest.raises(ValueError):
+            pst_divergence(a, b)
+
+    def test_unknown_measure(self):
+        a = fit(alternating_source(), seed=1)
+        with pytest.raises(ValueError):
+            pst_divergence(a, a, measure="bogus")
+
+    def test_empty_trees(self):
+        a = ProbabilisticSuffixTree(alphabet_size=2)
+        b = ProbabilisticSuffixTree(alphabet_size=2)
+        assert pst_divergence(a, b) == pytest.approx(0.0)
+
+
+class TestPairwiseMatrix:
+    def test_matrix_structure(self):
+        psts = [
+            fit(alternating_source(), seed=1),
+            fit(alternating_source(), seed=2),
+            fit(repeating_source(), seed=1),
+        ]
+        matrix = pairwise_pst_divergence(psts)
+        assert matrix.shape == (3, 3)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+        # Same-source pair is closer than cross-source pairs.
+        assert matrix[0, 1] < matrix[0, 2]
+        assert matrix[0, 1] < matrix[1, 2]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=8),
+    st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=2, max_size=8),
+)
+def test_measure_properties(p_raw, q_raw):
+    n = min(len(p_raw), len(q_raw))
+    p = np.array(p_raw[:n]); p /= p.sum()
+    q = np.array(q_raw[:n]); q /= q.sum()
+    assert 0.0 <= variational_distance(p, q) <= 2.0 + 1e-9
+    assert kl_divergence(p, q) >= -1e-9
+    assert j_divergence(p, q) >= -1e-9
+    assert j_divergence(p, q) == pytest.approx(j_divergence(q, p), abs=1e-9)

@@ -1,0 +1,97 @@
+"""Tests for the scikit-learn-style estimator facade."""
+
+import pytest
+
+from repro.core.estimator import CluseqClusterer, NotFittedError
+from repro.sequences.alphabet import AlphabetError
+
+X_TOY = (["ababab", "bababa", "abab", "baba"] * 5) + (
+    ["cdcdcd", "dcdcdc", "cdcd", "dcdc"] * 5
+)
+
+
+def make_model(**overrides):
+    params = dict(
+        k=1, significance_threshold=2, min_unique_members=2, seed=0,
+        max_iterations=15,
+    )
+    params.update(overrides)
+    return CluseqClusterer(**params)
+
+
+class TestProtocol:
+    def test_fit_returns_self(self):
+        model = make_model()
+        assert model.fit(X_TOY) is model
+
+    def test_labels_shape(self):
+        labels = make_model().fit_predict(X_TOY)
+        assert len(labels) == len(X_TOY)
+        assert all(isinstance(v, int) for v in labels)
+
+    def test_outliers_are_minus_one(self):
+        model = make_model().fit(X_TOY)
+        for label in model.labels_:
+            assert label == -1 or label >= 0
+
+    def test_y_ignored(self):
+        labels = make_model().fit_predict(X_TOY, y=list(range(len(X_TOY))))
+        assert len(labels) == len(X_TOY)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            make_model().fit([])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            make_model().predict(["abab"])
+        with pytest.raises(NotFittedError):
+            _ = make_model().n_clusters_
+
+    def test_predict_new_sequences(self):
+        model = make_model().fit(X_TOY)
+        predictions = model.predict(["abababab", "cdcdcdcd"])
+        assert len(predictions) == 2
+        # The two test sequences mirror the two behaviours; if both are
+        # assigned, they should differ.
+        assigned = [p for p in predictions if p >= 0]
+        if len(assigned) == 2:
+            assert predictions[0] != predictions[1]
+
+    def test_predict_unknown_symbol_raises(self):
+        model = make_model().fit(X_TOY)
+        with pytest.raises(AlphabetError):
+            model.predict(["xyz"])
+
+
+class TestAttributes:
+    def test_n_clusters(self):
+        model = make_model().fit(X_TOY)
+        assert model.n_clusters_ >= 1
+        assert model.threshold_ > 0
+
+    def test_get_set_params(self):
+        model = make_model()
+        params = model.get_params()
+        assert params["k"] == 1
+        model.set_params(k=3)
+        assert model.params.k == 3
+        # other params preserved
+        assert model.params.significance_threshold == 2
+
+    def test_set_params_validates(self):
+        with pytest.raises(ValueError):
+            make_model().set_params(k=0)
+
+    def test_invalid_constructor_params(self):
+        with pytest.raises(ValueError):
+            CluseqClusterer(k=-1)
+
+
+class TestTokenSequences:
+    def test_non_string_tokens(self):
+        X = [("up", "down") * 6, ("down", "up") * 6,
+             ("left", "right") * 6, ("right", "left") * 6] * 4
+        model = make_model().fit(X)
+        assert len(model.labels_) == len(X)
+        assert model.alphabet_.size == 4

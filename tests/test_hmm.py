@@ -1,0 +1,114 @@
+"""Tests for repro.baselines.hmm."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.hmm import DiscreteHMM, HMMClusterer
+from repro.sequences.database import SequenceDatabase
+
+
+class TestConstruction:
+    def test_parameters_are_distributions(self):
+        model = DiscreteHMM(3, 4, seed=0)
+        assert np.isclose(model.initial.sum(), 1.0)
+        assert np.allclose(model.transition.sum(axis=1), 1.0)
+        assert np.allclose(model.emission.sum(axis=1), 1.0)
+        assert (model.initial > 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteHMM(0, 2)
+        with pytest.raises(ValueError):
+            DiscreteHMM(2, 0)
+
+    def test_seeded_reproducibility(self):
+        a, b = DiscreteHMM(3, 4, seed=9), DiscreteHMM(3, 4, seed=9)
+        assert np.allclose(a.emission, b.emission)
+
+
+class TestLikelihood:
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteHMM(2, 2).log_likelihood([])
+
+    def test_loglikelihood_negative(self):
+        model = DiscreteHMM(2, 3, seed=1)
+        assert model.log_likelihood([0, 1, 2, 0]) < 0
+
+    def test_sums_over_symbols_to_one(self):
+        """For a single-position sequence, likelihoods over symbols sum
+        to 1 (law of total probability)."""
+        model = DiscreteHMM(3, 4, seed=2)
+        total = sum(math.exp(model.log_likelihood([s])) for s in range(4))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_per_symbol_normalisation(self):
+        model = DiscreteHMM(2, 2, seed=0)
+        seq = [0, 1] * 10
+        assert model.per_symbol_log_likelihood(seq) == pytest.approx(
+            model.log_likelihood(seq) / len(seq)
+        )
+
+    def test_two_position_total_probability(self):
+        model = DiscreteHMM(2, 3, seed=3)
+        total = sum(
+            math.exp(model.log_likelihood([a, b]))
+            for a in range(3)
+            for b in range(3)
+        )
+        assert total == pytest.approx(1.0, abs=1e-8)
+
+
+class TestTraining:
+    def test_fit_improves_likelihood(self):
+        rng = np.random.default_rng(4)
+        # Strongly structured data: alternating symbols.
+        data = [[0, 1] * 15 for _ in range(5)]
+        model = DiscreteHMM(2, 2, seed=4)
+        before = sum(model.log_likelihood(s) for s in data)
+        model.fit(data, iterations=10)
+        after = sum(model.log_likelihood(s) for s in data)
+        assert after > before
+
+    def test_fit_keeps_distributions_valid(self):
+        model = DiscreteHMM(3, 4, seed=5)
+        model.fit([[0, 1, 2, 3, 0, 1]], iterations=3)
+        assert np.isclose(model.initial.sum(), 1.0)
+        assert np.allclose(model.transition.sum(axis=1), 1.0)
+        assert np.allclose(model.emission.sum(axis=1), 1.0)
+        assert (model.emission > 0).all()  # pseudocounts keep it positive
+
+    def test_fit_validation(self):
+        model = DiscreteHMM(2, 2)
+        with pytest.raises(ValueError):
+            model.fit([])
+        with pytest.raises(ValueError):
+            model.fit([[0, 1]], iterations=0)
+
+    def test_trained_model_discriminates(self):
+        """A model trained on alternating data should prefer alternating
+        sequences over constant ones."""
+        model = DiscreteHMM(2, 2, seed=6)
+        model.fit([[0, 1] * 20], iterations=10)
+        alternating = model.per_symbol_log_likelihood([0, 1] * 10)
+        constant = model.per_symbol_log_likelihood([0] * 20)
+        assert alternating > constant
+
+
+class TestClusterer:
+    def test_separates_structured_groups(self):
+        db = SequenceDatabase.from_strings(
+            ["abababababab", "babababababa", "ababababab",
+             "ccddccddccdd", "ddccddccddcc", "cdcdccddccdd"]
+        )
+        result = HMMClusterer(num_states=2, seed=0).fit_predict(db, 2)
+        assert result.labels[0] == result.labels[1] == result.labels[2]
+        assert result.labels[3] == result.labels[4] == result.labels[5]
+        assert result.labels[0] != result.labels[3]
+        assert result.model_name == "HMM"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HMMClusterer(num_states=0)

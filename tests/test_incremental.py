@@ -1,0 +1,72 @@
+"""Tests for incremental assignment (streaming deployment)."""
+
+import pytest
+
+from repro.core.cluseq import cluster_sequences
+
+
+@pytest.fixture
+def fitted_toy(toy_db):
+    return cluster_sequences(
+        toy_db,
+        k=2,
+        significance_threshold=2,
+        min_unique_members=3,
+        max_iterations=10,
+        seed=1,
+    )
+
+
+class TestAssignAndAbsorb:
+    def test_member_like_sequence_joins(self, toy_db, fitted_toy):
+        encoded = toy_db.alphabet.encode("abababababababab")
+        before = len(fitted_toy.assignments)
+        assigned = fitted_toy.assign_and_absorb(encoded)
+        assert assigned is not None
+        cluster = fitted_toy.cluster_by_id(assigned)
+        new_index = before  # appended at the next free index
+        assert cluster.contains(new_index)
+        assert fitted_toy.assignments[new_index] == {assigned}
+
+    def test_absorption_grows_model(self, toy_db, fitted_toy):
+        encoded = toy_db.alphabet.encode("abababababababab")
+        assigned = fitted_toy.assign_and_absorb(encoded)
+        cluster = fitted_toy.cluster_by_id(assigned)
+        symbols_before = cluster.pst.total_symbols
+        fitted_toy.assign_and_absorb(encoded)
+        assert cluster.pst.total_symbols > symbols_before
+
+    def test_outlier_recorded(self, toy_db, fitted_toy):
+        # A sequence unlike either cluster: rare symbols alternating in
+        # an unseen pattern.
+        encoded = toy_db.alphabet.encode("acacacacacacacac")
+        before = len(fitted_toy.assignments)
+        assigned = fitted_toy.assign_and_absorb(encoded)
+        if assigned is None:  # expected on most seeds
+            assert fitted_toy.assignments[before] == set()
+
+    def test_indices_monotone(self, toy_db, fitted_toy):
+        first = len(fitted_toy.assignments)
+        fitted_toy.assign_and_absorb(toy_db.encoded(0))
+        fitted_toy.assign_and_absorb(toy_db.encoded(1))
+        assert set(fitted_toy.assignments) >= {first, first + 1}
+
+    def test_empty_rejected(self, fitted_toy):
+        with pytest.raises(ValueError):
+            fitted_toy.assign_and_absorb([])
+
+    def test_existing_memberships_untouched(self, toy_db, fitted_toy):
+        snapshot = {
+            cl.cluster_id: cl.members for cl in fitted_toy.clusters
+        }
+        new_index = len(fitted_toy.assignments)
+        fitted_toy.assign_and_absorb(toy_db.encoded(0))
+        for cluster in fitted_toy.clusters:
+            extra = cluster.members - snapshot[cluster.cluster_id]
+            assert extra <= {new_index}
+
+    def test_consistent_with_predict(self, toy_db, fitted_toy):
+        encoded = toy_db.alphabet.encode("babababababababa")
+        predicted = fitted_toy.predict(encoded)
+        assigned = fitted_toy.assign_and_absorb(encoded)
+        assert assigned == predicted

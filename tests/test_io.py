@@ -1,0 +1,104 @@
+"""Tests for repro.sequences.io."""
+
+import io
+
+import pytest
+
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.io import (
+    SequenceFormatError,
+    iter_fasta,
+    parse_fasta_header,
+    read_fasta,
+    read_labelled_text,
+    write_fasta,
+    write_labelled_text,
+)
+
+FASTA = """\
+>seq0 globin
+MKVLA
+AGHHE
+>seq1
+TTTWY
+"""
+
+
+class TestFastaReading:
+    def test_iter_fasta(self):
+        records = list(iter_fasta(io.StringIO(FASTA)))
+        assert records == [("seq0 globin", "MKVLAAGHHE"), ("seq1", "TTTWY")]
+
+    def test_read_fasta_labels(self):
+        db = read_fasta(io.StringIO(FASTA))
+        assert len(db) == 2
+        assert db.labels == ["globin", None]
+        assert db[0].as_string() == "MKVLAAGHHE"
+
+    def test_parse_header(self):
+        assert parse_fasta_header("id1 fam") == ("id1", "fam")
+        assert parse_fasta_header("id1") == ("id1", None)
+        assert parse_fasta_header("") == ("", None)
+
+    def test_data_before_header_raises(self):
+        with pytest.raises(SequenceFormatError, match="before first"):
+            list(iter_fasta(io.StringIO("ACGT\n>x\nACGT\n")))
+
+    def test_header_without_sequence_raises(self):
+        with pytest.raises(SequenceFormatError, match="no sequence"):
+            list(iter_fasta(io.StringIO(">only-header\n")))
+
+    def test_empty_file_raises(self):
+        with pytest.raises(SequenceFormatError, match="no records"):
+            read_fasta(io.StringIO(""))
+
+    def test_blank_lines_skipped(self):
+        records = list(iter_fasta(io.StringIO(">a\n\nAC\n\nGT\n")))
+        assert records == [("a", "ACGT")]
+
+
+class TestFastaWriting:
+    def test_roundtrip(self, tmp_path):
+        db = SequenceDatabase.from_strings(["abab", "baba"], labels=["x", None])
+        path = tmp_path / "out.fasta"
+        write_fasta(db, path)
+        back = read_fasta(path)
+        assert [r.as_string() for r in back] == ["abab", "baba"]
+        assert back.labels == ["x", None]
+
+    def test_line_wrapping(self):
+        db = SequenceDatabase.from_strings(["a" * 25])
+        buffer = io.StringIO()
+        write_fasta(db, buffer, line_width=10)
+        lines = buffer.getvalue().strip().split("\n")
+        assert lines[0] == ">seq0"
+        assert [len(line) for line in lines[1:]] == [10, 10, 5]
+
+    def test_invalid_line_width(self):
+        db = SequenceDatabase.from_strings(["ab"])
+        with pytest.raises(ValueError):
+            write_fasta(db, io.StringIO(), line_width=0)
+
+
+class TestLabelledText:
+    def test_read(self):
+        text = "x\tabab\n# comment\n\nbaba\n"
+        db = read_labelled_text(io.StringIO(text))
+        assert len(db) == 2
+        assert db.labels == ["x", None]
+
+    def test_empty_sequence_raises(self):
+        with pytest.raises(SequenceFormatError, match="empty sequence"):
+            read_labelled_text(io.StringIO("x\t \n"))
+
+    def test_no_sequences_raises(self):
+        with pytest.raises(SequenceFormatError):
+            read_labelled_text(io.StringIO("# only a comment\n"))
+
+    def test_roundtrip(self, tmp_path):
+        db = SequenceDatabase.from_strings(["abab", "bb"], labels=["x", None])
+        path = tmp_path / "db.txt"
+        write_labelled_text(db, path)
+        back = read_labelled_text(path)
+        assert [r.as_string() for r in back] == ["abab", "bb"]
+        assert back.labels == ["x", None]

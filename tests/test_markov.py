@@ -1,0 +1,139 @@
+"""Tests for repro.sequences.markov."""
+
+import numpy as np
+import pytest
+
+from repro.sequences.markov import (
+    MarkovSource,
+    random_markov_source,
+    uniform_source,
+)
+
+
+def deterministic_source():
+    """Order-1 source over {0,1} that strictly alternates."""
+    return MarkovSource(
+        2,
+        order=1,
+        transitions={
+            (): np.array([1.0, 0.0]),
+            (0,): np.array([0.0, 1.0]),
+            (1,): np.array([1.0, 0.0]),
+        },
+    )
+
+
+class TestConstruction:
+    def test_missing_empty_context_rejected(self):
+        with pytest.raises(ValueError, match="empty context"):
+            MarkovSource(2, 1, {(0,): np.array([0.5, 0.5])})
+
+    def test_wrong_vector_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            MarkovSource(2, 0, {(): np.array([1.0, 0.0, 0.0])})
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            MarkovSource(2, 0, {(): np.array([1.5, -0.5])})
+
+    def test_zero_sum_rejected(self):
+        with pytest.raises(ValueError, match="sum to 0"):
+            MarkovSource(2, 0, {(): np.array([0.0, 0.0])})
+
+    def test_vectors_are_normalized(self):
+        source = MarkovSource(2, 0, {(): np.array([2.0, 2.0])})
+        assert np.allclose(source.distribution_for([]), [0.5, 0.5])
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            MarkovSource(0, 0, {(): np.array([])})
+        with pytest.raises(ValueError):
+            MarkovSource(2, -1, {(): np.array([0.5, 0.5])})
+
+
+class TestSampling:
+    def test_deterministic_alternation(self, rng):
+        source = deterministic_source()
+        sample = source.sample(10, rng)
+        assert sample == [0, 1, 0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_sample_length(self, rng):
+        assert len(uniform_source(4).sample(17, rng)) == 17
+        assert uniform_source(4).sample(0, rng) == []
+
+    def test_negative_length_rejected(self, rng):
+        with pytest.raises(ValueError):
+            uniform_source(2).sample(-1, rng)
+
+    def test_sample_many_lengths_near_mean(self, rng):
+        sequences = uniform_source(4).sample_many(50, 100, rng, length_jitter=0.1)
+        lengths = [len(s) for s in sequences]
+        assert len(sequences) == 50
+        assert 80 <= np.mean(lengths) <= 120
+        assert min(lengths) >= 2
+
+    def test_sample_many_zero_count(self, rng):
+        assert uniform_source(2).sample_many(0, 10, rng) == []
+
+    def test_symbols_in_range(self, rng):
+        for sample in random_markov_source(5, rng=rng).sample_many(5, 30, rng):
+            assert all(0 <= symbol < 5 for symbol in sample)
+
+
+class TestSuffixFallback:
+    def test_falls_back_to_shorter_context(self):
+        source = MarkovSource(
+            2,
+            order=2,
+            transitions={
+                (): np.array([0.5, 0.5]),
+                (1,): np.array([0.9, 0.1]),
+            },
+        )
+        # Context (0, 1): no order-2 entry, falls back to (1,).
+        assert np.allclose(source.distribution_for([0, 1]), [0.9, 0.1])
+        # Context (0, 0): no entries at any depth, falls back to ().
+        assert np.allclose(source.distribution_for([0, 0]), [0.5, 0.5])
+
+    def test_order_zero_ignores_context(self):
+        source = uniform_source(3)
+        assert np.allclose(
+            source.distribution_for([0, 1, 2]), source.distribution_for([])
+        )
+
+
+class TestLogLikelihood:
+    def test_deterministic_sequence_probability_one(self):
+        source = deterministic_source()
+        assert source.log_likelihood([0, 1, 0, 1]) == pytest.approx(0.0)
+
+    def test_impossible_sequence(self):
+        source = deterministic_source()
+        assert source.log_likelihood([1]) == float("-inf")
+
+    def test_uniform_likelihood(self):
+        source = uniform_source(4)
+        assert source.log_likelihood([0, 1, 2]) == pytest.approx(3 * np.log(0.25))
+
+
+class TestRandomSource:
+    def test_contexts_present(self, rng):
+        source = random_markov_source(3, order=2, rng=rng)
+        assert () in dict.fromkeys(source.contexts)
+        assert source.order == 2
+
+    def test_context_fraction_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_markov_source(3, context_fraction=1.5, rng=rng)
+
+    def test_reproducible_with_seed(self):
+        a = random_markov_source(4, rng=np.random.default_rng(5))
+        b = random_markov_source(4, rng=np.random.default_rng(5))
+        assert np.allclose(a.distribution_for([1]), b.distribution_for([1]))
+
+    def test_max_contexts_cap(self, rng):
+        source = random_markov_source(
+            6, order=2, rng=rng, max_contexts=5
+        )
+        order2 = [c for c in source.contexts if len(c) == 2]
+        assert len(order2) <= 5

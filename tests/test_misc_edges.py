@@ -1,0 +1,99 @@
+"""Assorted edge cases across modules."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.baselines.hmm import DiscreteHMM
+from repro.cli import main
+from repro.sequences.io import iter_fasta, read_labelled_text
+
+
+class TestIOEdges:
+    def test_fasta_windows_line_endings(self):
+        text = ">a fam\r\nACGT\r\nACGT\r\n"
+        records = list(iter_fasta(io.StringIO(text)))
+        assert records == [("a fam", "ACGTACGT")]
+
+    def test_labelled_text_whitespace_label(self):
+        db = read_labelled_text(io.StringIO(" \tabab\n"))
+        assert db.labels == [None]  # blank label normalised to None
+
+    def test_fasta_header_only_whitespace(self):
+        records = list(iter_fasta(io.StringIO(">   \nAC\n")))
+        assert records == [("", "AC")]
+
+
+class TestHMMEdges:
+    def test_fit_skips_empty_sequences(self):
+        model = DiscreteHMM(2, 2, seed=0)
+        model.fit([[0, 1, 0], []], iterations=2)
+        assert np.isclose(model.emission.sum(axis=1), 1.0).all()
+
+    def test_single_state(self):
+        model = DiscreteHMM(1, 3, seed=0)
+        model.fit([[0, 1, 2, 0, 1]], iterations=3)
+        # One state: likelihood is the product of emission probabilities.
+        assert model.log_likelihood([0]) == pytest.approx(
+            np.log(model.emission[0, 0])
+        )
+
+    def test_single_symbol_alphabet(self):
+        model = DiscreteHMM(2, 1, seed=0)
+        assert model.log_likelihood([0, 0, 0]) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestCLIExperimentCommand:
+    def test_experiment_dispatch(self, capsys, monkeypatch):
+        """The experiment command resolves and runs the named harness."""
+        import repro.experiments.table4_languages as table4
+
+        calls = {}
+
+        def fake_run(**kwargs):
+            calls["ran"] = True
+            return []
+
+        def fake_print(rows):
+            calls["printed"] = rows
+
+        monkeypatch.setattr(table4, "run_table4", fake_run)
+        monkeypatch.setattr(table4, "print_table4", fake_print)
+        code = main(["experiment", "table4"])
+        assert code == 0
+        assert calls == {"ran": True, "printed": []}
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip()
+
+
+class TestWorkAccounting:
+    def test_reclustering_work_positive(self, toy_db):
+        from repro.core.cluseq import cluster_sequences
+
+        result = cluster_sequences(
+            toy_db, k=2, significance_threshold=2, min_unique_members=3,
+            max_iterations=5, seed=1,
+        )
+        assert result.total_reclustering_work > 0
+        assert result.total_reclustering_work == sum(
+            stats.reclustering_work for stats in result.history
+        )
+
+    def test_work_scales_with_database(self):
+        from repro.core.cluseq import cluster_sequences
+        from repro.sequences.generators import generate_two_cluster_toy
+
+        small = generate_two_cluster_toy(size_per_cluster=10, length=30, seed=7)
+        large = generate_two_cluster_toy(size_per_cluster=40, length=30, seed=7)
+        kwargs = dict(
+            k=2, significance_threshold=2, min_unique_members=3,
+            max_iterations=4, seed=1,
+        )
+        work_small = cluster_sequences(small, **kwargs).total_reclustering_work
+        work_large = cluster_sequences(large, **kwargs).total_reclustering_work
+        assert work_large > work_small

@@ -1,0 +1,94 @@
+"""Tests for saving/loading fitted clusterings."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.cluseq import cluster_sequences
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    from repro.sequences.generators import generate_two_cluster_toy
+
+    db = generate_two_cluster_toy(size_per_cluster=20, length=30, seed=7)
+    result = cluster_sequences(
+        db,
+        k=2,
+        significance_threshold=2,
+        min_unique_members=3,
+        max_iterations=10,
+        seed=1,
+    )
+    return db, result
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self, fitted):
+        _, result = fitted
+        clone = result_from_dict(result_to_dict(result))
+        assert clone.num_clusters == result.num_clusters
+        assert clone.final_log_threshold == result.final_log_threshold
+        assert clone.assignments == result.assignments
+        assert clone.labels() == result.labels()
+        assert np.allclose(clone.background, result.background)
+        assert clone.params == result.params
+        assert len(clone.history) == len(result.history)
+
+    def test_file_roundtrip(self, fitted, tmp_path):
+        _, result = fitted
+        path = tmp_path / "model.json"
+        save_result(result, path)
+        clone = load_result(path)
+        assert clone.labels() == result.labels()
+
+    def test_stream_roundtrip(self, fitted):
+        _, result = fitted
+        buffer = io.StringIO()
+        save_result(result, buffer)
+        buffer.seek(0)
+        clone = load_result(buffer)
+        assert clone.num_clusters == result.num_clusters
+
+    def test_predictions_survive(self, fitted):
+        db, result = fitted
+        clone = result_from_dict(result_to_dict(result))
+        for index in range(0, len(db), 7):
+            encoded = db.encoded(index)
+            assert clone.predict(encoded) == result.predict(encoded)
+            original = result.score_sequence(encoded)
+            restored = clone.score_sequence(encoded)
+            for cid, score in original.items():
+                assert restored[cid].log_similarity == pytest.approx(
+                    score.log_similarity
+                )
+
+    def test_memberships_survive(self, fitted):
+        _, result = fitted
+        clone = result_from_dict(result_to_dict(result))
+        for cluster, cloned in zip(result.clusters, clone.clusters):
+            assert cloned.members == cluster.members
+            assert cloned.pst.node_count == cluster.pst.node_count
+
+
+class TestFormat:
+    def test_json_serializable(self, fitted):
+        _, result = fitted
+        text = json.dumps(result_to_dict(result))
+        assert f'"format_version": {FORMAT_VERSION}' in text
+
+    def test_unknown_version_rejected(self, fitted):
+        _, result = fitted
+        payload = result_to_dict(result)
+        payload["format_version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            result_from_dict(payload)

@@ -1,0 +1,123 @@
+"""Tests for repro.core.pruning — PST node-budget pruning."""
+
+import numpy as np
+import pytest
+
+from repro.core.pruning import STRATEGIES, prune_to
+from repro.core.pst import ProbabilisticSuffixTree
+
+
+def build_pst(seed=0, sequences=8, length=60, alphabet=4, depth=5, c=3):
+    rng = np.random.default_rng(seed)
+    pst = ProbabilisticSuffixTree(
+        alphabet_size=alphabet, max_depth=depth, significance_threshold=c
+    )
+    for _ in range(sequences):
+        pst.add_sequence(list(rng.integers(0, alphabet, size=length)))
+    return pst
+
+
+class TestValidation:
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown prune strategy"):
+            prune_to(build_pst(), 10, strategy="bogus")
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            prune_to(build_pst(), 0)
+
+    def test_invalid_slack(self):
+        with pytest.raises(ValueError):
+            prune_to(build_pst(), 10, slack=0.0)
+        with pytest.raises(ValueError):
+            prune_to(build_pst(), 10, slack=1.5)
+
+
+class TestBudgetEnforcement:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_prunes_to_target(self, strategy):
+        pst = build_pst()
+        before = pst.node_count
+        assert before > 50
+        removed = prune_to(pst, 50, strategy=strategy)
+        assert removed > 0
+        assert pst.node_count <= 50
+        assert pst.recount_nodes() == pst.node_count
+
+    def test_noop_when_under_budget(self):
+        pst = build_pst()
+        # Slack shrinks the effective target, so leave generous headroom.
+        assert prune_to(pst, pst.node_count * 2, strategy="paper") == 0
+
+    def test_slack_leaves_headroom(self):
+        pst = build_pst()
+        prune_to(pst, 60, strategy="paper", slack=0.5)
+        assert pst.node_count <= 30
+
+    def test_root_always_survives(self):
+        pst = build_pst()
+        prune_to(pst, 1, strategy="smallest_count")
+        assert pst.node_count >= 1
+        assert pst.root.count > 0
+
+
+class TestStrategySemantics:
+    def test_smallest_count_keeps_high_count_nodes(self):
+        pst = build_pst()
+        counts_before = {
+            label: node.count for label, node in pst.iter_nodes() if label
+        }
+        top = sorted(counts_before.values(), reverse=True)[:3]
+        prune_to(pst, 40, strategy="smallest_count")
+        remaining = [node.count for label, node in pst.iter_nodes() if label]
+        # The very highest-count nodes must survive.
+        for value in top:
+            assert value in remaining or value >= max(remaining)
+
+    def test_longest_label_prunes_deepest_first(self):
+        pst = build_pst()
+        depth_before = pst.depth()
+        prune_to(pst, 40, strategy="longest_label")
+        assert pst.depth() <= depth_before
+        # After a deep cut, the deepest labels are gone first.
+        assert pst.depth() < depth_before
+
+    def test_expected_vector_keeps_divergent_children(self):
+        """A child whose distribution differs sharply from its parent
+        should outlive one that matches its parent."""
+        pst = ProbabilisticSuffixTree(
+            alphabet_size=2, max_depth=2, significance_threshold=1
+        )
+        # Context (0,): next symbol heavily 1.  Context (1, 0): same as
+        # parent (expected).  Context (0, 1): next symbol heavily 0
+        # differs from parent (1,)'s distribution.
+        pst.add_sequence([0, 1, 0, 1, 0, 1, 0, 1, 0, 1])
+        prune_to(pst, pst.node_count - 1, strategy="expected_vector", slack=1.0)
+        assert pst.node_count >= 1
+
+    def test_paper_strategy_prunes_insignificant_first(self):
+        pst = build_pst(c=4)
+        significant_before = {
+            label
+            for label, node in pst.iter_nodes()
+            if node.count >= 4 and label
+        }
+        # A mild prune should be satisfied by insignificant nodes alone.
+        prune_to(pst, int(pst.node_count * 0.8), strategy="paper")
+        remaining = {label for label, node in pst.iter_nodes() if label}
+        assert significant_before <= remaining
+
+
+class TestSubtreeRemoval:
+    def test_no_orphan_nodes(self):
+        """After pruning, every reachable node count is consistent."""
+        pst = build_pst()
+        prune_to(pst, 30, strategy="smallest_count")
+        reachable = sum(1 for _ in pst.iter_nodes())
+        assert reachable == pst.node_count
+
+    def test_predictions_still_work_after_prune(self):
+        pst = build_pst()
+        prune_to(pst, 20, strategy="paper")
+        vec = pst.probability_vector([0, 1, 2])
+        assert np.isclose(vec.sum(), 1.0)

@@ -1,0 +1,247 @@
+"""Tests for repro.core.pst — the probabilistic suffix tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.pst import ProbabilisticSuffixTree
+
+
+def count_occurrences(haystack, needle):
+    """Reference occurrence count of a segment in one sequence."""
+    n, m = len(haystack), len(needle)
+    return sum(1 for i in range(n - m + 1) if haystack[i : i + m] == needle)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alphabet_size": 0},
+            {"alphabet_size": 2, "max_depth": 0},
+            {"alphabet_size": 2, "significance_threshold": 0},
+            {"alphabet_size": 2, "max_nodes": 0},
+            {"alphabet_size": 2, "p_min": 0.9},  # 2 * 0.9 >= 1
+            {"alphabet_size": 2, "p_min": -0.1},
+        ],
+    )
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            ProbabilisticSuffixTree(**kwargs)
+
+    def test_empty_tree(self):
+        pst = ProbabilisticSuffixTree(alphabet_size=3)
+        assert pst.node_count == 1
+        assert pst.total_symbols == 0
+        # No data: uniform fallback.
+        assert pst.probability(0, []) == pytest.approx(1 / 3)
+
+    def test_from_sequences(self):
+        pst = ProbabilisticSuffixTree.from_sequences(
+            [[0, 1], [1, 0]], alphabet_size=2, max_depth=2
+        )
+        assert pst.sequences_added == 2
+        assert pst.total_symbols == 4
+
+
+class TestCounts:
+    def test_root_count_is_total_length(self):
+        pst = ProbabilisticSuffixTree(alphabet_size=2, max_depth=3)
+        pst.add_sequence([0, 1, 0, 1, 0])
+        assert pst.total_symbols == 5
+
+    @pytest.mark.parametrize(
+        "segment", [[0], [1], [0, 1], [1, 0], [0, 1, 0], [1, 0, 1]]
+    )
+    def test_segment_counts_match_reference(self, segment):
+        sequence = [0, 1, 0, 1, 0, 0, 1, 1, 0, 1]
+        pst = ProbabilisticSuffixTree(alphabet_size=2, max_depth=4)
+        pst.add_sequence(sequence)
+        assert pst.count_of(segment) == count_occurrences(sequence, segment)
+
+    def test_counts_accumulate_across_sequences(self):
+        pst = ProbabilisticSuffixTree(alphabet_size=2, max_depth=2)
+        pst.add_sequence([0, 1])
+        pst.add_sequence([0, 1])
+        assert pst.count_of([0, 1]) == 2
+        assert pst.count_of([0]) == 2
+
+    def test_count_of_too_long_segment_is_zero(self):
+        pst = ProbabilisticSuffixTree(alphabet_size=2, max_depth=2)
+        pst.add_sequence([0, 1, 0, 1])
+        assert pst.count_of([0, 1, 0]) == 0
+
+    def test_count_of_absent_segment(self):
+        pst = ProbabilisticSuffixTree(alphabet_size=2, max_depth=3)
+        pst.add_sequence([0, 0, 0])
+        assert pst.count_of([1]) == 0
+
+    def test_empty_sequence_is_noop(self):
+        pst = ProbabilisticSuffixTree(alphabet_size=2)
+        pst.add_sequence([])
+        assert pst.node_count == 1
+        assert pst.sequences_added == 0
+
+    def test_out_of_range_symbol_rejected(self):
+        pst = ProbabilisticSuffixTree(alphabet_size=2)
+        with pytest.raises(ValueError, match="out of range"):
+            pst.add_sequence([0, 5])
+
+
+class TestSignificance:
+    def test_is_significant(self):
+        pst = ProbabilisticSuffixTree(
+            alphabet_size=2, max_depth=3, significance_threshold=3
+        )
+        pst.add_sequence([0, 1, 0, 1, 0, 1, 0])  # '01' occurs 3 times
+        assert pst.is_significant([0, 1])
+        assert not pst.is_significant([1, 0, 1])
+        assert pst.is_significant([])  # root always significant
+
+    def test_significant_node_count(self, simple_pst):
+        total = simple_pst.node_count
+        significant = simple_pst.significant_node_count()
+        assert 1 <= significant <= total
+
+
+class TestPrediction:
+    def test_paper_example_structure(self):
+        """Alternating data: P(b|a) should be ~1, P(a|b) ~1."""
+        pst = ProbabilisticSuffixTree(
+            alphabet_size=2, max_depth=3, significance_threshold=2
+        )
+        pst.add_sequence([0, 1] * 10)
+        assert pst.probability(1, [0]) == pytest.approx(1.0)
+        assert pst.probability(0, [1]) == pytest.approx(1.0)
+
+    def test_longest_significant_suffix(self):
+        pst = ProbabilisticSuffixTree(
+            alphabet_size=2, max_depth=4, significance_threshold=3
+        )
+        pst.add_sequence([0, 1] * 8)
+        # (0,1,0) occurs often => significant; (1,1,0) never occurs.
+        assert pst.longest_significant_suffix([1, 1, 0]) == (1, 0) or (
+            pst.longest_significant_suffix([1, 1, 0]) == (0,)
+        )
+        lss = pst.longest_significant_suffix([0, 1, 0])
+        assert lss == (0, 1, 0)
+
+    def test_prediction_node_falls_back_to_root(self):
+        pst = ProbabilisticSuffixTree(
+            alphabet_size=2, max_depth=3, significance_threshold=100
+        )
+        pst.add_sequence([0, 1, 0, 1])
+        node = pst.prediction_node([0, 1])
+        assert node is pst.root
+
+    def test_context_longer_than_depth_truncated(self):
+        pst = ProbabilisticSuffixTree(
+            alphabet_size=2, max_depth=2, significance_threshold=1
+        )
+        pst.add_sequence([0, 1] * 10)
+        long_context = [0, 1] * 7
+        short_context = long_context[-2:]
+        assert pst.probability(0, long_context) == pst.probability(0, short_context)
+
+    def test_probability_vector_sums_to_one(self, simple_pst):
+        vec = simple_pst.probability_vector([0])
+        assert vec.shape == (2,)
+        assert np.isclose(vec.sum(), 1.0)
+
+    def test_smoothing_lifts_zero_entries(self):
+        pst = ProbabilisticSuffixTree(
+            alphabet_size=2, max_depth=2, significance_threshold=1, p_min=0.01
+        )
+        pst.add_sequence([0, 0, 0, 0])
+        p = pst.probability(1, [0])
+        assert p == pytest.approx(0.01)
+        vec = pst.probability_vector([0])
+        assert np.isclose(vec.sum(), 1.0)
+        assert (vec >= 0.01 - 1e-12).all()
+
+
+class TestTraversal:
+    def test_iter_nodes_labels_unique(self, simple_pst):
+        labels = [label for label, _ in simple_pst.iter_nodes()]
+        assert len(labels) == len(set(labels)) == simple_pst.node_count
+
+    def test_node_for_matches_iter(self, simple_pst):
+        for label, node in simple_pst.iter_nodes():
+            assert simple_pst.node_for(label) is node
+
+    def test_depth_bounded(self, simple_pst):
+        assert simple_pst.depth() <= simple_pst.max_depth
+
+    def test_child_count_never_exceeds_parent(self, simple_pst):
+        for label, node in simple_pst.iter_nodes():
+            for child in node.children.values():
+                assert child.count <= node.count
+
+    def test_recount_nodes_consistent(self, simple_pst):
+        assert simple_pst.recount_nodes() == simple_pst.node_count
+
+    def test_approx_memory(self, simple_pst):
+        assert simple_pst.approx_memory_bytes() > 0
+
+    def test_repr(self, simple_pst):
+        assert "ProbabilisticSuffixTree" in repr(simple_pst)
+
+
+class TestNodeBudget:
+    def test_budget_enforced_on_insert(self):
+        pst = ProbabilisticSuffixTree(
+            alphabet_size=4, max_depth=5, significance_threshold=2, max_nodes=30
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            pst.add_sequence(list(rng.integers(0, 4, size=50)))
+        assert pst.node_count <= 30
+
+    def test_unbounded_by_default(self):
+        pst = ProbabilisticSuffixTree(alphabet_size=4, max_depth=5)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            pst.add_sequence(list(rng.integers(0, 4, size=50)))
+        assert pst.node_count > 30
+
+
+class TestSampling:
+    def test_sample_reflects_model(self, rng):
+        pst = ProbabilisticSuffixTree(
+            alphabet_size=2, max_depth=2, significance_threshold=2
+        )
+        pst.add_sequence([0, 1] * 20)
+        sample = pst.sample(20, rng)
+        # strict alternation learned
+        assert sample == [0, 1] * 10 or sample == [1, 0] * 10 or all(
+            sample[i] != sample[i + 1] for i in range(len(sample) - 1)
+        )
+
+    def test_sample_length_zero(self, rng):
+        pst = ProbabilisticSuffixTree(alphabet_size=2)
+        assert pst.sample(0, rng) == []
+
+    def test_negative_length_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ProbabilisticSuffixTree(alphabet_size=2).sample(-1, rng)
+
+
+class TestSerialization:
+    def test_roundtrip(self, simple_pst):
+        data = simple_pst.to_dict()
+        clone = ProbabilisticSuffixTree.from_dict(data)
+        assert clone.node_count == simple_pst.node_count
+        assert clone.total_symbols == simple_pst.total_symbols
+        assert clone.max_depth == simple_pst.max_depth
+        for label, node in simple_pst.iter_nodes():
+            other = clone.node_for(label)
+            assert other is not None
+            assert other.count == node.count
+            assert other.next_counts == node.next_counts
+
+    def test_roundtrip_preserves_predictions(self, simple_pst):
+        clone = ProbabilisticSuffixTree.from_dict(simple_pst.to_dict())
+        for context in ([], [0], [1], [0, 1]):
+            for symbol in (0, 1):
+                assert clone.probability(symbol, context) == pytest.approx(
+                    simple_pst.probability(symbol, context)
+                )

@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) for the probabilistic suffix tree."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pst import ProbabilisticSuffixTree
+
+sequences = st.lists(
+    st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=40),
+    min_size=1,
+    max_size=6,
+)
+
+
+def reference_count(seqs, segment):
+    """Occurrences of *segment* across all sequences."""
+    total = 0
+    m = len(segment)
+    for seq in seqs:
+        total += sum(
+            1 for i in range(len(seq) - m + 1) if seq[i : i + m] == segment
+        )
+    return total
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences, st.lists(st.integers(0, 3), min_size=1, max_size=3))
+def test_counts_match_reference(seqs, segment):
+    """Every node count equals the true occurrence count of its label."""
+    pst = ProbabilisticSuffixTree(alphabet_size=4, max_depth=3)
+    for seq in seqs:
+        pst.add_sequence(seq)
+    assert pst.count_of(segment) == reference_count(seqs, segment)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences)
+def test_root_count_is_total_length(seqs):
+    pst = ProbabilisticSuffixTree(alphabet_size=4, max_depth=3)
+    for seq in seqs:
+        pst.add_sequence(seq)
+    assert pst.total_symbols == sum(len(s) for s in seqs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences)
+def test_child_counts_bounded_by_parent(seqs):
+    """A child's label extends the parent's, so its count can't exceed it."""
+    pst = ProbabilisticSuffixTree(alphabet_size=4, max_depth=4)
+    for seq in seqs:
+        pst.add_sequence(seq)
+    for _, node in pst.iter_nodes():
+        for child in node.children.values():
+            assert child.count <= node.count
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences)
+def test_next_counts_consistent_with_children(seqs):
+    """The next-symbol total of a node equals its count minus the
+    occurrences of its label at a sequence end."""
+    pst = ProbabilisticSuffixTree(alphabet_size=4, max_depth=3)
+    for seq in seqs:
+        pst.add_sequence(seq)
+    for label, node in pst.iter_nodes():
+        if label == ():
+            continue
+        m = len(label)
+        terminal = sum(1 for seq in seqs if tuple(seq[-m:]) == label)
+        assert node.next_total == node.count - terminal
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences, st.lists(st.integers(0, 3), min_size=0, max_size=5))
+def test_probability_vector_normalised(seqs, context):
+    pst = ProbabilisticSuffixTree(alphabet_size=4, max_depth=3, p_min=1e-3)
+    for seq in seqs:
+        pst.add_sequence(seq)
+    vec = pst.probability_vector(context)
+    assert np.isclose(vec.sum(), 1.0)
+    assert (vec >= 0).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequences, st.lists(st.integers(0, 3), min_size=0, max_size=5))
+def test_prediction_node_is_significant_suffix(seqs, context):
+    """The prediction node's label is a significant suffix of the context."""
+    pst = ProbabilisticSuffixTree(
+        alphabet_size=4, max_depth=3, significance_threshold=2
+    )
+    for seq in seqs:
+        pst.add_sequence(seq)
+    suffix = pst.longest_significant_suffix(context)
+    assert tuple(context[len(context) - len(suffix) :]) == suffix
+    if suffix:
+        assert pst.count_of(list(suffix)) >= 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(sequences)
+def test_serialization_roundtrip(seqs):
+    pst = ProbabilisticSuffixTree(alphabet_size=4, max_depth=3)
+    for seq in seqs:
+        pst.add_sequence(seq)
+    clone = ProbabilisticSuffixTree.from_dict(pst.to_dict())
+    assert clone.node_count == pst.node_count
+    labels = {label: node.count for label, node in pst.iter_nodes()}
+    clone_labels = {label: node.count for label, node in clone.iter_nodes()}
+    assert labels == clone_labels
+
+
+@settings(max_examples=40, deadline=None)
+@given(sequences)
+def test_node_count_cache_accurate(seqs):
+    pst = ProbabilisticSuffixTree(alphabet_size=4, max_depth=3)
+    for seq in seqs:
+        pst.add_sequence(seq)
+    cached = pst.node_count
+    assert pst.recount_nodes() == cached

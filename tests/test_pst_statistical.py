@@ -1,0 +1,109 @@
+"""Statistical consistency of the PST as an estimator.
+
+A PST fitted on data sampled from a known Markov source must recover
+that source's conditional distributions (for significant contexts),
+and sampling from the fitted PST must reproduce the source's
+statistics. These tests close the generative↔discriminative loop the
+synthetic experiments rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pst import ProbabilisticSuffixTree
+from repro.sequences.markov import MarkovSource, random_markov_source
+
+
+@pytest.fixture
+def sharp_source():
+    """An order-1 source with distinctive, non-uniform rows."""
+    return MarkovSource(
+        3,
+        order=1,
+        transitions={
+            (): np.array([0.5, 0.3, 0.2]),
+            (0,): np.array([0.1, 0.8, 0.1]),
+            (1,): np.array([0.7, 0.1, 0.2]),
+            (2,): np.array([0.2, 0.2, 0.6]),
+        },
+    )
+
+
+def fit_pst(source, rng, sequences=30, length=200, c=30):
+    pst = ProbabilisticSuffixTree(
+        alphabet_size=source.alphabet_size,
+        max_depth=4,
+        significance_threshold=c,
+    )
+    for seq in source.sample_many(sequences, length, rng, length_jitter=0.0):
+        pst.add_sequence(seq)
+    return pst
+
+
+class TestEstimationConsistency:
+    def test_order1_conditionals_recovered(self, sharp_source, rng):
+        pst = fit_pst(sharp_source, rng)
+        for context in range(3):
+            truth = sharp_source.distribution_for([context])
+            estimated = pst.probability_vector([context])
+            assert np.abs(estimated - truth).max() < 0.05, (
+                f"context {context}: {estimated} vs {truth}"
+            )
+
+    def test_estimates_improve_with_data(self, sharp_source):
+        """More training data → closer conditional estimates."""
+        def total_error(sequences):
+            rng = np.random.default_rng(0)
+            pst = fit_pst(sharp_source, rng, sequences=sequences)
+            return sum(
+                np.abs(
+                    pst.probability_vector([context])
+                    - sharp_source.distribution_for([context])
+                ).sum()
+                for context in range(3)
+            )
+
+        small = total_error(3)
+        large = total_error(60)
+        assert large < small
+
+    def test_deeper_contexts_fall_back_when_insignificant(
+        self, sharp_source, rng
+    ):
+        """For an order-1 source, order-3 contexts carry no extra
+        information, so prediction through them still matches the
+        order-1 truth."""
+        pst = fit_pst(sharp_source, rng, sequences=40)
+        for context in ([0, 1, 2], [2, 2, 0], [1, 0, 1]):
+            truth = sharp_source.distribution_for(context)
+            estimated = pst.probability_vector(context)
+            assert np.abs(estimated - truth).max() < 0.08
+
+
+class TestSamplingConsistency:
+    def test_sampled_statistics_match_source(self, sharp_source, rng):
+        """Sample from the fitted PST and check symbol-pair statistics
+        against the original source."""
+        pst = fit_pst(sharp_source, rng)
+        sample = pst.sample(4000, rng)
+        # Empirical P(1 | 0) from the sample should be near 0.8.
+        after_zero = [
+            sample[i + 1] for i in range(len(sample) - 1) if sample[i] == 0
+        ]
+        p_1_given_0 = after_zero.count(1) / max(len(after_zero), 1)
+        assert abs(p_1_given_0 - 0.8) < 0.08
+
+    def test_refit_roundtrip(self, rng):
+        """Fitting a second PST on samples of the first recovers the
+        same significant conditional structure."""
+        source = random_markov_source(4, order=1, rng=rng, concentration=0.3)
+        first = fit_pst(source, rng, sequences=40, length=250)
+        second = ProbabilisticSuffixTree(
+            alphabet_size=4, max_depth=4, significance_threshold=30
+        )
+        for _ in range(40):
+            second.add_sequence(first.sample(250, rng))
+        for context in range(4):
+            a = first.probability_vector([context])
+            b = second.probability_vector([context])
+            assert np.abs(a - b).max() < 0.08

@@ -1,0 +1,88 @@
+"""Public API surface tests: everything README documents must import."""
+
+import importlib
+
+import pytest
+
+
+def test_top_level_exports():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+    assert repro.__version__
+
+
+def test_core_exports():
+    from repro import core
+
+    for name in core.__all__:
+        assert hasattr(core, name), f"repro.core.{name} missing"
+
+
+def test_sequences_exports():
+    from repro import sequences
+
+    for name in sequences.__all__:
+        assert hasattr(sequences, name)
+
+
+def test_baselines_exports():
+    from repro import baselines
+
+    for name in baselines.__all__:
+        assert hasattr(baselines, name)
+
+
+def test_evaluation_exports():
+    from repro import evaluation
+
+    for name in evaluation.__all__:
+        assert hasattr(evaluation, name)
+
+
+def test_datasets_exports():
+    from repro import datasets
+
+    for name in datasets.__all__:
+        assert hasattr(datasets, name)
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.experiments.table2_model_comparison",
+        "repro.experiments.table3_protein_families",
+        "repro.experiments.table4_languages",
+        "repro.experiments.table5_initial_k",
+        "repro.experiments.table6_initial_t",
+        "repro.experiments.fig3_similarity_histogram",
+        "repro.experiments.fig4_pst_size",
+        "repro.experiments.fig5_sample_size",
+        "repro.experiments.fig6_scalability",
+        "repro.experiments.ordering_policies",
+        "repro.experiments.outlier_robustness",
+        "repro.experiments.ablation_modes",
+        "repro.experiments.ablation_pruning",
+        "repro.experiments.ablation_smoothing",
+        "repro.cli",
+        "repro.__main__",
+    ],
+)
+def test_modules_importable(module):
+    importlib.import_module(module)
+
+
+def test_docstrings_present():
+    """Every public module and class carries a docstring."""
+    import repro
+    from repro.core import cluseq, pst, similarity, threshold
+    from repro.sequences import alphabet, database
+
+    for module in (repro, cluseq, pst, similarity, threshold, alphabet, database):
+        assert module.__doc__, f"{module.__name__} missing docstring"
+
+    from repro import CLUSEQ, Cluster, CluseqParams, ProbabilisticSuffixTree
+
+    for cls in (CLUSEQ, Cluster, CluseqParams, ProbabilisticSuffixTree):
+        assert cls.__doc__, f"{cls.__name__} missing docstring"

