@@ -11,7 +11,6 @@ removes convergence-count noise: slope ≈ 1 for (a)/(b), ≥ ~1 for (c),
 ≈ 0 for (d). Generous tolerances — this is a laptop, not a testbed.
 """
 
-import pytest
 from conftest import run_once
 
 from repro.experiments.fig6_scalability import (

@@ -6,12 +6,24 @@ workloads, prints the rows in the paper's layout, and asserts the
 absolute numbers are machine-dependent and not asserted.
 
 Run with:  pytest benchmarks/ --benchmark-only
+
+Each bench additionally runs under a fresh metrics registry and, when
+it collected anything, dumps the registry to
+``benchmarks/telemetry/BENCH_<test>.telemetry.json`` (directory
+overridable via ``BENCH_TELEMETRY_DIR``) — the machine-readable
+record of per-phase timers, PST sizes and work counters that lets the
+perf trajectory be compared across PRs, next to the printed tables.
 """
+
+import os
+from pathlib import Path
 
 import pytest
 
 from repro.datasets.languages import make_language_database
 from repro.datasets.protein import make_protein_database
+from repro.evaluation.reporting import write_metrics_json
+from repro.obs import MetricsRegistry, use_registry
 from repro.sequences.generators import generate_clustered_database
 
 
@@ -27,6 +39,26 @@ def pytest_configure(config):
     reportchars = getattr(config.option, "reportchars", "") or ""
     if "P" not in reportchars:
         config.option.reportchars = reportchars + "P"
+
+
+@pytest.fixture(autouse=True)
+def bench_telemetry(request):
+    """Collect metrics for each bench and write a telemetry JSON dump."""
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        yield registry
+    if len(registry) == 0:
+        return  # bench exercised no instrumented code; nothing to record
+    out_dir = Path(
+        os.environ.get("BENCH_TELEMETRY_DIR", Path(__file__).parent / "telemetry")
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    safe_name = request.node.name.replace("/", "_").replace("[", "_").rstrip("]")
+    write_metrics_json(
+        out_dir / f"BENCH_{safe_name}.telemetry.json",
+        registry,
+        extra={"bench": request.node.nodeid},
+    )
 
 
 @pytest.fixture(scope="session")

@@ -23,10 +23,20 @@ from .core import (
     Cluster,
     CluseqParams,
     ClusteringResult,
+    IterationSnapshot,
     ProbabilisticSuffixTree,
     SimilarityResult,
     cluster_sequences,
     similarity,
+)
+from .obs import (
+    MetricsRegistry,
+    configure_logging,
+    get_logger,
+    get_registry,
+    set_registry,
+    span,
+    use_registry,
 )
 from .sequences import (
     Alphabet,
@@ -47,10 +57,18 @@ __all__ = [
     "Cluster",
     "CluseqParams",
     "ClusteringResult",
+    "IterationSnapshot",
     "ProbabilisticSuffixTree",
     "SimilarityResult",
     "cluster_sequences",
     "similarity",
+    "MetricsRegistry",
+    "configure_logging",
+    "get_logger",
+    "get_registry",
+    "set_registry",
+    "span",
+    "use_registry",
     "Alphabet",
     "OUTLIER_LABEL",
     "SequenceDatabase",

@@ -12,7 +12,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs import get_logger, get_registry, span
 from ..sequences.database import SequenceDatabase
+
+_logger = get_logger("baselines")
 
 
 @dataclass
@@ -55,11 +58,33 @@ class SequenceClusterer:
                 f"cannot form {num_clusters} clusters from {len(db)} sequences"
             )
         start = time.perf_counter()
-        labels = self._cluster(db, num_clusters)
+        # Uniform instrumentation across every comparison model: one
+        # span (and timer) per fit, labelled counters per model name —
+        # so CLUSEQ-vs-baseline cost comparisons read off one registry.
+        with span(f"baseline.{self.name}"):
+            labels = self._cluster(db, num_clusters)
         elapsed = time.perf_counter() - start
         if len(labels) != len(db):
             raise RuntimeError(
                 f"{self.name} returned {len(labels)} labels for {len(db)} sequences"
+            )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("baseline.runs", model=self.name).inc()
+            registry.timer("baseline.fit_seconds", model=self.name).record(elapsed)
+            registry.gauge("baseline.clusters", model=self.name).set(
+                len({label for label in labels if label is not None})
+            )
+        if _logger.isEnabledFor(20):  # logging.INFO
+            _logger.info(
+                "%s fit done",
+                self.name,
+                extra={
+                    "model": self.name,
+                    "sequences": len(db),
+                    "num_clusters": num_clusters,
+                    "elapsed_seconds": round(elapsed, 6),
+                },
             )
         return BaselineResult(
             labels=labels,

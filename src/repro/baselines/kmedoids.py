@@ -9,7 +9,7 @@ the k-means++-style D² weighting for robustness.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

@@ -9,18 +9,31 @@ Subcommands
     Write a synthetic clustered database to disk, for experimentation.
 ``experiment``
     Run one of the paper-reproduction harnesses by name.
+
+Global observability flags (before the subcommand):
+
+``--log-level LEVEL``
+    Emit ``repro.*`` logs at LEVEL and above to stderr.
+``--log-json``
+    Switch those logs to JSON lines (implies ``--log-level INFO``
+    unless a level was given).
+``--metrics-out PATH``
+    Collect metrics for the whole invocation and write the telemetry
+    JSON document to PATH on exit.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from . import __version__
 from .core.cluseq import CLUSEQ, CluseqParams
 from .evaluation.metrics import evaluate_clustering
-from .evaluation.reporting import percent, print_table
+from .evaluation.reporting import percent, print_table, write_metrics_json
+from .obs import MetricsRegistry, configure_logging, use_registry
 from .sequences.database import SequenceDatabase
 from .sequences.generators import generate_clustered_database
 from .sequences.io import read_fasta, read_labelled_text, write_labelled_text
@@ -58,6 +71,25 @@ def build_parser() -> argparse.ArgumentParser:
         description="CLUSEQ sequence clustering (ICDE 2003 reproduction)",
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        default=None,
+        type=lambda level: level.upper(),
+        choices=("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"),
+        help="emit repro.* logs at LEVEL (DEBUG/INFO/...) to stderr",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="log as JSON lines instead of human-readable text",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="collect metrics during the run and write telemetry JSON to PATH",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     cluster = subparsers.add_parser("cluster", help="cluster a sequence file")
@@ -217,9 +249,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "cluster":
         return _command_cluster(args)
     if args.command == "classify":
@@ -229,6 +259,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "experiment":
         return _command_experiment(args)
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.log_level or args.log_json:
+        configure_logging(
+            level=args.log_level or "INFO", json_lines=args.log_json
+        )
+    if not args.metrics_out:
+        return _dispatch(args)
+    # Fail fast on an unwritable telemetry path rather than discovering
+    # it after minutes of clustering work.
+    out_dir = os.path.dirname(os.path.abspath(args.metrics_out))
+    if not os.path.isdir(out_dir):
+        parser.error(f"--metrics-out: directory does not exist: {out_dir}")
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        code = _dispatch(args)
+    write_metrics_json(
+        args.metrics_out,
+        registry,
+        extra={"argv": list(argv) if argv is not None else sys.argv[1:]},
+    )
+    print(f"telemetry written to {args.metrics_out}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

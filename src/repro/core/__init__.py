@@ -6,6 +6,8 @@ from .cluseq import (
     CLUSEQ,
     CluseqParams,
     ClusteringResult,
+    IterationHook,
+    IterationSnapshot,
     IterationStats,
     cluster_sequences,
 )
@@ -22,7 +24,7 @@ from .persistence import load_result, result_from_dict, result_to_dict, save_res
 from .segmentation import BACKGROUND, Domain, domain_summary, segment_sequence
 from .pruning import STRATEGIES as PRUNE_STRATEGIES
 from .pruning import prune_to
-from .pst import APPROX_BYTES_PER_NODE, PSTNode, ProbabilisticSuffixTree
+from .pst import APPROX_BYTES_PER_NODE, PSTNode, PSTStats, ProbabilisticSuffixTree
 from .seeding import SeedChoice, build_seed_pst, select_seeds
 from .similarity import (
     SimilarityResult,
@@ -52,6 +54,8 @@ __all__ = [
     "CLUSEQ",
     "CluseqParams",
     "ClusteringResult",
+    "IterationHook",
+    "IterationSnapshot",
     "IterationStats",
     "cluster_sequences",
     "j_divergence",
@@ -75,6 +79,7 @@ __all__ = [
     "prune_to",
     "APPROX_BYTES_PER_NODE",
     "PSTNode",
+    "PSTStats",
     "ProbabilisticSuffixTree",
     "SeedChoice",
     "build_seed_pst",

@@ -34,21 +34,23 @@ import math
 import time
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..obs import get_logger, get_registry, span, use_registry
 from ..sequences.database import SequenceDatabase
 from .cluster import Cluster, Membership
 from .consolidation import consolidate
-from .pst import ProbabilisticSuffixTree
 from .seeding import build_seed_pst, select_seeds
 from .similarity import SimilarityResult, similarity
 from .smoothing import default_p_min
-from .threshold import VALLEY_METHODS, find_valley
+from .threshold import VALLEY_METHODS
 
 #: Valid sequence-examination orders for the reclustering phase (§6.3).
 ORDERINGS = ("fixed", "random", "cluster")
+
+_logger = get_logger("core.cluseq")
 
 
 @dataclass
@@ -135,6 +137,37 @@ class IterationStats:
     #: the deterministic counterpart of wall time, ∝ N · k' · l̄ (the
     #: paper's §4.7 per-iteration cost model).
     reclustering_work: int = 0
+    #: Whether this iteration triggered the paper's stability exit
+    #: (same clustering as the previous iteration, threshold settled).
+    #: ``True`` only ever on the final history entry.
+    stable: bool = False
+
+
+@dataclass(frozen=True)
+class IterationSnapshot:
+    """Per-iteration engine state handed to observer hooks.
+
+    Hooks receive one snapshot after each completed iteration —
+    including the terminating one — so external observers (progress
+    bars, live dashboards, convergence monitors) can watch cluster
+    counts, threshold trajectory and PST growth without re-deriving
+    them from internals.
+    """
+
+    stats: IterationStats
+    #: Current members per live cluster id.
+    cluster_sizes: Dict[int, int]
+    #: Current PST node count per live cluster id.
+    pst_node_counts: Dict[int, int]
+    log_threshold: float
+
+    @property
+    def total_pst_nodes(self) -> int:
+        return sum(self.pst_node_counts.values())
+
+
+#: Signature of a per-iteration observer hook.
+IterationHook = Callable[[IterationSnapshot], None]
 
 
 @dataclass
@@ -153,6 +186,10 @@ class ClusteringResult:
     final_log_threshold: float
     history: List[IterationStats] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: ``True`` when the run exited through the paper's stability rule,
+    #: ``False`` when it was cut off at ``max_iterations``. Either way
+    #: the final iteration's stats are the last ``history`` entry.
+    converged: bool = False
 
     @property
     def final_threshold(self) -> float:
@@ -270,18 +307,46 @@ class ClusteringResult:
         return best_id
 
     def summary(self) -> str:
-        """A short human-readable report of the run."""
+        """A short human-readable report of the run.
+
+        The iteration count, the final iteration's timing and the
+        membership-change trail all come from ``history``, which both
+        exit paths (stability and ``max_iterations``) populate for
+        every executed iteration, the terminating one included.
+        """
         sizes = sorted((c.size for c in self.clusters), reverse=True)
+        exit_reason = "converged" if self.converged else "hit max_iterations"
+        last = self.history[-1] if self.history else None
+        last_part = (
+            f"; last iter {last.elapsed_seconds:.2f}s, "
+            f"{last.membership_changes} membership changes"
+            if last is not None
+            else ""
+        )
         return (
             f"CLUSEQ: {self.num_clusters} clusters after {self.iterations} "
-            f"iterations ({self.elapsed_seconds:.2f}s); "
+            f"iterations ({self.elapsed_seconds:.2f}s, {exit_reason}); "
             f"final t={self.final_threshold:.4g}; "
-            f"{len(self.outliers())} outliers; sizes={sizes}"
+            f"{len(self.outliers())} outliers; sizes={sizes}{last_part}"
         )
 
 
 class CLUSEQ:
     """The CLUSEQ clustering engine.
+
+    Parameters
+    ----------
+    params:
+        The run parameters (or pass them as keyword overrides).
+    hooks:
+        Optional per-iteration observer callbacks; each receives an
+        :class:`IterationSnapshot` after every completed iteration.
+        Use :meth:`add_hook` to register more later.
+    registry:
+        Optional :class:`~repro.obs.MetricsRegistry` activated for the
+        duration of :meth:`fit`; when omitted the process-wide active
+        registry is used (the no-op one unless the application enabled
+        collection).
 
     Example
     -------
@@ -294,17 +359,38 @@ class CLUSEQ:
     True
     """
 
-    def __init__(self, params: Optional[CluseqParams] = None, **overrides):
+    def __init__(
+        self,
+        params: Optional[CluseqParams] = None,
+        hooks: Optional[Sequence[IterationHook]] = None,
+        registry=None,
+        **overrides,
+    ):
         if params is None:
             params = CluseqParams(**overrides)
         elif overrides:
             raise TypeError("pass either params or keyword overrides, not both")
         self.params = params
+        self.hooks: List[IterationHook] = list(hooks or [])
+        self.registry = registry
+
+    def add_hook(self, hook: IterationHook) -> "CLUSEQ":
+        """Register a per-iteration observer; returns ``self`` for chaining."""
+        self.hooks.append(hook)
+        return self
 
     # -- public API -------------------------------------------------------------
 
     def fit(self, db: SequenceDatabase) -> ClusteringResult:
         """Cluster every sequence of *db* and return the result."""
+        if self.registry is not None:
+            with use_registry(self.registry):
+                with span("cluseq"):
+                    return self._fit(db)
+        with span("cluseq"):
+            return self._fit(db)
+
+    def _fit(self, db: SequenceDatabase) -> ClusteringResult:
         if len(db) == 0:
             raise ValueError("cannot cluster an empty database")
         params = self.params
@@ -349,46 +435,47 @@ class CLUSEQ:
             iter_start = time.perf_counter()
 
             # -- phase 1: new cluster generation ---------------------------------
-            unclustered = [i for i, ids in assignments.items() if not ids]
-            # While the similarity threshold is still being adjusted,
-            # keep seeds flowing from the unclustered pool: sequences
-            # ejected by a rising t must be able to found new clusters,
-            # otherwise an early over-merge is irreversible. The floor
-            # scales with the pool because greedy min-max selection
-            # favours outliers (they are maximally dissimilar), so with
-            # a large pool a single seed per iteration is usually
-            # wasted on noise.
-            requested = k_n
-            if requested == 0 and unclustered and not threshold_converged:
-                requested = max(1, len(unclustered) // 20)
-            # Prefer recently-ejected sequences as seed candidates; a
-            # sequence unclustered for many consecutive iterations is
-            # most likely a genuine outlier, not an undiscovered
-            # cluster. Fall back to the full pool when the filter would
-            # empty it (e.g. the first iterations).
-            fresh = [i for i in unclustered if unclustered_streak[i] <= 3]
-            candidates = fresh if fresh else unclustered
-            seeds = select_seeds(
-                candidates=candidates,
-                encoded_lookup=lambda i: encoded[i],
-                existing_clusters=clusters,
-                background=background,
-                count=min(requested, len(unclustered)),
-                sample_multiplier=params.sample_multiplier,
-                rng=rng,
-                pst_factory=pst_factory,
-            )
-            for choice in seeds:
-                clusters.append(
-                    Cluster(
-                        cluster_id=next_cluster_id,
-                        pst=pst_factory(encoded[choice.sequence_index]),
-                        seed_index=choice.sequence_index,
-                        created_at_iteration=iteration,
-                    )
+            with span("seed"):
+                unclustered = [i for i, ids in assignments.items() if not ids]
+                # While the similarity threshold is still being adjusted,
+                # keep seeds flowing from the unclustered pool: sequences
+                # ejected by a rising t must be able to found new clusters,
+                # otherwise an early over-merge is irreversible. The floor
+                # scales with the pool because greedy min-max selection
+                # favours outliers (they are maximally dissimilar), so with
+                # a large pool a single seed per iteration is usually
+                # wasted on noise.
+                requested = k_n
+                if requested == 0 and unclustered and not threshold_converged:
+                    requested = max(1, len(unclustered) // 20)
+                # Prefer recently-ejected sequences as seed candidates; a
+                # sequence unclustered for many consecutive iterations is
+                # most likely a genuine outlier, not an undiscovered
+                # cluster. Fall back to the full pool when the filter would
+                # empty it (e.g. the first iterations).
+                fresh = [i for i in unclustered if unclustered_streak[i] <= 3]
+                candidates = fresh if fresh else unclustered
+                seeds = select_seeds(
+                    candidates=candidates,
+                    encoded_lookup=lambda i: encoded[i],
+                    existing_clusters=clusters,
+                    background=background,
+                    count=min(requested, len(unclustered)),
+                    sample_multiplier=params.sample_multiplier,
+                    rng=rng,
+                    pst_factory=pst_factory,
                 )
-                next_cluster_id += 1
-            n_new = len(seeds)
+                for choice in seeds:
+                    clusters.append(
+                        Cluster(
+                            cluster_id=next_cluster_id,
+                            pst=pst_factory(encoded[choice.sequence_index]),
+                            seed_index=choice.sequence_index,
+                            created_at_iteration=iteration,
+                        )
+                    )
+                    next_cluster_id += 1
+                n_new = len(seeds)
 
             # -- iteration-0 threshold calibration ---------------------------------
             # Committing memberships with a grossly under-set initial t
@@ -403,63 +490,12 @@ class CLUSEQ:
                 and params.calibrate_threshold
                 and clusters
             ):
-                # Calibrate against at least a handful of single-
-                # sequence models: with only one or two seeds (or a
-                # seed that happens to be an outlier) the dry
-                # distribution is too thin for a reliable valley. The
-                # extra reference models are temporary — they never
-                # become clusters.
-                reference_psts = [cluster.pst for cluster in clusters]
-                min_references = 8
-                if len(reference_psts) < min_references and len(db) > len(
-                    reference_psts
-                ):
-                    seeded = {cluster.seed_index for cluster in clusters}
-                    candidates = [i for i in range(len(db)) if i not in seeded]
-                    extra = rng.choice(
-                        np.asarray(candidates),
-                        size=min(
-                            min_references - len(reference_psts),
-                            len(candidates),
-                        ),
-                        replace=False,
+                with span("calibrate"):
+                    calibrated = self._calibrate_initial_threshold(
+                        db, clusters, encoded, background, pst_factory, rng
                     )
-                    reference_psts.extend(
-                        pst_factory(encoded[int(i)]) for i in extra
-                    )
-                # Valleys are estimated per reference model, not on the
-                # pooled distribution: each reference's own similarity
-                # column is a clean bimodal "its class vs everything
-                # else", whereas pooling across references (some of
-                # which may be outlier seeds with no class at all)
-                # smears the modes together and drags the estimate into
-                # the merge zone. The final calibration is the 75th
-                # percentile of the per-reference estimates: estimates
-                # from outlier seeds sit at the bottom of the spread
-                # (no class mode to find) and single extreme estimates
-                # at the top are domain artefacts — a high-but-not-max
-                # statistic sits in the usable window between them.
-                # Leaning high is deliberate: an over-tight starting t
-                # merely grows clusters more slowly, while an under-set
-                # one triggers the irreversible full merge.
-                if params.calibration_method == "max":
-                    finders = list(VALLEY_METHODS.values())
-                else:
-                    finders = [VALLEY_METHODS[params.calibration_method]]
-                found: List[float] = []
-                for pst in reference_psts:
-                    reference_sims = [
-                        similarity(pst, seq, background).log_similarity
-                        for seq in encoded
-                    ]
-                    for finder in finders:
-                        estimate = finder(
-                            reference_sims, buckets=params.histogram_buckets
-                        )
-                        if estimate is not None:
-                            found.append(estimate.log_threshold)
-                if found:
-                    log_t = max(float(np.quantile(found, 0.75)), 0.0)
+                if calibrated is not None:
+                    log_t = calibrated
                     # Permanent floor: separation between a cluster and
                     # foreign sequences only improves as models mature,
                     # so any later valley estimate *below* the one seen
@@ -470,70 +506,76 @@ class CLUSEQ:
                     log_t_floor = log_t
 
             # -- phase 2: sequence reclustering ------------------------------------
-            order = self._examination_order(len(db), clusters, assignments, rng)
-            all_log_sims: List[float] = []
-            membership_changes = 0
-            reclustering_work = 0
-            for index in order:
-                seq = encoded[index]
-                joined: List[Tuple[Cluster, SimilarityResult]] = []
-                for cluster in clusters:
-                    result = similarity(cluster.pst, seq, background)
-                    reclustering_work += len(seq)
-                    all_log_sims.append(result.log_similarity)
-                    if result.log_similarity >= log_t:
-                        joined.append((cluster, result))
-                new_ids = {cluster.cluster_id for cluster, _ in joined}
-                if new_ids != assignments[index]:
-                    membership_changes += 1
-                for cluster, result in joined:
-                    cluster.set_member(
-                        Membership(
-                            sequence_index=index,
-                            log_similarity=result.log_similarity,
-                            best_start=result.best_start,
-                            best_end=result.best_end,
+            with span("recluster"):
+                order = self._examination_order(len(db), clusters, assignments, rng)
+                all_log_sims: List[float] = []
+                membership_changes = 0
+                reclustering_work = 0
+                for index in order:
+                    seq = encoded[index]
+                    joined: List[Tuple[Cluster, SimilarityResult]] = []
+                    for cluster in clusters:
+                        result = similarity(cluster.pst, seq, background)
+                        reclustering_work += len(seq)
+                        all_log_sims.append(result.log_similarity)
+                        if result.log_similarity >= log_t:
+                            joined.append((cluster, result))
+                    new_ids = {cluster.cluster_id for cluster, _ in joined}
+                    if new_ids != assignments[index]:
+                        membership_changes += 1
+                    for cluster, result in joined:
+                        cluster.set_member(
+                            Membership(
+                                sequence_index=index,
+                                log_similarity=result.log_similarity,
+                                best_start=result.best_start,
+                                best_end=result.best_end,
+                            )
                         )
-                    )
-                    # §4.2: *each* join — including a re-join on a later
-                    # iteration — feeds the current best-scoring segment
-                    # into the cluster's PST. Re-absorption is what lets
-                    # a young model mature: as it improves, a member's
-                    # best segment extends towards the whole sequence.
-                    cluster.absorb_segment(seq[result.best_start : result.best_end])
-                for cluster in clusters:
-                    if cluster.cluster_id not in new_ids:
-                        cluster.drop_member(index)
-                assignments[index] = new_ids
-                if new_ids:
-                    unclustered_streak[index] = 0
-                else:
-                    unclustered_streak[index] += 1
+                        # §4.2: *each* join — including a re-join on a later
+                        # iteration — feeds the current best-scoring segment
+                        # into the cluster's PST. Re-absorption is what lets
+                        # a young model mature: as it improves, a member's
+                        # best segment extends towards the whole sequence.
+                        cluster.absorb_segment(
+                            seq[result.best_start : result.best_end]
+                        )
+                    for cluster in clusters:
+                        if cluster.cluster_id not in new_ids:
+                            cluster.drop_member(index)
+                    assignments[index] = new_ids
+                    if new_ids:
+                        unclustered_streak[index] = 0
+                    else:
+                        unclustered_streak[index] += 1
 
             # -- phase 3: consolidation ----------------------------------------------
-            before = len(clusters)
-            clusters, removed = consolidate(
-                clusters,
-                params.resolved_min_unique(),
-                dissolve_covered=params.dissolve_covered,
-            )
-            if removed:
-                removed_ids = {cluster.cluster_id for cluster in removed}
-                for index, ids in assignments.items():
-                    if ids & removed_ids:
-                        assignments[index] = ids - removed_ids
-            n_removed = len(removed)
+            with span("consolidate"):
+                before = len(clusters)
+                clusters, removed = consolidate(
+                    clusters,
+                    params.resolved_min_unique(),
+                    dissolve_covered=params.dissolve_covered,
+                )
+                if removed:
+                    removed_ids = {cluster.cluster_id for cluster in removed}
+                    for index, ids in assignments.items():
+                        if ids & removed_ids:
+                            assignments[index] = ids - removed_ids
+                n_removed = len(removed)
 
             if params.rebuild_each_iteration:
-                self._rebuild_cluster_models(clusters, encoded, pst_factory)
+                with span("rebuild"):
+                    self._rebuild_cluster_models(clusters, encoded, pst_factory)
 
             # -- phase 4: threshold adjustment ------------------------------------------
             valley_linear: Optional[float] = None
             threshold_moved = False
             if params.adjust_threshold and not threshold_converged:
-                valley = valley_finder(
-                    all_log_sims, buckets=params.histogram_buckets
-                )
+                with span("adjust_threshold"):
+                    valley = valley_finder(
+                        all_log_sims, buckets=params.histogram_buckets
+                    )
                 if valley is not None:
                     valley_linear = valley.threshold
                     if abs(log_t - valley.log_threshold) < 0.01:
@@ -548,23 +590,6 @@ class CLUSEQ:
                         new_log_t = max(blended, log_t_floor, 0.0)
                         threshold_moved = abs(new_log_t - log_t) > 1e-12
                         log_t = new_log_t
-
-            history.append(
-                IterationStats(
-                    iteration=iteration,
-                    new_clusters=n_new,
-                    clusters_before_consolidation=before,
-                    clusters_removed=n_removed,
-                    clusters_after=len(clusters),
-                    unclustered=sum(1 for ids in assignments.values() if not ids),
-                    membership_changes=membership_changes,
-                    threshold=math.exp(log_t) if log_t < 709 else math.inf,
-                    log_threshold=log_t,
-                    valley=valley_linear,
-                    elapsed_seconds=time.perf_counter() - iter_start,
-                    reclustering_work=reclustering_work,
-                )
-            )
 
             # -- growth factor & termination ---------------------------------------------
             if n_new > 0:
@@ -591,9 +616,59 @@ class CLUSEQ:
                 and not threshold_moved
             )
             prev_snapshot = snapshot
+
+            # History is appended *after* the termination logic so the
+            # final iteration — on either exit path (stability here,
+            # max_iterations via loop exhaustion) — records its full
+            # elapsed time, its membership-change count and whether it
+            # was the stable one.
+            stats = IterationStats(
+                iteration=iteration,
+                new_clusters=n_new,
+                clusters_before_consolidation=before,
+                clusters_removed=n_removed,
+                clusters_after=len(clusters),
+                unclustered=sum(1 for ids in assignments.values() if not ids),
+                membership_changes=membership_changes,
+                threshold=math.exp(log_t) if log_t < 709 else math.inf,
+                log_threshold=log_t,
+                valley=valley_linear,
+                elapsed_seconds=time.perf_counter() - iter_start,
+                reclustering_work=reclustering_work,
+                stable=stable,
+            )
+            history.append(stats)
+            self._observe_iteration(stats, clusters, log_t)
             if stable:
                 break
 
+        converged = bool(history) and history[-1].stable
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("cluseq.iterations").set(len(history))
+            registry.gauge("cluseq.final_clusters").set(len(clusters))
+            registry.gauge("cluseq.final_log_threshold").set(log_t)
+            registry.gauge("cluseq.converged").set(1.0 if converged else 0.0)
+            total_nodes = 0
+            for cluster in clusters:
+                tree_stats = cluster.pst.stats()
+                total_nodes += tree_stats.node_count
+                registry.histogram(
+                    "pst.final_depth", buckets=tuple(range(1, 17))
+                ).observe(tree_stats.max_depth)
+                registry.histogram("pst.final_nodes").observe(
+                    tree_stats.node_count
+                )
+            registry.gauge("cluseq.final_pst_nodes").set(total_nodes)
+        _logger.info(
+            "run finished",
+            extra={
+                "iterations": len(history),
+                "clusters": len(clusters),
+                "converged": converged,
+                "log_threshold": log_t,
+            },
+        )
         return ClusteringResult(
             clusters=clusters,
             assignments=assignments,
@@ -602,9 +677,150 @@ class CLUSEQ:
             final_log_threshold=log_t,
             history=history,
             elapsed_seconds=time.perf_counter() - run_start,
+            converged=converged,
         )
 
     # -- internals ------------------------------------------------------------------
+
+    def _observe_iteration(
+        self, stats: IterationStats, clusters: List[Cluster], log_t: float
+    ) -> None:
+        """Per-iteration telemetry: metrics series, one log line, hooks.
+
+        The ``cluseq.iteration.*`` series grow by exactly one entry per
+        iteration, so their lengths always equal ``len(history)`` —
+        the trajectory the threshold/cluster-count plots need.
+        """
+        registry = get_registry()
+        want_snapshot = bool(self.hooks)
+        if registry.enabled or want_snapshot:
+            pst_nodes = {
+                cluster.cluster_id: cluster.pst.node_count for cluster in clusters
+            }
+        if registry.enabled:
+            registry.series("cluseq.iteration.clusters").append(stats.clusters_after)
+            registry.series("cluseq.iteration.unclustered").append(stats.unclustered)
+            registry.series("cluseq.iteration.log_threshold").append(
+                stats.log_threshold
+            )
+            registry.series("cluseq.iteration.membership_changes").append(
+                stats.membership_changes
+            )
+            registry.series("cluseq.iteration.pst_nodes").append(
+                sum(pst_nodes.values())
+            )
+            registry.counter("cluseq.clusters_seeded").inc(stats.new_clusters)
+            registry.counter("cluseq.clusters_dismissed").inc(stats.clusters_removed)
+            registry.counter("cluseq.reclustering_work").inc(
+                stats.reclustering_work
+            )
+        if _logger.isEnabledFor(20):  # logging.INFO
+            _logger.info(
+                "iteration %d: %d clusters, %d unclustered",
+                stats.iteration,
+                stats.clusters_after,
+                stats.unclustered,
+                extra={
+                    "iteration": stats.iteration,
+                    "clusters": stats.clusters_after,
+                    "unclustered": stats.unclustered,
+                    "membership_changes": stats.membership_changes,
+                    "log_threshold": stats.log_threshold,
+                    "elapsed_seconds": round(stats.elapsed_seconds, 6),
+                },
+            )
+        if want_snapshot:
+            snapshot = IterationSnapshot(
+                stats=stats,
+                cluster_sizes={
+                    cluster.cluster_id: cluster.size for cluster in clusters
+                },
+                pst_node_counts=pst_nodes,
+                log_threshold=log_t,
+            )
+            for hook in self.hooks:
+                hook(snapshot)
+
+    def _calibrate_initial_threshold(
+        self,
+        db: SequenceDatabase,
+        clusters: List[Cluster],
+        encoded: List[List[int]],
+        background: np.ndarray,
+        pst_factory,
+        rng: np.random.Generator,
+    ) -> Optional[float]:
+        """Iteration-0 dry scoring pass picking the starting ``log t``.
+
+        Calibrates against at least a handful of single-sequence
+        models: with only one or two seeds (or a seed that happens to
+        be an outlier) the dry distribution is too thin for a reliable
+        valley. The extra reference models are temporary — they never
+        become clusters.
+
+        Valleys are estimated per reference model, not on the pooled
+        distribution: each reference's own similarity column is a clean
+        bimodal "its class vs everything else", whereas pooling across
+        references (some of which may be outlier seeds with no class at
+        all) smears the modes together and drags the estimate into the
+        merge zone. The final calibration is the 75th percentile of the
+        per-reference estimates: estimates from outlier seeds sit at
+        the bottom of the spread (no class mode to find) and single
+        extreme estimates at the top are domain artefacts — a
+        high-but-not-max statistic sits in the usable window between
+        them. Leaning high is deliberate: an over-tight starting t
+        merely grows clusters more slowly, while an under-set one
+        triggers the irreversible full merge.
+
+        Returns the calibrated ``log t`` or ``None`` when no reference
+        produced a valley estimate.
+        """
+        params = self.params
+        reference_psts = [cluster.pst for cluster in clusters]
+        min_references = 8
+        if len(reference_psts) < min_references and len(db) > len(reference_psts):
+            seeded = {cluster.seed_index for cluster in clusters}
+            candidates = [i for i in range(len(db)) if i not in seeded]
+            extra = rng.choice(
+                np.asarray(candidates),
+                size=min(
+                    min_references - len(reference_psts),
+                    len(candidates),
+                ),
+                replace=False,
+            )
+            reference_psts.extend(pst_factory(encoded[int(i)]) for i in extra)
+        if params.calibration_method == "max":
+            finders = list(VALLEY_METHODS.values())
+        else:
+            finders = [VALLEY_METHODS[params.calibration_method]]
+        found: List[float] = []
+        for pst in reference_psts:
+            reference_sims = [
+                similarity(pst, seq, background).log_similarity for seq in encoded
+            ]
+            for finder in finders:
+                estimate = finder(reference_sims, buckets=params.histogram_buckets)
+                if estimate is not None:
+                    found.append(estimate.log_threshold)
+        if not found:
+            return None
+        calibrated = max(float(np.quantile(found, 0.75)), 0.0)
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("cluseq.calibrated_log_threshold").set(calibrated)
+            registry.counter("cluseq.calibration_references").inc(
+                len(reference_psts)
+            )
+        _logger.info(
+            "calibrated initial threshold",
+            extra={
+                "log_threshold": calibrated,
+                "references": len(reference_psts),
+                "estimates": len(found),
+            },
+        )
+        return calibrated
 
     def _examination_order(
         self,

@@ -10,8 +10,8 @@ clusters at once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Set
 
 from .pst import ProbabilisticSuffixTree
 

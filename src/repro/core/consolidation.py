@@ -13,7 +13,10 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from ..obs import get_logger, get_registry
 from .cluster import Cluster
+
+_logger = get_logger("core.consolidation")
 
 
 def consolidate(
@@ -100,6 +103,18 @@ def consolidate(
                 removed_ids.add(cluster.cluster_id)
 
     retained = [cl for cl in clusters if cl.cluster_id not in removed_ids]
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("consolidation.passes").inc()
+        registry.counter("consolidation.dismissed").inc(len(removed))
+    if removed and _logger.isEnabledFor(10):  # logging.DEBUG
+        _logger.debug(
+            "dismissed clusters",
+            extra={
+                "dismissed": sorted(cl.cluster_id for cl in removed),
+                "retained": len(retained),
+            },
+        )
     return retained, removed
 
 

@@ -22,8 +22,7 @@ CLUSEQ separates are exactly those whose CPDs diverge.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

@@ -77,6 +77,7 @@ def result_to_dict(
         "background": [float(p) for p in result.background],
         "final_log_threshold": result.final_log_threshold,
         "elapsed_seconds": result.elapsed_seconds,
+        "converged": result.converged,
         "assignments": {
             str(index): sorted(ids) for index, ids in result.assignments.items()
         },
@@ -122,6 +123,7 @@ def result_from_dict(data: dict) -> ClusteringResult:
         final_log_threshold=data["final_log_threshold"],
         history=history,
         elapsed_seconds=data.get("elapsed_seconds", 0.0),
+        converged=data.get("converged", False),
     )
 
 

@@ -28,6 +28,10 @@ from typing import TYPE_CHECKING, Callable, Iterable, List, Tuple
 
 import numpy as np
 
+from ..obs import get_logger, get_registry
+
+_logger = get_logger("core.pruning")
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .pst import PSTNode, ProbabilisticSuffixTree
 
@@ -146,4 +150,19 @@ def prune_to(
                 key=lambda c: (_vector_divergence(pst, c), c[2].count),
                 target_nodes=target,
             )
+    registry = get_registry()
+    if registry.enabled and removed:
+        registry.counter("pst.prune_events").inc()
+        registry.counter("pst.pruned_nodes").inc(removed)
+        registry.histogram("pst.pruned_nodes_per_event").observe(removed)
+    if removed and _logger.isEnabledFor(10):  # logging.DEBUG
+        _logger.debug(
+            "pruned PST",
+            extra={
+                "strategy": strategy,
+                "removed_nodes": removed,
+                "node_count": pst.node_count,
+                "max_nodes": max_nodes,
+            },
+        )
     return removed

@@ -20,13 +20,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import get_logger, get_registry
 from .cluster import Cluster
 from .pst import ProbabilisticSuffixTree
 from .similarity import similarity
+
+_logger = get_logger("core.seeding")
 
 
 @dataclass(frozen=True)
@@ -130,4 +133,24 @@ def select_seeds(
             score = similarity(new_pst, encoded_lookup(i), background).log_similarity
             if score > best_log[i]:
                 best_log[i] = score
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("seeding.selections").inc()
+        registry.counter("seeding.seeds_selected").inc(len(chosen))
+        registry.counter("seeding.candidates_sampled").inc(sample_size)
+        # Cost model of one selection round: every sample is scored
+        # against k' references plus each previously chosen seed.
+        registry.counter("seeding.reference_scorings").inc(
+            sample_size * len(reference_psts)
+            + sum(len(sampled) - i - 1 for i in range(len(chosen)))
+        )
+    if chosen and _logger.isEnabledFor(10):  # logging.DEBUG
+        _logger.debug(
+            "selected seeds",
+            extra={
+                "seeds": [choice.sequence_index for choice in chosen],
+                "sample_size": sample_size,
+                "references": len(reference_psts),
+            },
+        )
     return chosen

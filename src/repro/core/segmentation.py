@@ -26,7 +26,7 @@ with a Viterbi-style DP in ``O(l · k)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

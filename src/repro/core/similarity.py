@@ -28,10 +28,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import get_registry
 from .pst import ProbabilisticSuffixTree
 from .smoothing import adjust_probability
 
@@ -177,6 +178,15 @@ def similarity(
         if log_y > log_z:
             log_z = log_y
             best_start, best_end = y_start, i + 1
+    # One registry check per (sequence, cluster) scoring call — never
+    # per symbol — so disabled-mode overhead is a single attribute read.
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("similarity.calls").inc()
+        registry.counter("similarity.dp_cells").inc(len(ratios))
+        registry.histogram("similarity.segment_length").observe(
+            best_end - best_start
+        )
     return SimilarityResult(
         similarity=_safe_exp(log_z),
         log_similarity=log_z,

@@ -23,9 +23,39 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..obs import get_logger, get_registry
+
+_logger = get_logger("core.threshold")
+
+
+def _record_valley_search(method: str, result: Optional["ValleyResult"]) -> None:
+    """Telemetry for one valley search (shared by all estimators)."""
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("threshold.valley_searches", method=method).inc()
+        if result is None:
+            registry.counter("threshold.valley_misses", method=method).inc()
+        else:
+            registry.series("threshold.valley_log", method=method).append(
+                result.log_threshold
+            )
+    if _logger.isEnabledFor(10):  # logging.DEBUG
+        if result is None:
+            _logger.debug("valley search failed", extra={"method": method})
+        else:
+            _logger.debug(
+                "valley found",
+                extra={
+                    "method": method,
+                    "log_threshold": result.log_threshold,
+                    "bucket_index": result.bucket_index,
+                    "slope_difference": result.slope_difference,
+                },
+            )
 
 
 @dataclass(frozen=True)
@@ -123,6 +153,19 @@ def find_valley(
     split point with valid regressions on both sides) — the caller then
     simply skips the threshold adjustment this iteration.
     """
+    result = _find_valley_regression(
+        log_similarities, buckets, upper_quantile, min_observations
+    )
+    _record_valley_search("regression", result)
+    return result
+
+
+def _find_valley_regression(
+    log_similarities: Sequence[float],
+    buckets: int,
+    upper_quantile: float,
+    min_observations: int,
+) -> Optional[ValleyResult]:
     finite = [v for v in log_similarities if math.isfinite(v)]
     if len(finite) < min_observations:
         return None
@@ -177,6 +220,19 @@ def find_valley_otsu(
 
     Same return contract as :func:`find_valley`.
     """
+    result = _find_valley_otsu(
+        log_similarities, buckets, upper_quantile, min_observations
+    )
+    _record_valley_search("otsu", result)
+    return result
+
+
+def _find_valley_otsu(
+    log_similarities: Sequence[float],
+    buckets: int,
+    upper_quantile: float,
+    min_observations: int,
+) -> Optional[ValleyResult]:
     finite = [v for v in log_similarities if math.isfinite(v)]
     if len(finite) < min_observations:
         return None

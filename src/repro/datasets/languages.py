@@ -23,7 +23,7 @@ exactly as the paper preprocesses its data.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ these behaviour groups unsupervised.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Sequence
 
 import numpy as np
 

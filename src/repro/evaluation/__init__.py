@@ -19,7 +19,15 @@ from .metrics import (
     normalized_mutual_information,
     purity_score,
 )
-from .reporting import format_cell, percent, print_table, render_table
+from .reporting import (
+    TELEMETRY_SCHEMA,
+    format_cell,
+    metrics_section,
+    percent,
+    print_table,
+    render_table,
+    write_metrics_json,
+)
 from .stability import MetricSummary, StabilityReport, stability_analysis
 
 __all__ = [
@@ -38,10 +46,13 @@ __all__ = [
     "map_clusters_to_families",
     "normalized_mutual_information",
     "purity_score",
+    "TELEMETRY_SCHEMA",
     "format_cell",
+    "metrics_section",
     "percent",
     "print_table",
     "render_table",
+    "write_metrics_json",
     "MetricSummary",
     "StabilityReport",
     "stability_analysis",

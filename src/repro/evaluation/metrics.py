@@ -25,8 +25,8 @@ from __future__ import annotations
 
 import math
 from collections import Counter, defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment

@@ -11,7 +11,7 @@ paper loop) so the contribution of every safeguard is measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..evaluation.reporting import percent, print_table
 from ..sequences.database import SequenceDatabase

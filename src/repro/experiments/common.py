@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict
 
 from ..core.cluseq import CLUSEQ, CluseqParams, ClusteringResult
 from ..evaluation.metrics import EvaluationReport, evaluate_clustering

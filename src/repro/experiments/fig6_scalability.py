@@ -16,7 +16,6 @@ slope so benches can assert the shape (slope ≈ 1 for (a)/(b), ≥ 1 for
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 

@@ -9,7 +9,7 @@ materially from the low-noise to the high-noise end.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..evaluation.reporting import percent, print_table
 from ..sequences.generators import generate_clustered_database

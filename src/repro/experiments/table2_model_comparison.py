@@ -14,8 +14,8 @@ are competitive on accuracy but one to two orders of magnitude slower.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..baselines import (
     BlockEditClusterer,

@@ -16,7 +16,6 @@ how far raw valley-blending alone gets.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 

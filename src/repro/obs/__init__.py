@@ -1,0 +1,65 @@
+"""Observability: metrics, structured logging and tracing.
+
+The instrumentation layer for the CLUSEQ pipeline, dependency-free by
+design and **zero-overhead by default** — until an application opts
+in, the active metrics registry is a no-op and every log call is
+level-gated away under a ``NullHandler``.
+
+Three pieces:
+
+* :mod:`repro.obs.metrics` — counters, gauges, histograms, timers and
+  series in a :class:`MetricsRegistry`; activate one with
+  :func:`use_registry`/:func:`set_registry`.
+* :mod:`repro.obs.logging` — the ``repro.*`` logger hierarchy,
+  :func:`configure_logging` and a JSON-lines formatter. The root
+  logger is never touched.
+* :mod:`repro.obs.tracing` — nested :func:`span` context managers
+  measuring wall/CPU time per pipeline phase.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalogue and usage.
+"""
+
+from .logging import (
+    LOGGER_NAME,
+    JsonLinesFormatter,
+    configure_logging,
+    get_logger,
+    reset_logging,
+)
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Series,
+    Timer,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .tracing import Span, current_span, iter_tree, span
+
+__all__ = [
+    "LOGGER_NAME",
+    "JsonLinesFormatter",
+    "configure_logging",
+    "get_logger",
+    "reset_logging",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "Series",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "Span",
+    "span",
+    "current_span",
+    "iter_tree",
+]

@@ -1,0 +1,151 @@
+"""Structured logging for the ``repro`` package.
+
+Every module logs under the ``repro.*`` logger hierarchy
+(``repro.core.cluseq``, ``repro.obs.trace``, …), obtained through
+:func:`get_logger`. The library is a good citizen:
+
+* importing ``repro`` attaches a single ``NullHandler`` to the
+  ``repro`` logger and **never touches the root logger** — an
+  application embedding the library sees no surprise output and no
+  handler side effects;
+* nothing is logged below ``WARNING`` unless the application opts in
+  via :func:`configure_logging` (or its own handler), so the
+  instrumentation's ``debug``/``info`` calls are level-gated out
+  before a ``LogRecord`` is even allocated.
+
+:func:`configure_logging` installs one stream handler on the ``repro``
+logger, either human-readable or JSON-lines (one JSON object per
+line — the format log shippers ingest directly). Structured fields
+pass through ``extra``::
+
+    logger = get_logger("core.cluseq")
+    logger.info("iteration done", extra={"iteration": 3, "clusters": 7})
+
+With the JSON formatter those extras become top-level keys of the
+emitted object.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Optional, Union
+
+__all__ = [
+    "LOGGER_NAME",
+    "JsonLinesFormatter",
+    "get_logger",
+    "configure_logging",
+    "reset_logging",
+]
+
+#: The package's logger namespace root.
+LOGGER_NAME = "repro"
+
+#: Attributes present on every vanilla LogRecord; anything else on a
+#: record was supplied via ``extra`` and is emitted as structured data.
+_STANDARD_RECORD_ATTRS = frozenset(
+    vars(
+        logging.LogRecord("", 0, "", 0, "", (), None)
+    ).keys()
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """Format records as one JSON object per line.
+
+    The object always carries ``ts`` (unix seconds), ``level``,
+    ``logger`` and ``message``; any ``extra`` fields are merged in as
+    top-level keys (standard record attributes are filtered out).
+    Exceptions are rendered into an ``exc_info`` string field.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _STANDARD_RECORD_ATTRS or key.startswith("_"):
+                continue
+            payload[key] = value
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The ``repro`` logger, or the ``repro.<name>`` child logger."""
+    if not name:
+        return logging.getLogger(LOGGER_NAME)
+    if name.startswith(LOGGER_NAME + ".") or name == LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LOGGER_NAME}.{name}")
+
+
+# Library-safe default: swallow records unless the application (or
+# configure_logging) attaches a real handler. Installed exactly once,
+# at import time, on the package logger — never on the root logger.
+_null_handler = logging.NullHandler()
+_package_logger = logging.getLogger(LOGGER_NAME)
+if not any(isinstance(h, logging.NullHandler) for h in _package_logger.handlers):
+    _package_logger.addHandler(_null_handler)
+
+#: The handler installed by :func:`configure_logging`, for idempotency.
+_configured_handler: Optional[logging.Handler] = None
+
+
+def configure_logging(
+    level: Union[int, str] = "INFO",
+    json_lines: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Handler:
+    """Attach a stream handler to the ``repro`` logger hierarchy.
+
+    Parameters
+    ----------
+    level:
+        Minimum level to emit (name or numeric), applied to the
+        ``repro`` logger.
+    json_lines:
+        Emit :class:`JsonLinesFormatter` output instead of the default
+        human-readable ``time level logger: message`` lines.
+    stream:
+        Target stream; defaults to ``sys.stderr``.
+
+    Calling again replaces the previously configured handler (the
+    NullHandler stays put), so repeated CLI invocations or tests do
+    not stack handlers. Returns the installed handler.
+    """
+    global _configured_handler
+    logger = get_logger()
+    if _configured_handler is not None:
+        logger.removeHandler(_configured_handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonLinesFormatter())
+    else:
+        formatter = logging.Formatter(
+            fmt="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        )
+        formatter.converter = time.localtime
+        handler.setFormatter(formatter)
+    logger.addHandler(handler)
+    logger.setLevel(level if isinstance(level, int) else level.upper())
+    _configured_handler = handler
+    return handler
+
+
+def reset_logging() -> None:
+    """Undo :func:`configure_logging` (mainly for tests)."""
+    global _configured_handler
+    logger = get_logger()
+    if _configured_handler is not None:
+        logger.removeHandler(_configured_handler)
+        _configured_handler = None
+    logger.setLevel(logging.NOTSET)

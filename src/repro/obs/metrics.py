@@ -1,0 +1,462 @@
+"""A dependency-free metrics registry.
+
+Five metric primitives cover everything the CLUSEQ pipeline needs to
+report about itself:
+
+* :class:`Counter` — a monotonically increasing count (events, DP
+  cells, pruned nodes).
+* :class:`Gauge` — a last-value-wins instantaneous reading (final
+  cluster count, final threshold).
+* :class:`Histogram` — a fixed-bucket distribution (segment lengths,
+  PST depths).
+* :class:`Timer` — aggregated durations with wall and CPU components
+  (phase spans, baseline fits).
+* :class:`Series` — an append-only trajectory, one value per
+  observation in order (per-iteration cluster counts, threshold path).
+
+Metrics live in a :class:`MetricsRegistry`, keyed by name plus an
+optional label set; ``registry.counter("x", model="hmm")`` and
+``registry.counter("x", model="ed")`` are distinct time series of the
+same metric family.
+
+**Zero overhead by default.** The module-level active registry starts
+as a :class:`NullRegistry` whose factory methods hand back shared
+no-op instruments: instrumented code pays one attribute check
+(``registry.enabled``) — or, at worst, a couple of no-op method calls —
+per *call site*, never per symbol. Enable collection for a block of
+code with::
+
+    from repro.obs import MetricsRegistry, use_registry
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        result = CLUSEQ(params).fit(db)
+    print(registry.snapshot())
+
+Nothing here imports anything outside the standard library, so the
+``obs`` package can be pulled into the hottest modules without
+dependency concerns.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "Series",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+#: Default histogram bucket upper bounds: powers of two up to 64k.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(float(2**i) for i in range(17))
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_name(name: str, labels: LabelItems) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge instead")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-value-wins instantaneous reading."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A fixed-bucket distribution of observed values.
+
+    ``buckets`` are *upper bounds* in ascending order; an implicit
+    ``+inf`` bucket catches everything above the last bound. Alongside
+    bucket counts the histogram tracks count/sum/min/max so means are
+    recoverable without bucket interpolation.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None) -> None:
+        bounds = tuple(float(b) for b in (buckets or DEFAULT_BUCKETS))
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be strictly increasing")
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        self.bounds = bounds
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {
+                **{f"le_{b:g}": c for b, c in zip(self.bounds, self.bucket_counts)},
+                "inf": self.bucket_counts[-1],
+            },
+        }
+
+
+class Timer:
+    """Aggregated durations: wall time always, CPU time when provided."""
+
+    __slots__ = ("count", "total_seconds", "total_cpu_seconds", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_seconds = 0.0
+        self.total_cpu_seconds = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, wall_seconds: float, cpu_seconds: Optional[float] = None) -> None:
+        if wall_seconds < 0:
+            raise ValueError("durations must be non-negative")
+        self.count += 1
+        self.total_seconds += wall_seconds
+        if cpu_seconds is not None:
+            self.total_cpu_seconds += cpu_seconds
+        if wall_seconds < self.min:
+            self.min = wall_seconds
+        if wall_seconds > self.max:
+            self.max = wall_seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "timer",
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "total_cpu_seconds": self.total_cpu_seconds,
+            "min_seconds": self.min if self.count else None,
+            "max_seconds": self.max if self.count else None,
+        }
+
+
+class Series:
+    """An append-only trajectory of values, in observation order."""
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def append(self, value: float) -> None:
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def to_dict(self) -> dict:
+        return {"type": "series", "values": list(self.values)}
+
+
+class MetricsRegistry:
+    """A named collection of metric instruments.
+
+    Instruments are created lazily on first access and cached, so
+    instrumented code can call ``registry.counter("x").inc()`` in a
+    loop without bookkeeping. Requesting an existing name with a
+    different type raises ``ValueError`` — a name identifies exactly
+    one instrument kind. Thread-safe for instrument creation; the
+    instruments themselves rely on the GIL like ordinary Python
+    counters do.
+    """
+
+    #: Instrumented code may branch on this to skip collection work.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelItems], object] = {}
+        self._types: Dict[Tuple[str, LabelItems], str] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument factories ------------------------------------------------
+
+    def _get_or_create(self, kind: str, name: str, labels: Dict[str, object], factory):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if self._types[key] != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {self._types[key]}, "
+                    f"requested as {kind}"
+                )
+            return metric
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory()
+                self._metrics[key] = metric
+                self._types[key] = kind
+            elif self._types[key] != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {self._types[key]}, "
+                    f"requested as {kind}"
+                )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create("gauge", name, labels, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels
+    ) -> Histogram:
+        return self._get_or_create(
+            "histogram", name, labels, lambda: Histogram(buckets)
+        )
+
+    def timer(self, name: str, **labels) -> Timer:
+        return self._get_or_create("timer", name, labels, Timer)
+
+    def series(self, name: str, **labels) -> Series:
+        return self._get_or_create("series", name, labels, Series)
+
+    # -- introspection -------------------------------------------------------
+
+    def names(self) -> List[str]:
+        """Sorted rendered names (labels inlined) of all instruments."""
+        return sorted(_render_name(name, labels) for name, labels in self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return any(base == name for base, _ in self._metrics)
+
+    def get(self, name: str, **labels):
+        """The instrument registered under *name*/*labels*, or ``None``."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable dump of every instrument's state."""
+        out: Dict[str, dict] = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            entry = metric.to_dict()
+            if labels:
+                entry["labels"] = dict(labels)
+            out[_render_name(name, labels)] = entry
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(_sanitize(self.snapshot()), indent=indent)
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh start, e.g. between benches)."""
+        with self._lock:
+            self._metrics.clear()
+            self._types.clear()
+
+
+def _sanitize(value):
+    """Make *value* strict-JSON safe: non-finite floats become ``None``
+    (``json.dumps`` would otherwise emit the invalid ``Infinity``/``NaN``
+    literals, which non-Python consumers reject)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    return value
+
+
+# -- the no-op implementation ---------------------------------------------------
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def record(self, wall_seconds: float, cpu_seconds: Optional[float] = None) -> None:
+        pass
+
+
+class _NullSeries(Series):
+    __slots__ = ()
+
+    def append(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+_NULL_TIMER = _NullTimer()
+_NULL_SERIES = _NullSeries()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every factory returns a shared no-op.
+
+    ``enabled`` is ``False`` so hot paths can skip even the factory
+    call; code that does call through records nothing and allocates
+    nothing.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, **labels) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, **labels
+    ) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def timer(self, name: str, **labels) -> Timer:
+        return _NULL_TIMER
+
+    def series(self, name: str, **labels) -> Series:
+        return _NULL_SERIES
+
+
+#: The process-wide disabled registry (also the default active one).
+NULL_REGISTRY = NullRegistry()
+
+_active: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active registry (the no-op one unless enabled)."""
+    return _active
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install *registry* as the active one; ``None`` disables collection.
+
+    Returns the previously active registry so callers can restore it.
+    """
+    global _active
+    previous = _active
+    _active = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+class use_registry:
+    """Context manager: activate a registry for a block, then restore.
+
+    >>> registry = MetricsRegistry()
+    >>> with use_registry(registry):
+    ...     get_registry().counter("demo").inc()
+    >>> registry.get("demo").value
+    1
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry]) -> None:
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self._previous: Optional[MetricsRegistry] = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_registry(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc_info) -> None:
+        set_registry(self._previous)

@@ -14,12 +14,12 @@ algorithm in this library (the paper's ``Σ``). It owns
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .alphabet import Alphabet, AlphabetError, Symbol
+from .alphabet import Alphabet, Symbol
 
 
 @dataclass(frozen=True)

@@ -11,12 +11,12 @@ input of every scalability/sensitivity benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from .alphabet import Alphabet
-from .database import OUTLIER_LABEL, SequenceDatabase, SequenceRecord
+from .database import OUTLIER_LABEL, SequenceDatabase
 from .markov import MarkovSource, random_markov_source, uniform_source
 
 

@@ -11,10 +11,10 @@ Two disk formats are supported:
 from __future__ import annotations
 
 import os
-from typing import Iterable, Iterator, List, Optional, TextIO, Tuple, Union
+from typing import Iterator, List, Optional, TextIO, Tuple, Union
 
 from .alphabet import Alphabet
-from .database import SequenceDatabase, SequenceRecord
+from .database import SequenceDatabase
 
 PathOrFile = Union[str, os.PathLike, TextIO]
 

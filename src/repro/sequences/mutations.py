@@ -25,7 +25,6 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from .alphabet import Alphabet
 from .database import SequenceDatabase
 
 Mutation = Callable[[List[int], np.random.Generator], List[int]]

@@ -151,3 +151,54 @@ class TestGenerateCommand:
         lines = out_path.read_text().strip().split("\n")
         assert len(lines) == 30
         assert all("\t" in line for line in lines)
+
+
+class TestObservabilityFlags:
+    @pytest.fixture(autouse=True)
+    def _restore_logging(self):
+        yield
+        from repro.obs import reset_logging
+
+        reset_logging()
+
+    def test_parser_accepts_global_flags(self):
+        args = build_parser().parse_args(
+            ["--log-level", "DEBUG", "--log-json",
+             "--metrics-out", "m.json", "cluster", "x.txt"]
+        )
+        assert args.log_level == "DEBUG"
+        assert args.log_json
+        assert args.metrics_out == "m.json"
+
+    def test_flags_default_off(self):
+        args = build_parser().parse_args(["cluster", "x.txt"])
+        assert args.log_level is None
+        assert not args.log_json
+        assert args.metrics_out is None
+
+    def test_log_level_emits_run_logs(self, toy_text_file, capsys):
+        code = main(
+            ["--log-level", "INFO", "cluster", toy_text_file, "-k", "2", "-c", "2"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "repro.core.cluseq" in err
+        assert "iteration" in err
+
+    def test_log_json_emits_json_lines(self, toy_text_file, capsys):
+        import json
+
+        code = main(
+            ["--log-json", "cluster", toy_text_file, "-k", "2", "-c", "2"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        records = [json.loads(line) for line in err.strip().splitlines()]
+        assert records, "expected at least one JSON log line"
+        assert all("ts" in r and "level" in r and "logger" in r for r in records)
+        assert any(r["logger"] == "repro.core.cluseq" for r in records)
+
+    def test_no_flags_stays_silent(self, toy_text_file, capsys):
+        code = main(["cluster", toy_text_file, "-k", "2", "-c", "2"])
+        assert code == 0
+        assert capsys.readouterr().err == ""

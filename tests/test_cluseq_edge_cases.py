@@ -1,6 +1,5 @@
 """Edge-case and robustness tests for the CLUSEQ engine."""
 
-import pytest
 
 from repro.core.cluseq import cluster_sequences
 from repro.sequences.alphabet import Alphabet

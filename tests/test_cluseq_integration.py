@@ -1,6 +1,5 @@
 """End-to-end behaviour of CLUSEQ on ground-truth workloads."""
 
-import pytest
 
 from repro.core.cluseq import cluster_sequences
 from repro.evaluation.metrics import evaluate_clustering

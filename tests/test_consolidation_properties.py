@@ -42,17 +42,40 @@ def test_partition_of_input(layout, min_unique, dissolve):
 
 
 @settings(max_examples=80, deadline=None)
-@given(layouts, st.integers(1, 5), st.booleans())
-def test_retained_have_unique_members(layout, min_unique, dissolve):
-    """Every retained cluster keeps >= min_unique members not found in
-    any other retained cluster (unless it is the sole survivor)."""
+@given(layouts, st.integers(1, 5))
+def test_retained_have_unique_members_dissolve(layout, min_unique):
+    """Descending pass: every retained cluster keeps >= min_unique
+    members not found in any other retained cluster (unless it is the
+    sole survivor). Holds because each survivor was checked against a
+    superset of the final retained set, and removals only grow its
+    unique-member count."""
     clusters = build(layout)
-    retained, _ = consolidate(clusters, min_unique, dissolve)
+    retained, _ = consolidate(clusters, min_unique, dissolve_covered=True)
     if len(retained) <= 1:
         return
     for cluster in retained:
         others = [c for c in retained if c is not cluster]
         unique = cluster.unique_members(others)
+        assert len(unique) >= min_unique
+
+
+@settings(max_examples=80, deadline=None)
+@given(layouts, st.integers(1, 5))
+def test_retained_have_unique_members_ascending(layout, min_unique):
+    """Paper's ascending pass (§4.5): each retained cluster keeps
+    >= min_unique members not found in any *larger* retained cluster.
+    (Pairwise uniqueness against the whole retained set is NOT
+    guaranteed by this pass — a smaller survivor may cover the member
+    that made a larger one unique; that stronger property only holds
+    for the descending ``dissolve_covered`` variant.)"""
+    clusters = build(layout)
+    retained, _ = consolidate(clusters, min_unique, dissolve_covered=False)
+    ordered = sorted(retained, key=lambda cl: (cl.size, cl.cluster_id))
+    for position, cluster in enumerate(ordered):
+        larger = ordered[position + 1 :]
+        if not larger:
+            continue
+        unique = cluster.unique_members(larger)
         assert len(unique) >= min_unique
 
 

@@ -4,11 +4,7 @@ import numpy as np
 import pytest
 
 from repro.sequences.alphabet import Alphabet, AlphabetError
-from repro.sequences.database import (
-    OUTLIER_LABEL,
-    SequenceDatabase,
-    SequenceRecord,
-)
+from repro.sequences.database import OUTLIER_LABEL, SequenceDatabase
 
 
 class TestConstruction:

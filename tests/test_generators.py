@@ -8,7 +8,6 @@ from repro.sequences.database import OUTLIER_LABEL
 from repro.sequences.generators import (
     SyntheticSpec,
     generate_clustered_database,
-    generate_two_cluster_toy,
     inject_outliers,
 )
 

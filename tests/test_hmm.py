@@ -63,7 +63,6 @@ class TestLikelihood:
 
 class TestTraining:
     def test_fit_improves_likelihood(self):
-        rng = np.random.default_rng(4)
         # Strongly structured data: alternating symbols.
         data = [[0, 1] * 15 for _ in range(5)]
         model = DiscreteHMM(2, 2, seed=4)

@@ -1,0 +1,238 @@
+"""End-to-end tests for the instrumentation layer.
+
+These drive real ``CLUSEQ`` runs (and the CLI) with a live metrics
+registry and assert that the pipeline emits the documented telemetry:
+per-phase timers, per-iteration series, PST size metrics, iteration
+hooks, and the zero-overhead default.
+"""
+
+import json
+
+import pytest
+
+from repro.core.cluseq import CLUSEQ, CluseqParams, IterationSnapshot
+from repro.obs import NULL_REGISTRY, MetricsRegistry, get_registry, use_registry
+
+
+PARAMS = dict(
+    k=2,
+    significance_threshold=2,
+    min_unique_members=3,
+    max_iterations=20,
+    seed=1,
+)
+
+
+@pytest.fixture(autouse=True)
+def _registry_isolation():
+    yield
+    # no test may leave a registry active
+    assert get_registry() is NULL_REGISTRY
+
+
+class TestRunTelemetry:
+    def test_expected_metric_families_emitted(self, toy_db):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            result = CLUSEQ(CluseqParams(**PARAMS)).fit(toy_db)
+        assert result.num_clusters >= 1
+
+        # per-phase span timers, aggregated across iterations
+        for phase in ("seed", "recluster", "consolidate"):
+            timer = registry.get(f"span.cluseq.{phase}")
+            assert timer is not None, f"missing span.cluseq.{phase}"
+            assert timer.count == len(result.history)
+            assert timer.total_seconds >= 0.0
+        run_timer = registry.get("span.cluseq")
+        assert run_timer.count == 1
+        assert run_timer.total_seconds >= max(
+            registry.get(f"span.cluseq.{p}").total_seconds
+            for p in ("seed", "recluster", "consolidate")
+        )
+
+        # per-iteration trajectories: one point per history entry
+        iterations = len(result.history)
+        for series_name in (
+            "cluseq.iteration.clusters",
+            "cluseq.iteration.unclustered",
+            "cluseq.iteration.log_threshold",
+            "cluseq.iteration.membership_changes",
+            "cluseq.iteration.pst_nodes",
+        ):
+            series = registry.get(series_name)
+            assert series is not None, f"missing {series_name}"
+            assert len(series) == iterations
+
+        # the recorded trajectory matches the run history
+        assert registry.get("cluseq.iteration.clusters").values == [
+            float(s.clusters_after) for s in result.history
+        ]
+
+        # end-of-run gauges
+        assert registry.get("cluseq.iterations").value == iterations
+        assert registry.get("cluseq.final_clusters").value == result.num_clusters
+        assert registry.get("cluseq.converged").value == float(result.converged)
+
+        # PST size metrics
+        assert registry.get("cluseq.final_pst_nodes").value > 0
+        depth_hist = registry.get("pst.final_depth")
+        nodes_hist = registry.get("pst.final_nodes")
+        assert depth_hist.count == result.num_clusters
+        assert nodes_hist.count == result.num_clusters
+
+        # work counters from the similarity hot path
+        assert registry.get("similarity.calls").value > 0
+        assert registry.get("similarity.dp_cells").value > 0
+        assert registry.get("similarity.segment_length").count > 0
+
+        # seeding/consolidation counters
+        assert registry.get("seeding.selections").value >= 1
+        assert registry.get("consolidation.passes").value == iterations
+
+    def test_registry_argument_without_global_activation(self, toy_db):
+        """Passing ``registry=`` to CLUSEQ collects into it without the
+        caller ever touching the global registry."""
+        registry = MetricsRegistry()
+        engine = CLUSEQ(CluseqParams(**PARAMS), registry=registry)
+        result = engine.fit(toy_db)
+        assert get_registry() is NULL_REGISTRY
+        assert registry.get("span.cluseq").count == 1
+        assert registry.get("cluseq.iterations").value == len(result.history)
+
+    def test_default_run_has_zero_telemetry_footprint(self, toy_db):
+        """With observability disabled (the default) a run must leave
+        the global no-op registry empty — nothing collected anywhere."""
+        result = CLUSEQ(CluseqParams(**PARAMS)).fit(toy_db)
+        assert result.num_clusters >= 1
+        assert get_registry() is NULL_REGISTRY
+        assert len(NULL_REGISTRY) == 0
+        assert NULL_REGISTRY.snapshot() == {}
+
+
+class TestIterationHooks:
+    def test_one_snapshot_per_iteration(self, toy_db):
+        snapshots = []
+        engine = CLUSEQ(CluseqParams(**PARAMS), hooks=[snapshots.append])
+        result = engine.fit(toy_db)
+
+        assert len(snapshots) == len(result.history)
+        for snap, stats in zip(snapshots, result.history):
+            assert isinstance(snap, IterationSnapshot)
+            assert snap.stats == stats
+            assert len(snap.cluster_sizes) == stats.clusters_after
+            assert set(snap.pst_node_counts) == set(snap.cluster_sizes)
+            assert snap.total_pst_nodes == sum(snap.pst_node_counts.values())
+        # the final snapshot matches the result
+        assert len(snapshots[-1].cluster_sizes) == result.num_clusters
+        assert snapshots[-1].log_threshold == result.final_log_threshold
+
+    def test_add_hook_chains(self, toy_db):
+        seen = []
+        engine = CLUSEQ(CluseqParams(**PARAMS))
+        assert engine.add_hook(seen.append) is engine
+        engine.fit(toy_db)
+        assert seen  # fired without any registry active
+
+    def test_hooks_fire_without_registry(self, toy_db):
+        count = []
+        CLUSEQ(CluseqParams(**PARAMS), hooks=[lambda s: count.append(1)]).fit(
+            toy_db
+        )
+        assert get_registry() is NULL_REGISTRY
+        assert count
+
+
+class TestExitPathHistory:
+    """Satellite: the final iteration's stats must be complete on both
+    exit paths (stability and the max_iterations cutoff)."""
+
+    def test_stability_exit_records_final_iteration(self, toy_db):
+        result = CLUSEQ(CluseqParams(**PARAMS)).fit(toy_db)
+        assert result.converged
+        assert result.history, "history must never be empty"
+        last = result.history[-1]
+        assert last.stable
+        assert all(not s.stable for s in result.history[:-1])
+        # the terminating iteration's stats are fully populated
+        # (membership_changes may be nonzero even when stable: the
+        # stability rule compares post-consolidation snapshots, so
+        # transient joins to immediately-dismissed clusters count as
+        # changes without breaking stability)
+        assert last.elapsed_seconds > 0.0
+        assert last.membership_changes >= 0
+        # iterations are 0-indexed, one history entry per iteration
+        assert last.iteration == len(result.history) - 1
+        assert [s.iteration for s in result.history] == list(
+            range(len(result.history))
+        )
+
+    def test_max_iterations_exit_records_final_iteration(self, toy_db):
+        params = dict(PARAMS)
+        params["max_iterations"] = 1
+        result = CLUSEQ(CluseqParams(**params)).fit(toy_db)
+        assert not result.converged
+        assert len(result.history) == 1
+        last = result.history[-1]
+        assert not last.stable
+        assert last.elapsed_seconds > 0.0
+
+    def test_every_iteration_has_elapsed_time(self, toy_db):
+        result = CLUSEQ(CluseqParams(**PARAMS)).fit(toy_db)
+        assert all(s.elapsed_seconds > 0.0 for s in result.history)
+        # elapsed times are per-iteration, not cumulative: their sum
+        # cannot exceed the whole run's wall time
+        assert sum(s.elapsed_seconds for s in result.history) <= (
+            result.elapsed_seconds + 1e-6
+        )
+
+    def test_summary_reports_exit_reason(self, toy_db):
+        result = CLUSEQ(CluseqParams(**PARAMS)).fit(toy_db)
+        assert "converged" in result.summary()
+        assert "last iter" in result.summary()
+        params = dict(PARAMS)
+        params["max_iterations"] = 1
+        cutoff = CLUSEQ(CluseqParams(**params)).fit(toy_db)
+        assert "max_iterations" in cutoff.summary()
+
+
+class TestCliTelemetry:
+    def test_metrics_out_writes_schema_document(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.evaluation.reporting import TELEMETRY_SCHEMA
+        from repro.sequences.generators import generate_two_cluster_toy
+        from repro.sequences.io import write_labelled_text
+
+        db = generate_two_cluster_toy(size_per_cluster=15, length=30, seed=7)
+        data = tmp_path / "toy.txt"
+        write_labelled_text(db, data)
+        out = tmp_path / "telemetry.json"
+
+        code = main(
+            [
+                "--metrics-out",
+                str(out),
+                "cluster",
+                str(data),
+                "-k",
+                "2",
+                "-c",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert get_registry() is NULL_REGISTRY
+
+        document = json.loads(out.read_text())
+        assert document["schema"] == TELEMETRY_SCHEMA
+        assert document["context"]["argv"][0] == "--metrics-out"
+        metrics = document["metrics"]
+        # per-phase timers
+        assert metrics["span.cluseq"]["type"] == "timer"
+        assert metrics["span.cluseq.recluster"]["count"] >= 1
+        # per-iteration gauntlet: cluster/threshold trajectories
+        assert metrics["cluseq.iteration.clusters"]["type"] == "series"
+        assert len(metrics["cluseq.iteration.log_threshold"]["values"]) >= 1
+        # PST size metrics
+        assert metrics["cluseq.final_pst_nodes"]["value"] > 0
+        assert metrics["pst.final_depth"]["type"] == "histogram"
+        assert "telemetry written to" in capsys.readouterr().err

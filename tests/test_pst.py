@@ -245,3 +245,44 @@ class TestSerialization:
                 assert clone.probability(symbol, context) == pytest.approx(
                     simple_pst.probability(symbol, context)
                 )
+
+
+class TestStats:
+    def test_stats_matches_tree_structure(self, simple_pst):
+        stats = simple_pst.stats()
+        assert stats.node_count == simple_pst.node_count
+        assert stats.total_symbols == simple_pst.total_symbols
+        assert stats.sequences_added == 1
+        assert stats.max_depth <= simple_pst.max_depth
+        # depth histogram: index 0 is the root, sums to the node count
+        assert stats.depth_histogram[0] == 1
+        assert sum(stats.depth_histogram) == stats.node_count
+        assert len(stats.depth_histogram) == stats.max_depth + 1
+        assert stats.significant_nodes <= stats.node_count
+        assert stats.approx_memory_bytes == simple_pst.approx_memory_bytes()
+        # occurrence mass counts every node's count once
+        assert stats.total_occurrence_mass == sum(
+            node.count for _, node in simple_pst.iter_nodes()
+        )
+
+    def test_stats_empty_tree(self):
+        stats = ProbabilisticSuffixTree(alphabet_size=2).stats()
+        assert stats.node_count == 1  # the root
+        assert stats.max_depth == 0
+        assert stats.depth_histogram == (1,)
+        assert stats.total_occurrence_mass == 0
+        assert stats.sequences_added == 0
+
+    def test_stats_to_dict_round_trips_json(self, simple_pst):
+        import json
+
+        doc = json.loads(json.dumps(simple_pst.stats().to_dict()))
+        assert doc["node_count"] == simple_pst.node_count
+        assert isinstance(doc["depth_histogram"], list)
+
+    def test_repr_mentions_structure(self, simple_pst):
+        text = repr(simple_pst)
+        assert "ProbabilisticSuffixTree" in text
+        assert f"nodes={simple_pst.node_count}" in text
+        assert "sequences=1" in text
+        assert f"c={simple_pst.significance_threshold}" in text

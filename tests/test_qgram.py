@@ -1,6 +1,5 @@
 """Tests for repro.baselines.qgram."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

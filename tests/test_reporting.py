@@ -1,6 +1,5 @@
 """Tests for repro.evaluation.reporting."""
 
-import math
 
 import pytest
 

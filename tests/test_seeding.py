@@ -5,9 +5,8 @@ from functools import partial
 import numpy as np
 import pytest
 
-from repro.core.cluster import Cluster, Membership
+from repro.core.cluster import Cluster
 from repro.core.seeding import build_seed_pst, select_seeds
-from repro.sequences.generators import generate_two_cluster_toy
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Tests for multi-domain sequence segmentation."""
 
-import numpy as np
 import pytest
 
 from repro.core.cluseq import cluster_sequences

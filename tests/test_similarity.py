@@ -187,7 +187,6 @@ class TestSegmentDefinition:
     def test_at_least_best_single_position(self, alternating_pst, uniform_bg):
         seq = [0, 1, 0, 1, 1]
         value = segment_definition_similarity(alternating_pst, seq, uniform_bg)
-        ratios = log_symbol_ratios(alternating_pst, seq, uniform_bg)
         # Literal Eq. 1 scores segment [i,i+1) with the *root* context,
         # so compare against the root-context single-symbol scores.
         singles = [

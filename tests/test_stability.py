@@ -4,11 +4,7 @@ import math
 
 import pytest
 
-from repro.evaluation.stability import (
-    MetricSummary,
-    StabilityReport,
-    stability_analysis,
-)
+from repro.evaluation.stability import MetricSummary, stability_analysis
 
 
 class TestMetricSummary:
