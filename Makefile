@@ -1,0 +1,23 @@
+.PHONY: check test lint typecheck invariants
+
+PYTHON ?= python
+
+# The full local gate: everything CI runs, in one command.
+check: invariants lint typecheck test
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	ruff check .
+
+# Strict on the paper-critical layers (core algorithm + observability),
+# baseline strictness (from pyproject [tool.mypy]) on the rest.
+typecheck:
+	mypy --strict src/repro/core src/repro/obs
+	mypy src/repro
+
+# Repo-specific AST invariants (CLQ001-CLQ005); stdlib-only, always
+# runnable even where ruff/mypy are not installed.
+invariants:
+	$(PYTHON) -m tools.checkers src/repro

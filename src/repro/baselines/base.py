@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 from ..obs import get_logger, get_registry, span
 from ..sequences.database import SequenceDatabase
@@ -27,10 +26,10 @@ class BaselineResult:
     everything).
     """
 
-    labels: List[Optional[int]]
+    labels: list[int | None]
     elapsed_seconds: float
     model_name: str
-    extra: Dict[str, object] = field(default_factory=dict)
+    extra: dict[str, object] = field(default_factory=dict)
 
     @property
     def num_clusters(self) -> int:
@@ -94,5 +93,5 @@ class SequenceClusterer:
 
     def _cluster(
         self, db: SequenceDatabase, num_clusters: int
-    ) -> List[Optional[int]]:
+    ) -> list[int | None]:
         raise NotImplementedError

@@ -24,7 +24,7 @@ slowest model in Table 2 — here as in the paper.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -35,7 +35,7 @@ from .kmedoids import kmedoids
 
 def longest_common_substring(
     a: Sequence[int], b: Sequence[int]
-) -> Tuple[int, int, int]:
+) -> tuple[int, int, int]:
     """Longest common substring as ``(length, start_a, start_b)``.
 
     Ties resolve to the match found first in row order, keeping the
@@ -140,7 +140,7 @@ class BlockEditClusterer(SequenceClusterer):
 
     name = "EDBO"
 
-    def __init__(self, min_block: int = 3, normalized: bool = True, seed: int = 0):
+    def __init__(self, min_block: int = 3, normalized: bool = True, seed: int = 0) -> None:
         if min_block < 1:
             raise ValueError("min_block must be at least 1")
         self.min_block = min_block
@@ -149,7 +149,7 @@ class BlockEditClusterer(SequenceClusterer):
 
     def _cluster(
         self, db: SequenceDatabase, num_clusters: int
-    ) -> List[Optional[int]]:
+    ) -> list[int | None]:
         sequences = [db.encoded(i) for i in range(len(db))]
         matrix = pairwise_block_distance_matrix(
             sequences, min_block=self.min_block, normalized=self.normalized

@@ -19,7 +19,7 @@ globally land far apart — its Table 2 accuracy collapses.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -134,13 +134,13 @@ class EditDistanceClusterer(SequenceClusterer):
 
     name = "ED"
 
-    def __init__(self, normalized: bool = True, seed: int = 0):
+    def __init__(self, normalized: bool = True, seed: int = 0) -> None:
         self.normalized = normalized
         self.seed = seed
 
     def _cluster(
         self, db: SequenceDatabase, num_clusters: int
-    ) -> List[Optional[int]]:
+    ) -> list[int | None]:
         sequences = [db.encoded(i) for i in range(len(db))]
         matrix = pairwise_distance_matrix(sequences, normalized=self.normalized)
         labels, _ = kmedoids(matrix, num_clusters, seed=self.seed)

@@ -18,9 +18,10 @@ accurate but expensive — every EM sweep is ``O(N · l · states²)``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..sequences.database import SequenceDatabase
 from .base import SequenceClusterer
@@ -42,7 +43,7 @@ class DiscreteHMM:
         tables (rows are normalised probability vectors).
     """
 
-    def __init__(self, num_states: int, num_symbols: int, seed: int = 0):
+    def __init__(self, num_states: int, num_symbols: int, seed: int = 0) -> None:
         if num_states < 1:
             raise ValueError("num_states must be at least 1")
         if num_symbols < 1:
@@ -61,7 +62,9 @@ class DiscreteHMM:
 
     # -- inference ---------------------------------------------------------------
 
-    def _forward(self, sequence: Sequence[int]):
+    def _forward(
+        self, sequence: Sequence[int]
+    ) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.float64]]:
         """Scaled forward pass: returns (alpha, scales)."""
         length = len(sequence)
         alpha = np.zeros((length, self.num_states))
@@ -166,7 +169,7 @@ class HMMClusterer(SequenceClusterer):
         baum_welch_iterations: int = 3,
         max_rounds: int = 6,
         seed: int = 0,
-    ):
+    ) -> None:
         if num_states < 1:
             raise ValueError("num_states must be at least 1")
         self.num_states = num_states
@@ -176,7 +179,7 @@ class HMMClusterer(SequenceClusterer):
 
     def _cluster(
         self, db: SequenceDatabase, num_clusters: int
-    ) -> List[Optional[int]]:
+    ) -> list[int | None]:
         rng = np.random.default_rng(self.seed)
         sequences = [db.encoded(i) for i in range(len(db))]
         labels = [int(i) for i in rng.integers(num_clusters, size=len(sequences))]
@@ -186,7 +189,7 @@ class HMMClusterer(SequenceClusterer):
                 labels[int(rng.integers(len(sequences)))] = c
 
         for round_index in range(self.max_rounds):
-            models: List[DiscreteHMM] = []
+            models: list[DiscreteHMM] = []
             for c in range(num_clusters):
                 members = [s for s, lab in zip(sequences, labels) if lab == c]
                 if not members:

@@ -9,7 +9,7 @@ the k-means++-style D² weighting for robustness.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -30,7 +30,7 @@ def validate_distance_matrix(distances: np.ndarray) -> np.ndarray:
 
 def _dsquared_init(
     matrix: np.ndarray, k: int, rng: np.random.Generator
-) -> List[int]:
+) -> list[int]:
     """k-means++-style medoid initialisation on a distance matrix."""
     n = matrix.shape[0]
     first = int(rng.integers(n))
@@ -59,7 +59,7 @@ def kmedoids(
     num_clusters: int,
     max_iterations: int = 50,
     seed: int = 0,
-) -> Tuple[List[int], List[int]]:
+) -> tuple[list[int], list[int]]:
     """Cluster points given a pairwise distance matrix.
 
     Returns ``(labels, medoids)`` where ``labels[i]`` is the cluster
@@ -81,7 +81,7 @@ def kmedoids(
     labels = np.argmin(matrix[:, medoids], axis=1)
 
     for _ in range(max_iterations):
-        new_medoids: List[int] = []
+        new_medoids: list[int] = []
         for c in range(num_clusters):
             members = np.flatnonzero(labels == c)
             if members.size == 0:

@@ -15,15 +15,15 @@ from __future__ import annotations
 
 import math
 from collections import Counter, defaultdict
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
 from ..sequences.database import SequenceDatabase
 from .base import SequenceClusterer
 
-QGram = Tuple[int, ...]
-Profile = Dict[QGram, float]
+QGram = tuple[int, ...]
+Profile = dict[QGram, float]
 
 
 def qgram_profile(sequence: Sequence[int], q: int) -> Profile:
@@ -69,7 +69,7 @@ def _normalize(profile: Profile) -> Profile:
 
 
 def _mean_profile(profiles: Sequence[Profile]) -> Profile:
-    accumulator: Dict[QGram, float] = defaultdict(float)
+    accumulator: dict[QGram, float] = defaultdict(float)
     for profile in profiles:
         for gram, value in profile.items():
             accumulator[gram] += value
@@ -82,7 +82,7 @@ def spherical_kmeans(
     num_clusters: int,
     max_iterations: int = 30,
     seed: int = 0,
-) -> List[int]:
+) -> list[int]:
     """Cosine k-means over sparse profiles; returns one label per profile."""
     n = len(profiles)
     if not 1 <= num_clusters <= n:
@@ -114,7 +114,7 @@ def spherical_kmeans(
             new_labels.append(int(np.argmax(sims)))
         changed = new_labels != labels
         labels = new_labels
-        members: Dict[int, List[Profile]] = defaultdict(list)
+        members: dict[int, list[Profile]] = defaultdict(list)
         for label, profile in zip(labels, unit):
             members[label].append(profile)
         for c in range(num_clusters):
@@ -142,7 +142,7 @@ class QGramClusterer(SequenceClusterer):
 
     name = "q-gram"
 
-    def __init__(self, q: int = 3, seed: int = 0):
+    def __init__(self, q: int = 3, seed: int = 0) -> None:
         if q < 1:
             raise ValueError("q must be at least 1")
         self.q = q
@@ -150,7 +150,7 @@ class QGramClusterer(SequenceClusterer):
 
     def _cluster(
         self, db: SequenceDatabase, num_clusters: int
-    ) -> List[Optional[int]]:
+    ) -> list[int | None]:
         profiles = [qgram_profile(db.encoded(i), self.q) for i in range(len(db))]
         labels = spherical_kmeans(profiles, num_clusters, seed=self.seed)
         return list(labels)

@@ -27,7 +27,6 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
 
 from . import __version__
 from .core.cluseq import CLUSEQ, CluseqParams
@@ -261,7 +260,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     return 2  # pragma: no cover - argparse enforces the choices
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)

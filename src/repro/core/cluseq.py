@@ -34,12 +34,15 @@ import math
 import time
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Callable, Sequence
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
-from ..obs import get_logger, get_registry, span, use_registry
+from ..obs import MetricsRegistry, get_logger, get_registry, span, use_registry
 from ..sequences.database import SequenceDatabase
+from ..typing import PSTFactory
 from .cluster import Cluster, Membership
 from .consolidation import consolidate
 from .seeding import build_seed_pst, select_seeds
@@ -71,11 +74,11 @@ class CluseqParams:
     adjust_threshold: bool = True
     calibrate_threshold: bool = True
     max_iterations: int = 25
-    max_nodes: Optional[int] = None
+    max_nodes: int | None = None
     prune_strategy: str = "paper"
-    p_min: Optional[float] = None
+    p_min: float | None = None
     ordering: str = "fixed"
-    min_unique_members: Optional[int] = None
+    min_unique_members: int | None = None
     dissolve_covered: bool = True
     rebuild_each_iteration: bool = True
     histogram_buckets: int = 100
@@ -131,7 +134,7 @@ class IterationStats:
     membership_changes: int
     threshold: float
     log_threshold: float
-    valley: Optional[float]
+    valley: float | None
     elapsed_seconds: float
     #: Symbols scored during this iteration's reclustering phase —
     #: the deterministic counterpart of wall time, ∝ N · k' · l̄ (the
@@ -156,9 +159,9 @@ class IterationSnapshot:
 
     stats: IterationStats
     #: Current members per live cluster id.
-    cluster_sizes: Dict[int, int]
+    cluster_sizes: dict[int, int]
     #: Current PST node count per live cluster id.
-    pst_node_counts: Dict[int, int]
+    pst_node_counts: dict[int, int]
     log_threshold: float
 
     @property
@@ -179,12 +182,12 @@ class ClusteringResult:
     flattens that to one primary cluster per sequence for evaluation.
     """
 
-    clusters: List[Cluster]
-    assignments: Dict[int, Set[int]]
+    clusters: list[Cluster]
+    assignments: dict[int, set[int]]
     params: CluseqParams
-    background: np.ndarray
+    background: npt.NDArray[np.float64]
     final_log_threshold: float
-    history: List[IterationStats] = field(default_factory=list)
+    history: list[IterationStats] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     #: ``True`` when the run exited through the paper's stability rule,
     #: ``False`` when it was cut off at ``max_iterations``. Either way
@@ -223,16 +226,16 @@ class ClusteringResult:
                 return cluster
         raise KeyError(f"no cluster with id {cluster_id}")
 
-    def labels(self) -> List[Optional[int]]:
+    def labels(self) -> list[int | None]:
         """Primary cluster id per sequence (``None`` for outliers).
 
         The primary cluster of a sequence is the member cluster with
         the highest recorded log-similarity.
         """
         size = max(self.assignments.keys(), default=-1) + 1
-        out: List[Optional[int]] = [None] * size
+        out: list[int | None] = [None] * size
         for index, cluster_ids in self.assignments.items():
-            best_id: Optional[int] = None
+            best_id: int | None = None
             best_log = -math.inf
             for cid in cluster_ids:
                 membership = self.cluster_by_id(cid).membership_of(index)
@@ -242,18 +245,18 @@ class ClusteringResult:
             out[index] = best_id
         return out
 
-    def outliers(self) -> List[int]:
+    def outliers(self) -> list[int]:
         """Indices of sequences assigned to no cluster."""
         return [index for index, ids in sorted(self.assignments.items()) if not ids]
 
-    def score_sequence(self, encoded: Sequence[int]) -> Dict[int, SimilarityResult]:
+    def score_sequence(self, encoded: Sequence[int]) -> dict[int, SimilarityResult]:
         """Score a (possibly unseen) encoded sequence against every cluster."""
         return {
             cluster.cluster_id: similarity(cluster.pst, encoded, self.background)
             for cluster in self.clusters
         }
 
-    def predict(self, encoded: Sequence[int]) -> Optional[int]:
+    def predict(self, encoded: Sequence[int]) -> int | None:
         """Best cluster for an encoded sequence, or ``None`` (outlier).
 
         Uses the run's final similarity threshold.
@@ -266,7 +269,7 @@ class ClusteringResult:
             return best_id
         return None
 
-    def assign_and_absorb(self, encoded: Sequence[int]) -> Optional[int]:
+    def assign_and_absorb(self, encoded: Sequence[int]) -> int | None:
         """Incrementally add one new sequence to the fitted clustering.
 
         The streaming counterpart of ``fit``: the sequence is scored
@@ -283,26 +286,27 @@ class ClusteringResult:
         if len(encoded) == 0:
             raise ValueError("cannot assign an empty sequence")
         new_index = max(self.assignments.keys(), default=-1) + 1
-        best_id: Optional[int] = None
-        best: Optional[SimilarityResult] = None
+        best: tuple[int, SimilarityResult] | None = None
         for cluster in self.clusters:
             result = similarity(cluster.pst, encoded, self.background)
-            if best is None or result.log_similarity > best.log_similarity:
-                best = result
-                best_id = cluster.cluster_id
-        if best is None or best.log_similarity < self.final_log_threshold:
+            if best is None or result.log_similarity > best[1].log_similarity:
+                best = (cluster.cluster_id, result)
+        if best is None or best[1].log_similarity < self.final_log_threshold:
             self.assignments[new_index] = set()
             return None
+        best_id, best_result = best
         cluster = self.cluster_by_id(best_id)
         cluster.set_member(
             Membership(
                 sequence_index=new_index,
-                log_similarity=best.log_similarity,
-                best_start=best.best_start,
-                best_end=best.best_end,
+                log_similarity=best_result.log_similarity,
+                best_start=best_result.best_start,
+                best_end=best_result.best_end,
             )
         )
-        cluster.absorb_segment(list(encoded[best.best_start : best.best_end]))
+        cluster.absorb_segment(
+            list(encoded[best_result.best_start : best_result.best_end])
+        )
         self.assignments[new_index] = {best_id}
         return best_id
 
@@ -361,18 +365,18 @@ class CLUSEQ:
 
     def __init__(
         self,
-        params: Optional[CluseqParams] = None,
-        hooks: Optional[Sequence[IterationHook]] = None,
-        registry=None,
-        **overrides,
-    ):
+        params: CluseqParams | None = None,
+        hooks: Sequence[IterationHook] | None = None,
+        registry: MetricsRegistry | None = None,
+        **overrides: Any,
+    ) -> None:
         if params is None:
             params = CluseqParams(**overrides)
         elif overrides:
             raise TypeError("pass either params or keyword overrides, not both")
         self.params = params
-        self.hooks: List[IterationHook] = list(hooks or [])
-        self.registry = registry
+        self.hooks: list[IterationHook] = list(hooks or [])
+        self.registry: MetricsRegistry | None = registry
 
     def add_hook(self, hook: IterationHook) -> "CLUSEQ":
         """Register a per-iteration observer; returns ``self`` for chaining."""
@@ -414,21 +418,23 @@ class CLUSEQ:
             prune_strategy=params.prune_strategy,
         )
 
-        clusters: List[Cluster] = []
-        assignments: Dict[int, Set[int]] = {i: set() for i in range(len(db))}
+        clusters: list[Cluster] = []
+        assignments: dict[int, set[int]] = {i: set() for i in range(len(db))}
         # Consecutive iterations each sequence has spent unclustered.
         # Sequences with long streaks behave like outliers: greedy
         # min-max selection would keep choosing them as seeds (they are
         # maximally dissimilar from everything) and waste the iteration.
-        unclustered_streak: Dict[int, int] = {i: 0 for i in range(len(db))}
-        history: List[IterationStats] = []
+        unclustered_streak: dict[int, int] = {i: 0 for i in range(len(db))}
+        history: list[IterationStats] = []
         log_t = math.log(params.similarity_threshold)
         log_t_floor = 0.0
         valley_finder = VALLEY_METHODS[params.valley_method]
         threshold_converged = not params.adjust_threshold
         next_cluster_id = 0
         k_n = params.k
-        prev_snapshot: Optional[Tuple] = None
+        prev_snapshot: (
+            tuple[tuple[int, ...], tuple[tuple[int, ...], ...]] | None
+        ) = None
         run_start = time.perf_counter()
 
         for iteration in range(params.max_iterations):
@@ -508,12 +514,12 @@ class CLUSEQ:
             # -- phase 2: sequence reclustering ------------------------------------
             with span("recluster"):
                 order = self._examination_order(len(db), clusters, assignments, rng)
-                all_log_sims: List[float] = []
+                all_log_sims: list[float] = []
                 membership_changes = 0
                 reclustering_work = 0
                 for index in order:
                     seq = encoded[index]
-                    joined: List[Tuple[Cluster, SimilarityResult]] = []
+                    joined: list[tuple[Cluster, SimilarityResult]] = []
                     for cluster in clusters:
                         result = similarity(cluster.pst, seq, background)
                         reclustering_work += len(seq)
@@ -569,7 +575,7 @@ class CLUSEQ:
                     self._rebuild_cluster_models(clusters, encoded, pst_factory)
 
             # -- phase 4: threshold adjustment ------------------------------------------
-            valley_linear: Optional[float] = None
+            valley_linear: float | None = None
             threshold_moved = False
             if params.adjust_threshold and not threshold_converged:
                 with span("adjust_threshold"):
@@ -683,7 +689,7 @@ class CLUSEQ:
     # -- internals ------------------------------------------------------------------
 
     def _observe_iteration(
-        self, stats: IterationStats, clusters: List[Cluster], log_t: float
+        self, stats: IterationStats, clusters: list[Cluster], log_t: float
     ) -> None:
         """Per-iteration telemetry: metrics series, one log line, hooks.
 
@@ -744,12 +750,12 @@ class CLUSEQ:
     def _calibrate_initial_threshold(
         self,
         db: SequenceDatabase,
-        clusters: List[Cluster],
-        encoded: List[List[int]],
-        background: np.ndarray,
-        pst_factory,
+        clusters: list[Cluster],
+        encoded: list[list[int]],
+        background: npt.NDArray[np.float64],
+        pst_factory: PSTFactory,
         rng: np.random.Generator,
-    ) -> Optional[float]:
+    ) -> float | None:
         """Iteration-0 dry scoring pass picking the starting ``log t``.
 
         Calibrates against at least a handful of single-sequence
@@ -794,7 +800,7 @@ class CLUSEQ:
             finders = list(VALLEY_METHODS.values())
         else:
             finders = [VALLEY_METHODS[params.calibration_method]]
-        found: List[float] = []
+        found: list[float] = []
         for pst in reference_psts:
             reference_sims = [
                 similarity(pst, seq, background).log_similarity for seq in encoded
@@ -825,10 +831,10 @@ class CLUSEQ:
     def _examination_order(
         self,
         n_sequences: int,
-        clusters: List[Cluster],
-        assignments: Dict[int, Set[int]],
+        clusters: list[Cluster],
+        assignments: dict[int, set[int]],
         rng: np.random.Generator,
-    ) -> List[int]:
+    ) -> list[int]:
         """Sequence order for the reclustering phase (§6.3 policies).
 
         ``fixed`` scans by id every iteration, ``random`` draws a fresh
@@ -841,8 +847,8 @@ class CLUSEQ:
             return list(range(n_sequences))
         if ordering == "random":
             return [int(i) for i in rng.permutation(n_sequences)]
-        order: List[int] = []
-        seen: Set[int] = set()
+        order: list[int] = []
+        seen: set[int] = set()
         for cluster in clusters:
             for index in sorted(cluster.members):
                 if index not in seen:
@@ -855,7 +861,7 @@ class CLUSEQ:
 
     @staticmethod
     def _rebuild_cluster_models(
-        clusters: List[Cluster], encoded: List[List[int]], pst_factory
+        clusters: list[Cluster], encoded: list[list[int]], pst_factory: PSTFactory
     ) -> None:
         """Rebuild every cluster's PST from current members' best segments.
 
@@ -875,7 +881,11 @@ class CLUSEQ:
 
 
 def cluster_sequences(
-    db: SequenceDatabase, **param_overrides
+    db: SequenceDatabase, **param_overrides: Any
 ) -> ClusteringResult:
-    """One-call convenience wrapper: ``cluster_sequences(db, k=5, ...)``."""
+    """One-call convenience wrapper: ``cluster_sequences(db, k=5, ...)``.
+
+    Runs the full §4 iteration (generation → reclustering →
+    consolidation → threshold adjustment) with default parameters.
+    """
     return CLUSEQ(CluseqParams(**param_overrides)).fit(db)

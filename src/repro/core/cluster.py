@@ -11,7 +11,7 @@ clusters at once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Set
+from collections.abc import Iterable, Sequence
 
 from .pst import ProbabilisticSuffixTree
 
@@ -48,18 +48,18 @@ class Cluster:
         pst: ProbabilisticSuffixTree,
         seed_index: int,
         created_at_iteration: int = 0,
-    ):
+    ) -> None:
         self.cluster_id = cluster_id
         self.pst = pst
         self.seed_index = seed_index
         self.created_at_iteration = created_at_iteration
-        self._members: Dict[int, Membership] = {}
+        self._members: dict[int, Membership] = {}
         self._segments_absorbed = 0
 
     # -- membership --------------------------------------------------------------
 
     @property
-    def members(self) -> Set[int]:
+    def members(self) -> set[int]:
         """Indices of sequences currently assigned to this cluster."""
         return set(self._members.keys())
 
@@ -73,7 +73,7 @@ class Cluster:
         """How many best-scoring segments have been fed into the PST."""
         return self._segments_absorbed
 
-    def membership_of(self, sequence_index: int) -> Optional[Membership]:
+    def membership_of(self, sequence_index: int) -> Membership | None:
         """The membership record for *sequence_index*, or ``None``."""
         return self._members.get(sequence_index)
 
@@ -115,7 +115,7 @@ class Cluster:
 
     # -- bookkeeping ------------------------------------------------------------------
 
-    def unique_members(self, others: Iterable["Cluster"]) -> Set[int]:
+    def unique_members(self, others: Iterable["Cluster"]) -> set[int]:
         """Members of this cluster that belong to none of *others*.
 
         Used by cluster consolidation to decide whether this cluster is

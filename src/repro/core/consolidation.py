@@ -11,7 +11,7 @@ substantially from each other.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..obs import get_logger, get_registry
 from .cluster import Cluster
@@ -23,7 +23,7 @@ def consolidate(
     clusters: Sequence[Cluster],
     min_unique_members: int,
     dissolve_covered: bool = True,
-) -> Tuple[List[Cluster], List[Cluster]]:
+) -> tuple[list[Cluster], list[Cluster]]:
     """Apply the paper's consolidation procedure.
 
     Parameters
@@ -63,8 +63,8 @@ def consolidate(
     if min_unique_members < 0:
         raise ValueError("min_unique_members must be non-negative")
 
-    removed: List[Cluster] = []
-    removed_ids = set()
+    removed: list[Cluster] = []
+    removed_ids: set[int] = set()
 
     for cluster in clusters:
         if cluster.size == 0:

@@ -22,9 +22,10 @@ CLUSEQ separates are exactly those whose CPDs diverge.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from .pst import ProbabilisticSuffixTree
 
@@ -32,7 +33,11 @@ _EPS = 1e-12
 
 
 def variational_distance(p: Sequence[float], q: Sequence[float]) -> float:
-    """``Σ |p_i − q_i|`` over two probability vectors (range [0, 2])."""
+    """``Σ |p_i − q_i|`` over two probability vectors (range [0, 2]).
+
+    One of the §2 distribution-difference measures the paper surveys
+    before settling on its similarity ratio.
+    """
     p_arr = np.asarray(p, dtype=np.float64)
     q_arr = np.asarray(q, dtype=np.float64)
     if p_arr.shape != q_arr.shape:
@@ -41,7 +46,11 @@ def variational_distance(p: Sequence[float], q: Sequence[float]) -> float:
 
 
 def kl_divergence(p: Sequence[float], q: Sequence[float]) -> float:
-    """``Σ p_i log(p_i/q_i)`` with epsilon flooring (finite, ≥ 0)."""
+    """``Σ p_i log(p_i/q_i)`` with epsilon flooring (finite, ≥ 0).
+
+    The §2 relative-entropy measure; building block of the
+    symmetrised :func:`j_divergence`.
+    """
     p_arr = np.asarray(p, dtype=np.float64) + _EPS
     q_arr = np.asarray(q, dtype=np.float64) + _EPS
     if p_arr.shape != q_arr.shape:
@@ -58,9 +67,9 @@ def j_divergence(p: Sequence[float], q: Sequence[float]) -> float:
 
 def _context_weights(
     pst: ProbabilisticSuffixTree, max_context: int
-) -> Dict[Tuple[int, ...], float]:
+) -> dict[tuple[int, ...], float]:
     """Observed contexts (labels up to *max_context*) → frequency weight."""
-    weights: Dict[Tuple[int, ...], float] = {}
+    weights: dict[tuple[int, ...], float] = {}
     total = 0.0
     for label, node in pst.iter_nodes():
         if len(label) > max_context:
@@ -122,8 +131,12 @@ def pairwise_pst_divergence(
     psts: Sequence[ProbabilisticSuffixTree],
     max_context: int = 2,
     measure: str = "variational",
-) -> np.ndarray:
-    """Symmetric matrix of :func:`pst_divergence` over a model list."""
+) -> npt.NDArray[np.float64]:
+    """Symmetric matrix of :func:`pst_divergence` over a model list.
+
+    Quantifies how separable the embedded clusters of the paper's
+    §6 synthetic workloads are from one another.
+    """
     n = len(psts)
     matrix = np.zeros((n, n), dtype=np.float64)
     for i in range(n):

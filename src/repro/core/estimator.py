@@ -10,7 +10,8 @@ encoding.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional, Sequence
+from collections.abc import Hashable, Sequence
+from typing import Any
 
 from ..sequences.alphabet import Alphabet
 from ..sequences.database import SequenceDatabase
@@ -46,18 +47,18 @@ class CluseqClusterer:
     True
     """
 
-    def __init__(self, **params):
+    def __init__(self, **params: Any) -> None:
         self.params = CluseqParams(**params)
-        self.result_: Optional[ClusteringResult] = None
-        self.alphabet_: Optional[Alphabet] = None
-        self.labels_: Optional[List[int]] = None
+        self.result_: ClusteringResult | None = None
+        self.alphabet_: Alphabet | None = None
+        self.labels_: list[int] | None = None
 
     # -- protocol -----------------------------------------------------------------
 
     def fit(
         self,
         X: Sequence[Sequence[Hashable]],
-        y: Optional[Sequence] = None,
+        y: Sequence[object] | None = None,
     ) -> "CluseqClusterer":
         """Cluster the sequences in *X* (``y`` is ignored, per sklearn)."""
         if len(X) == 0:
@@ -73,12 +74,12 @@ class CluseqClusterer:
     def fit_predict(
         self,
         X: Sequence[Sequence[Hashable]],
-        y: Optional[Sequence] = None,
-    ) -> List[int]:
+        y: Sequence[object] | None = None,
+    ) -> list[int]:
         """``fit`` then return ``labels_``."""
         return self.fit(X, y).labels_  # type: ignore[return-value]
 
-    def predict(self, X: Sequence[Sequence[Hashable]]) -> List[int]:
+    def predict(self, X: Sequence[Sequence[Hashable]]) -> list[int]:
         """Assign new sequences to the fitted clusters (-1 = outlier).
 
         Symbols never seen during ``fit`` raise — the model has no
@@ -86,7 +87,7 @@ class CluseqClusterer:
         """
         self._check_fitted()
         assert self.result_ is not None and self.alphabet_ is not None
-        out: List[int] = []
+        out: list[int] = []
         for x in X:
             encoded = self.alphabet_.encode(tuple(x))
             assignment = self.result_.predict(encoded)
@@ -109,13 +110,13 @@ class CluseqClusterer:
         assert self.result_ is not None
         return self.result_.final_threshold
 
-    def get_params(self, deep: bool = True) -> dict:
+    def get_params(self, deep: bool = True) -> dict[str, Any]:
         """sklearn-compatible parameter accessor."""
         from dataclasses import asdict
 
         return asdict(self.params)
 
-    def set_params(self, **params) -> "CluseqClusterer":
+    def set_params(self, **params: Any) -> "CluseqClusterer":
         """sklearn-compatible parameter setter (re-validates)."""
         merged = self.get_params()
         merged.update(params)

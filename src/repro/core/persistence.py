@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import asdict
-from typing import List, TextIO, Union
+from typing import Any, TextIO, Union
 
 import numpy as np
 
@@ -27,7 +27,8 @@ from .cluseq import CluseqParams, ClusteringResult, IterationStats
 from .cluster import Cluster, Membership
 from .pst import ProbabilisticSuffixTree
 
-PathOrFile = Union[str, os.PathLike, TextIO]
+#: Acceptable save/load targets (typing.Union: evaluated at runtime).
+PathOrFile = Union[str, "os.PathLike[str]", TextIO]
 
 #: Schema version embedded in every file, for forward compatibility.
 FORMAT_VERSION = 1
@@ -35,14 +36,18 @@ FORMAT_VERSION = 1
 
 def result_to_dict(
     result: ClusteringResult, alphabet: "Alphabet | None" = None
-) -> dict:
+) -> dict[str, Any]:
     """A JSON-serializable snapshot of a fitted clustering.
+
+    Captures the full §4 end state: every cluster's PST (§3's model),
+    the final similarity threshold and the membership map, so
+    classification can resume without refitting.
 
     Pass the training *alphabet* to embed it (symbols must be strings);
     :func:`load_result` then returns it alongside the result via
     :func:`load_result_with_alphabet`.
     """
-    clusters = []
+    clusters: list[dict[str, Any]] = []
     for cluster in result.clusters:
         clusters.append(
             {
@@ -86,15 +91,19 @@ def result_to_dict(
     }
 
 
-def result_from_dict(data: dict) -> ClusteringResult:
-    """Rebuild a :class:`ClusteringResult` from :func:`result_to_dict`."""
+def result_from_dict(data: dict[str, Any]) -> ClusteringResult:
+    """Rebuild a :class:`ClusteringResult` from :func:`result_to_dict`.
+
+    Inverse of the §4-state snapshot; restores cluster PSTs,
+    memberships and the final threshold.
+    """
     version = data.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(
             f"unsupported clustering file version {version!r}; "
             f"this build reads version {FORMAT_VERSION}"
         )
-    clusters: List[Cluster] = []
+    clusters: list[Cluster] = []
     for payload in data["clusters"]:
         cluster = Cluster(
             cluster_id=payload["cluster_id"],
@@ -132,29 +141,43 @@ def save_result(
     target: PathOrFile,
     alphabet: "Alphabet | None" = None,
 ) -> None:
-    """Write a fitted clustering (and optionally its alphabet) as JSON."""
+    """Write a fitted clustering (§4 end state) as JSON.
+
+    Optionally embeds the training alphabet so a later ``classify``
+    run can encode raw sequences identically.
+    """
     payload = result_to_dict(result, alphabet)
     if hasattr(target, "write"):
-        json.dump(payload, target)
+        json.dump(payload, target)  # type: ignore[arg-type]
         return
-    with open(target, "w", encoding="utf-8") as handle:
+    with open(target, "w", encoding="utf-8") as handle:  # type: ignore[arg-type]
         json.dump(payload, handle)
 
 
-def _read_payload(source: PathOrFile) -> dict:
+def _read_payload(source: PathOrFile) -> dict[str, Any]:
     if hasattr(source, "read"):
-        return json.load(source)
-    with open(source, "r", encoding="utf-8") as handle:
-        return json.load(handle)
+        payload = json.load(source)  # type: ignore[arg-type]
+    else:
+        with open(source, encoding="utf-8") as handle:  # type: ignore[arg-type]
+            payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError("clustering file must contain a JSON object")
+    return payload
 
 
 def load_result(source: PathOrFile) -> ClusteringResult:
-    """Read a fitted clustering written by :func:`save_result`."""
+    """Read a fitted clustering (§4 end state) written by
+    :func:`save_result`."""
     return result_from_dict(_read_payload(source))
 
 
-def load_result_with_alphabet(source: PathOrFile):
-    """Read ``(result, alphabet)``; alphabet is ``None`` if not embedded."""
+def load_result_with_alphabet(
+    source: PathOrFile,
+) -> tuple[ClusteringResult, Alphabet | None]:
+    """Read ``(result, alphabet)`` from a §4-state snapshot.
+
+    The alphabet is ``None`` when the file does not embed one.
+    """
     payload = _read_payload(source)
     result = result_from_dict(payload)
     symbols = payload.get("alphabet")

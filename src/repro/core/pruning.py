@@ -24,7 +24,8 @@ parent's, so a child can never outlive its parent in a suffix trie).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable, List, Tuple
+from collections.abc import Callable, Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -39,17 +40,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 STRATEGIES = ("smallest_count", "longest_label", "expected_vector", "paper")
 
 #: A prunable tree position: (parent node, edge symbol, child node, depth).
-Candidate = Tuple["PSTNode", int, "PSTNode", int]
+Candidate = tuple["PSTNode", int, "PSTNode", int]
 
 
-def _candidates(pst: "ProbabilisticSuffixTree") -> List[Candidate]:
+def _candidates(pst: "ProbabilisticSuffixTree") -> list[Candidate]:
     """Every non-root node, as ``(parent, symbol, node, depth)``.
 
     Depth-1 nodes (single-symbol contexts) are included: the paper sets
     no floor, and the root always survives as the final fallback.
     """
-    out: List[Candidate] = []
-    stack: List[Tuple["PSTNode", int]] = [(pst.root, 0)]
+    out: list[Candidate] = []
+    stack: list[tuple["PSTNode", int]] = [(pst.root, 0)]
     while stack:
         node, depth = stack.pop()
         for symbol, child in node.children.items():
@@ -74,7 +75,7 @@ def _vector_divergence(pst: "ProbabilisticSuffixTree", candidate: Candidate) -> 
 def _prune_by_key(
     pst: "ProbabilisticSuffixTree",
     candidates: Iterable[Candidate],
-    key: Callable[[Candidate], Tuple],
+    key: Callable[[Candidate], tuple[float, float]],
     target_nodes: int,
 ) -> int:
     """Prune candidate subtrees in *key* order until within budget.
@@ -99,7 +100,7 @@ def prune_to(
     strategy: str = "paper",
     slack: float = 0.9,
 ) -> int:
-    """Prune *pst* down to at most ``max_nodes · slack`` nodes.
+    """Prune *pst* down to at most ``max_nodes · slack`` nodes (§5.1).
 
     The *slack* factor leaves headroom so insertion does not trigger a
     prune on every new node right after hitting the budget.

@@ -30,9 +30,11 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Iterator, Sequence
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from .smoothing import adjust_probability, validate_p_min
 
@@ -61,9 +63,9 @@ class PSTNode:
     __slots__ = ("children", "count", "next_counts")
 
     def __init__(self) -> None:
-        self.children: Dict[int, "PSTNode"] = {}
+        self.children: dict[int, "PSTNode"] = {}
         self.count: int = 0
-        self.next_counts: Dict[int, int] = {}
+        self.next_counts: dict[int, int] = {}
 
     @property
     def next_total(self) -> int:
@@ -94,7 +96,7 @@ class PSTStats:
     significant_nodes: int
     max_depth: int
     #: Nodes per label length, index 0 = the root.
-    depth_histogram: Tuple[int, ...]
+    depth_histogram: tuple[int, ...]
     #: Sum of node counts over the whole tree — the total occurrence
     #: mass the model has accumulated (grows with every insertion,
     #: shrinks when pruning discards subtrees).
@@ -103,7 +105,7 @@ class PSTStats:
     total_symbols: int
     approx_memory_bytes: int
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "node_count": self.node_count,
             "significant_nodes": self.significant_nodes,
@@ -147,9 +149,9 @@ class ProbabilisticSuffixTree:
         max_depth: int = 6,
         significance_threshold: int = 30,
         p_min: float = 0.0,
-        max_nodes: Optional[int] = None,
+        max_nodes: int | None = None,
         prune_strategy: str = "paper",
-    ):
+    ) -> None:
         if alphabet_size <= 0:
             raise ValueError("alphabet_size must be positive")
         if max_depth < 1:
@@ -173,7 +175,7 @@ class ProbabilisticSuffixTree:
 
     @classmethod
     def from_sequences(
-        cls, sequences: Sequence[Sequence[int]], **kwargs
+        cls, sequences: Sequence[Sequence[int]], **kwargs: Any
     ) -> "ProbabilisticSuffixTree":
         """Build a PST from already-encoded sequences."""
         pst = cls(**kwargs)
@@ -245,7 +247,7 @@ class ProbabilisticSuffixTree:
 
     # -- lookup --------------------------------------------------------------------
 
-    def node_for(self, segment: Sequence[int]) -> Optional[PSTNode]:
+    def node_for(self, segment: Sequence[int]) -> PSTNode | None:
         """Exact lookup: the node labelled *segment*, or ``None``.
 
         The walk consumes *segment* back-to-front because edges prepend
@@ -289,7 +291,7 @@ class ProbabilisticSuffixTree:
             node = child
         return node
 
-    def longest_significant_suffix(self, context: Sequence[int]) -> Tuple[int, ...]:
+    def longest_significant_suffix(self, context: Sequence[int]) -> tuple[int, ...]:
         """The longest significant suffix of *context* as a tuple of ids."""
         node = self.root
         threshold = self.significance_threshold
@@ -318,12 +320,12 @@ class ProbabilisticSuffixTree:
         raw = node.next_counts.get(symbol, 0) / total
         return adjust_probability(raw, self.alphabet_size, self.p_min)
 
-    def probability_vector(self, context: Sequence[int]) -> np.ndarray:
+    def probability_vector(self, context: Sequence[int]) -> npt.NDArray[np.float64]:
         """The full (smoothed) next-symbol distribution given *context*."""
         node = self.prediction_node(context)
         return self.node_probability_vector(node)
 
-    def node_probability_vector(self, node: PSTNode) -> np.ndarray:
+    def node_probability_vector(self, node: PSTNode) -> npt.NDArray[np.float64]:
         """The (smoothed) probability vector stored at *node*."""
         vec = np.zeros(self.alphabet_size, dtype=np.float64)
         total = node.next_total
@@ -338,13 +340,13 @@ class ProbabilisticSuffixTree:
 
     # -- traversal / stats -----------------------------------------------------------
 
-    def iter_nodes(self) -> Iterator[Tuple[Tuple[int, ...], PSTNode]]:
+    def iter_nodes(self) -> Iterator[tuple[tuple[int, ...], PSTNode]]:
         """Depth-first iteration over ``(label, node)`` pairs.
 
         Labels are in original (unreversed) orientation; the root has
         the empty label.
         """
-        stack: List[Tuple[Tuple[int, ...], PSTNode]] = [((), self.root)]
+        stack: list[tuple[tuple[int, ...], PSTNode]] = [((), self.root)]
         while stack:
             label, node = stack.pop()
             yield label, node
@@ -393,8 +395,8 @@ class ProbabilisticSuffixTree:
         node_count = 0
         significant = 0
         mass = 0
-        depth_counts: List[int] = []
-        stack: List[Tuple[PSTNode, int]] = [(self.root, 0)]
+        depth_counts: list[int] = []
+        stack: list[tuple[PSTNode, int]] = [(self.root, 0)]
         while stack:
             node, depth = stack.pop()
             node_count += 1
@@ -449,18 +451,21 @@ class ProbabilisticSuffixTree:
     # -- sampling ----------------------------------------------------------------------
 
     def sample(
-        self, length: int, rng: Optional[np.random.Generator] = None
-    ) -> List[int]:
+        self, length: int, rng: np.random.Generator | None = None
+    ) -> list[int]:
         """Generate a sequence of *length* symbols from this PST.
 
         Sampling follows exactly the prediction procedure used for
         scoring, so a cluster's PST can act as its generative model
-        (how the paper builds its synthetic workloads).
+        (how the paper builds its synthetic workloads). Deterministic
+        when *rng* is omitted: a fixed seed-0 generator is created per
+        call.
         """
         if length < 0:
             raise ValueError("length must be non-negative")
-        rng = rng or np.random.default_rng()
-        out: List[int] = []
+        if rng is None:
+            rng = np.random.default_rng(0)
+        out: list[int] = []
         ids = np.arange(self.alphabet_size)
         for _ in range(length):
             vec = self.probability_vector(out[-self.max_depth :])
@@ -474,10 +479,10 @@ class ProbabilisticSuffixTree:
 
     # -- serialization -------------------------------------------------------------------
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """A JSON-serializable snapshot of the tree."""
 
-        def encode(node: PSTNode) -> dict:
+        def encode(node: PSTNode) -> dict[str, Any]:
             return {
                 "count": node.count,
                 "next": {str(s): c for s, c in node.next_counts.items()},
@@ -498,7 +503,7 @@ class ProbabilisticSuffixTree:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ProbabilisticSuffixTree":
+    def from_dict(cls, data: dict[str, Any]) -> "ProbabilisticSuffixTree":
         """Rebuild a tree from :meth:`to_dict` output."""
         pst = cls(
             alphabet_size=data["alphabet_size"],
@@ -509,7 +514,7 @@ class ProbabilisticSuffixTree:
             prune_strategy=data.get("prune_strategy", "paper"),
         )
 
-        def decode(payload: dict) -> PSTNode:
+        def decode(payload: dict[str, Any]) -> PSTNode:
             node = PSTNode()
             node.count = payload["count"]
             node.next_counts = {int(s): c for s, c in payload["next"].items()}

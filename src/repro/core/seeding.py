@@ -20,11 +20,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..obs import get_logger, get_registry
+from ..typing import EncodedLookup, PSTFactory
 from .cluster import Cluster
 from .pst import ProbabilisticSuffixTree
 from .similarity import similarity
@@ -46,10 +48,11 @@ def build_seed_pst(
     max_depth: int,
     significance_threshold: int,
     p_min: float,
-    max_nodes: Optional[int] = None,
+    max_nodes: int | None = None,
     prune_strategy: str = "paper",
 ) -> ProbabilisticSuffixTree:
-    """A PST modelling a single seed sequence (a cluster's initial state)."""
+    """A PST modelling a single seed sequence (§4.1's new-cluster
+    initial state)."""
     pst = ProbabilisticSuffixTree(
         alphabet_size=alphabet_size,
         max_depth=max_depth,
@@ -64,14 +67,14 @@ def build_seed_pst(
 
 def select_seeds(
     candidates: Sequence[int],
-    encoded_lookup,
+    encoded_lookup: EncodedLookup,
     existing_clusters: Sequence[Cluster],
-    background: np.ndarray,
+    background: npt.NDArray[np.float64],
     count: int,
     sample_multiplier: int,
     rng: np.random.Generator,
-    pst_factory,
-) -> List[SeedChoice]:
+    pst_factory: PSTFactory,
+) -> list[SeedChoice]:
     """Choose up to *count* seed sequences from *candidates*.
 
     Parameters
@@ -107,14 +110,14 @@ def select_seeds(
     sampled = [int(i) for i in sampled]
 
     sample_psts = {i: pst_factory(encoded_lookup(i)) for i in sampled}
-    reference_psts: List[ProbabilisticSuffixTree] = [
+    reference_psts: list[ProbabilisticSuffixTree] = [
         cluster.pst for cluster in existing_clusters
     ]
 
     # Each sample's best log-similarity against the current references;
     # incremental: adding a seed only requires scoring remaining samples
     # against that one new reference.
-    best_log: dict = {}
+    best_log: dict[int, float] = {}
     for i in sampled:
         encoded = encoded_lookup(i)
         best = -math.inf
@@ -122,7 +125,7 @@ def select_seeds(
             best = max(best, similarity(pst, encoded, background).log_similarity)
         best_log[i] = best
 
-    chosen: List[SeedChoice] = []
+    chosen: list[SeedChoice] = []
     remaining = list(sampled)
     while remaining and len(chosen) < count:
         pick = min(remaining, key=lambda i: (best_log[i], i))

@@ -26,12 +26,17 @@ with a Viterbi-style DP in ``O(l · k)``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
+import numpy.typing as npt
 
 from .cluseq import ClusteringResult
 from .similarity import log_symbol_ratios
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..sequences.alphabet import Alphabet
 
 #: Label used for positions best explained by the background model.
 BACKGROUND = None
@@ -47,7 +52,7 @@ class Domain:
 
     start: int
     end: int  # half-open
-    cluster_id: Optional[int]
+    cluster_id: int | None
     score: float
 
     @property
@@ -60,8 +65,12 @@ def segment_sequence(
     encoded: Sequence[int],
     switch_penalty: float = 8.0,
     min_domain_score: float = 2.0,
-) -> List[Domain]:
+) -> list[Domain]:
     """Decompose *encoded* into cluster domains and background.
+
+    Realizes the paper's §2 observation that "a protein may belong to
+    multiple domains": the per-position log ratios that drive the §4.3
+    similarity are reused as domain evidence.
 
     Parameters
     ----------
@@ -88,7 +97,7 @@ def segment_sequence(
         raise ValueError("switch_penalty must be non-negative")
 
     clusters = result.clusters
-    labels: List[Optional[int]] = [BACKGROUND] + [c.cluster_id for c in clusters]
+    labels: list[int | None] = [BACKGROUND] + [c.cluster_id for c in clusters]
     length = len(encoded)
 
     # Per-position scores: background row is 0, one row per cluster.
@@ -98,7 +107,7 @@ def segment_sequence(
 
     # Viterbi over labels with a constant switching penalty.
     best = scores[:, 0].copy()
-    back: List[np.ndarray] = []
+    back: list[npt.NDArray[np.int64]] = []
     for i in range(1, length):
         stay = best
         jump = best.max() - switch_penalty
@@ -116,7 +125,7 @@ def segment_sequence(
     path.reverse()
 
     # Collapse the per-position path into domains.
-    domains: List[Domain] = []
+    domains: list[Domain] = []
     start = 0
     for i in range(1, length + 1):
         if i == length or path[i] != path[start]:
@@ -126,7 +135,7 @@ def segment_sequence(
             start = i
 
     # Fold weak domains into background and merge adjacent backgrounds.
-    folded: List[Domain] = []
+    folded: list[Domain] = []
     for domain in domains:
         if domain.cluster_id is not BACKGROUND and domain.score < min_domain_score:
             domain = Domain(domain.start, domain.end, BACKGROUND, 0.0)
@@ -142,10 +151,13 @@ def segment_sequence(
 
 
 def domain_summary(
-    domains: Sequence[Domain], alphabet=None, encoded: Optional[Sequence[int]] = None
+    domains: Sequence[Domain],
+    alphabet: Alphabet | None = None,
+    encoded: Sequence[int] | None = None,
 ) -> str:
-    """Human-readable one-line-per-domain report."""
-    lines = []
+    """Human-readable one-line-per-domain report of a §2-style
+    multi-domain decomposition."""
+    lines: list[str] = []
     for domain in domains:
         label = (
             "background"

@@ -28,9 +28,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..obs import get_registry
 from .pst import ProbabilisticSuffixTree
@@ -89,11 +90,12 @@ def _safe_exp(log_value: float) -> float:
 def log_symbol_ratios(
     pst: ProbabilisticSuffixTree,
     encoded: Sequence[int],
-    background: np.ndarray,
-) -> List[float]:
+    background: npt.NDArray[np.float64],
+) -> list[float]:
     """Per-position log ratios ``log X_i = log P_S(s_i|ctx) − log p(s_i)``.
 
-    The context walk is inlined (rather than calling
+    These are the §4.3 per-symbol factors whose running sums the
+    X/Y/Z scan maximises. The context walk is inlined (rather than calling
     ``pst.probability`` per position) because this is the hottest loop
     of the whole system: it runs once per (sequence, cluster) pair per
     iteration.
@@ -105,7 +107,7 @@ def log_symbol_ratios(
     max_depth = pst.max_depth
     log_bg = [math.log(p) if p > 0 else _LOG_ZERO for p in background]
 
-    ratios: List[float] = []
+    ratios: list[float] = []
     for i, symbol in enumerate(encoded):
         node = root
         j = i - 1
@@ -131,7 +133,7 @@ def log_symbol_ratios(
 def similarity(
     pst: ProbabilisticSuffixTree,
     encoded: Sequence[int],
-    background: np.ndarray,
+    background: npt.NDArray[np.float64],
 ) -> SimilarityResult:
     """Compute ``SIM_S(σ)`` with the paper's X/Y/Z dynamic program.
 
@@ -199,17 +201,18 @@ def similarity(
 def whole_sequence_similarity(
     pst: ProbabilisticSuffixTree,
     encoded: Sequence[int],
-    background: np.ndarray,
+    background: npt.NDArray[np.float64],
 ) -> float:
-    """``sim_S(σ)`` over the entire sequence (no segment maximisation)."""
+    """``sim_S(σ)`` over the entire sequence (§2's whole-sequence
+    ratio, without the §4.3 segment maximisation)."""
     return _safe_exp(similarity(pst, encoded, background).whole_sequence_log)
 
 
 def similarity_bruteforce(
     pst: ProbabilisticSuffixTree,
     encoded: Sequence[int],
-    background: np.ndarray,
-) -> Tuple[float, Tuple[int, int]]:
+    background: npt.NDArray[np.float64],
+) -> tuple[float, tuple[int, int]]:
     """Reference ``O(l²)`` maximisation over all segments, for testing.
 
     Shares the paper's DP semantics: the per-position ratio ``X_i``
@@ -244,7 +247,7 @@ def similarity_bruteforce(
 def segment_definition_similarity(
     pst: ProbabilisticSuffixTree,
     encoded: Sequence[int],
-    background: np.ndarray,
+    background: npt.NDArray[np.float64],
 ) -> float:
     """Equation 1 evaluated literally: each segment scored standalone.
 

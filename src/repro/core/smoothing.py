@@ -14,13 +14,14 @@ similarity estimation, exactly as the paper prescribes.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 
 def validate_p_min(alphabet_size: int, p_min: float) -> None:
-    """Validate that *p_min* is a usable smoothing floor.
+    """Validate that *p_min* is a usable §5.2 smoothing floor.
 
     Requires ``0 ≤ p_min`` and ``n · p_min < 1`` (with equality allowed
     only in the degenerate single-symbol case); otherwise the adjusted
@@ -36,7 +37,7 @@ def validate_p_min(alphabet_size: int, p_min: float) -> None:
 
 
 def default_p_min(alphabet_size: int, scale: float = 1e-3) -> float:
-    """A conservative default floor: ``scale / alphabet_size``.
+    """A conservative default §5.2 floor: ``scale / alphabet_size``.
 
     Keeps the reserved mass ``n · p_min = scale`` independent of the
     alphabet size, so smoothing perturbs observed probabilities by at
@@ -56,8 +57,8 @@ def adjust_probability(p: float, alphabet_size: int, p_min: float) -> float:
     return (1.0 - alphabet_size * p_min) * p + p_min
 
 
-def adjust_vector(probs: Sequence[float], p_min: float) -> np.ndarray:
-    """Apply the adjustment to a full probability vector.
+def adjust_vector(probs: Sequence[float], p_min: float) -> npt.NDArray[np.float64]:
+    """Apply the §5.2 adjustment to a full probability vector.
 
     The vector length is taken as the alphabet size ``n``.
     """

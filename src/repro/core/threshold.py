@@ -23,16 +23,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..obs import get_logger, get_registry
 
 _logger = get_logger("core.threshold")
 
 
-def _record_valley_search(method: str, result: Optional["ValleyResult"]) -> None:
+def _record_valley_search(method: str, result: "ValleyResult" | None) -> None:
     """Telemetry for one valley search (shared by all estimators)."""
     registry = get_registry()
     if registry.enabled:
@@ -66,16 +67,17 @@ class ValleyResult:
     log_threshold: float
     bucket_index: int
     slope_difference: float
-    bin_centers: np.ndarray
-    counts: np.ndarray
+    bin_centers: npt.NDArray[np.float64]
+    counts: npt.NDArray[np.float64]
 
 
 def build_histogram(
     log_similarities: Sequence[float],
     buckets: int = 100,
     upper_quantile: float = 0.99,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Histogram of log similarities as ``(bin_centers, counts)``.
+) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.float64]]:
+    """Histogram of log similarities as ``(bin_centers, counts)``
+    — the §4.6 distribution whose valley locates the threshold.
 
     The domain runs from the minimum value to the *upper_quantile*
     quantile; values above the clip are **dropped**. They are member
@@ -102,7 +104,7 @@ def build_histogram(
     return centers, counts.astype(np.float64)
 
 
-def _regression_slopes(x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def _regression_slopes(x: npt.NDArray[np.float64], y: npt.NDArray[np.float64]) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.float64]]:
     """Left and right regression slopes at every split point.
 
     ``left[i]`` is the slope of the least-squares line through points
@@ -145,8 +147,9 @@ def find_valley(
     buckets: int = 100,
     upper_quantile: float = 0.99,
     min_observations: int = 20,
-) -> Optional[ValleyResult]:
-    """Locate the histogram valley and return the implied threshold.
+) -> ValleyResult | None:
+    """Locate the §4.6 histogram valley and return the implied
+    threshold.
 
     Returns ``None`` when there is not enough data for a meaningful
     fit (fewer than *min_observations* finite values, or no interior
@@ -165,7 +168,7 @@ def _find_valley_regression(
     buckets: int,
     upper_quantile: float,
     min_observations: int,
-) -> Optional[ValleyResult]:
+) -> ValleyResult | None:
     finite = [v for v in log_similarities if math.isfinite(v)]
     if len(finite) < min_observations:
         return None
@@ -203,7 +206,7 @@ def find_valley_otsu(
     buckets: int = 100,
     upper_quantile: float = 0.995,
     min_observations: int = 20,
-) -> Optional[ValleyResult]:
+) -> ValleyResult | None:
     """Otsu's method on the log-similarity histogram.
 
     An alternative valley estimator to the paper's regression-slope
@@ -232,7 +235,7 @@ def _find_valley_otsu(
     buckets: int,
     upper_quantile: float,
     min_observations: int,
-) -> Optional[ValleyResult]:
+) -> ValleyResult | None:
     finite = [v for v in log_similarities if math.isfinite(v)]
     if len(finite) < min_observations:
         return None
@@ -264,7 +267,7 @@ def _find_valley_otsu(
 
 
 #: Valley-estimator registry used by the engine's ``valley_method``.
-VALLEY_METHODS = {
+VALLEY_METHODS: dict[str, Callable[..., ValleyResult | None]] = {
     "regression": find_valley,
     "otsu": find_valley_otsu,
 }

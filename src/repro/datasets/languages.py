@@ -23,7 +23,7 @@ exactly as the paper preprocesses its data.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -79,7 +79,7 @@ GERMAN_WORDS = (
 ).split()
 
 #: Language name → word/syllable inventory.
-LANGUAGE_INVENTORIES: Dict[str, Sequence[str]] = {
+LANGUAGE_INVENTORIES: dict[str, Sequence[str]] = {
     "english": ENGLISH_WORDS,
     "chinese": CHINESE_SYLLABLES,
     "japanese": JAPANESE_SYLLABLES,
@@ -87,7 +87,7 @@ LANGUAGE_INVENTORIES: Dict[str, Sequence[str]] = {
 
 #: Noise languages mixed into the database as outliers (paper: "100
 #: sentences in other languages, e.g., Russian, German").
-NOISE_INVENTORIES: Dict[str, Sequence[str]] = {
+NOISE_INVENTORIES: dict[str, Sequence[str]] = {
     "russian": RUSSIAN_WORDS,
     "german": GERMAN_WORDS,
 }
@@ -112,7 +112,7 @@ def make_sentence(
     weights = 1.0 / ranks
     weights /= weights.sum()
     target = int(rng.integers(min_chars, max_chars + 1))
-    parts: List[str] = []
+    parts: list[str] = []
     total = 0
     while total < target:
         word = inventory[int(rng.choice(len(inventory), p=weights))]

@@ -22,7 +22,6 @@ so the discrimination task is preserved.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +32,7 @@ from ..sequences.markov import MarkovSource, random_markov_source, uniform_sourc
 #: The family names and sizes the paper reports in Table 3 (the ten it
 #: shows), padded with synthetic names up to 30 families whose sizes
 #: interpolate the 140–900 range.
-PAPER_FAMILY_SIZES: Tuple[Tuple[str, int], ...] = (
+PAPER_FAMILY_SIZES: tuple[tuple[str, int], ...] = (
     ("ig", 884),
     ("pkinase", 725),
     ("globin", 681),
@@ -53,17 +52,17 @@ class ProteinFamilySpec:
 
     name: str
     size: int
-    motifs: Tuple[str, ...]
+    motifs: tuple[str, ...]
     mean_length: int
 
 
-def _family_table(num_families: int, scale: float) -> List[Tuple[str, int]]:
+def _family_table(num_families: int, scale: float) -> list[tuple[str, int]]:
     """Family (name, size) pairs following the paper's distribution."""
     if num_families < 1:
         raise ValueError("num_families must be at least 1")
     if scale <= 0:
         raise ValueError("scale must be positive")
-    table: List[Tuple[str, int]] = []
+    table: list[tuple[str, int]] = []
     named = list(PAPER_FAMILY_SIZES)
     for index in range(num_families):
         if index < len(named):
@@ -87,10 +86,10 @@ def make_family_specs(
     scale: float = 0.05,
     mean_length: int = 120,
     seed: int = 0,
-) -> List[ProteinFamilySpec]:
+) -> list[ProteinFamilySpec]:
     """Build the per-family generation recipes."""
     rng = np.random.default_rng(seed)
-    specs: List[ProteinFamilySpec] = []
+    specs: list[ProteinFamilySpec] = []
     for name, size in _family_table(num_families, scale):
         n_motifs = int(rng.integers(1, 4))
         motifs = tuple(
@@ -173,7 +172,7 @@ def make_protein_database(
     return db
 
 
-def family_names(db: SequenceDatabase) -> List[str]:
+def family_names(db: SequenceDatabase) -> list[str]:
     """Distinct family labels of a protein database, largest first."""
     from collections import Counter
 

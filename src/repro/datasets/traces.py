@@ -17,7 +17,6 @@ these behaviour groups unsupervised.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 

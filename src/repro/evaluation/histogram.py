@@ -8,7 +8,7 @@ and the documentation plots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -33,7 +33,7 @@ class SimilarityDistribution:
     def non_member_values(self) -> np.ndarray:
         return self.log_similarities[~self.member_mask]
 
-    def separation_margin(self) -> Optional[float]:
+    def separation_margin(self) -> float | None:
         """``min(member) − max(non-member)`` log-sims, or ``None``.
 
         Positive values mean the two populations are linearly separable
@@ -48,8 +48,8 @@ def similarity_distribution(
     result: ClusteringResult, db: SequenceDatabase
 ) -> SimilarityDistribution:
     """Recompute every sequence×cluster similarity for a fitted result."""
-    values: List[float] = []
-    member: List[bool] = []
+    values: list[float] = []
+    member: list[bool] = []
     for index in range(len(db)):
         encoded = db.encoded(index)
         for cluster in result.clusters:
@@ -65,7 +65,7 @@ def similarity_distribution(
 
 def histogram_series(
     log_similarities: Sequence[float], buckets: int = 50
-) -> List[Tuple[float, int]]:
+) -> list[tuple[float, int]]:
     """``(bucket_center, count)`` pairs — the paper's Figure 3 series."""
     centers, counts = build_histogram(log_similarities, buckets=buckets)
     return [(float(x), int(y)) for x, y in zip(centers, counts)]
@@ -73,9 +73,9 @@ def histogram_series(
 
 def valley_comparison(
     log_similarities: Sequence[float], buckets: int = 100
-) -> Dict[str, Optional[float]]:
+) -> dict[str, float | None]:
     """Valley estimate (in log scale) from every registered method."""
-    out: Dict[str, Optional[float]] = {}
+    out: dict[str, float | None] = {}
     for name, finder in VALLEY_METHODS.items():
         found = finder(log_similarities, buckets=buckets)
         out[name] = None if found is None else found.log_threshold

@@ -26,7 +26,7 @@ from __future__ import annotations
 import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+from collections.abc import Hashable, Mapping, Sequence
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment
@@ -76,8 +76,8 @@ class EvaluationReport:
     """Full scoring of one clustering against ground truth."""
 
     accuracy: float
-    family_scores: List[FamilyScore]
-    cluster_to_family: Dict[ClusterId, Optional[str]]
+    family_scores: list[FamilyScore]
+    cluster_to_family: dict[ClusterId, str | None]
     purity: float
     adjusted_rand_index: float
     normalized_mutual_information: float
@@ -107,8 +107,8 @@ class EvaluationReport:
 
 
 def _validate_inputs(
-    true_labels: Sequence[Optional[str]],
-    predicted_clusters: Sequence[Optional[ClusterId]],
+    true_labels: Sequence[str | None],
+    predicted_clusters: Sequence[ClusterId | None],
 ) -> None:
     if len(true_labels) != len(predicted_clusters):
         raise ValueError(
@@ -120,15 +120,15 @@ def _validate_inputs(
 
 
 def contingency_table(
-    true_labels: Sequence[Optional[str]],
-    predicted_clusters: Sequence[Optional[ClusterId]],
-) -> Dict[ClusterId, Counter]:
+    true_labels: Sequence[str | None],
+    predicted_clusters: Sequence[ClusterId | None],
+) -> dict[ClusterId, Counter]:
     """Per-cluster counters of true labels (outliers/None excluded).
 
     Only sequences with a non-outlier true label *and* a predicted
     cluster contribute.
     """
-    table: Dict[ClusterId, Counter] = defaultdict(Counter)
+    table: dict[ClusterId, Counter] = defaultdict(Counter)
     for truth, cluster in zip(true_labels, predicted_clusters):
         if cluster is None or truth is None or truth == OUTLIER_LABEL:
             continue
@@ -137,10 +137,10 @@ def contingency_table(
 
 
 def map_clusters_to_families(
-    true_labels: Sequence[Optional[str]],
-    predicted_clusters: Sequence[Optional[ClusterId]],
+    true_labels: Sequence[str | None],
+    predicted_clusters: Sequence[ClusterId | None],
     strategy: str = "majority",
-) -> Dict[ClusterId, Optional[str]]:
+) -> dict[ClusterId, str | None]:
     """Map each predicted cluster to a ground-truth family.
 
     ``majority``: each cluster independently maps to its most common
@@ -154,7 +154,7 @@ def map_clusters_to_families(
     table = contingency_table(true_labels, predicted_clusters)
     all_clusters = {c for c in predicted_clusters if c is not None}
 
-    mapping: Dict[ClusterId, Optional[str]] = {c: None for c in all_clusters}
+    mapping: dict[ClusterId, str | None] = {c: None for c in all_clusters}
     if not table:
         return mapping
 
@@ -177,9 +177,9 @@ def map_clusters_to_families(
 
 
 def accuracy_score(
-    true_labels: Sequence[Optional[str]],
-    predicted_clusters: Sequence[Optional[ClusterId]],
-    mapping: Optional[Mapping[ClusterId, Optional[str]]] = None,
+    true_labels: Sequence[str | None],
+    predicted_clusters: Sequence[ClusterId | None],
+    mapping: Mapping[ClusterId, str | None] | None = None,
     strategy: str = "majority",
 ) -> float:
     """Fraction of correctly labeled sequences (the paper's Table 2).
@@ -208,11 +208,11 @@ def accuracy_score(
 
 
 def family_scores(
-    true_labels: Sequence[Optional[str]],
-    predicted_clusters: Sequence[Optional[ClusterId]],
-    mapping: Optional[Mapping[ClusterId, Optional[str]]] = None,
+    true_labels: Sequence[str | None],
+    predicted_clusters: Sequence[ClusterId | None],
+    mapping: Mapping[ClusterId, str | None] | None = None,
     strategy: str = "majority",
-) -> List[FamilyScore]:
+) -> list[FamilyScore]:
     """Per-family precision/recall (the paper's Tables 3 and 4).
 
     ``F'`` for a family is the union of members of every cluster mapped
@@ -249,8 +249,8 @@ def family_scores(
 
 
 def purity_score(
-    true_labels: Sequence[Optional[str]],
-    predicted_clusters: Sequence[Optional[ClusterId]],
+    true_labels: Sequence[str | None],
+    predicted_clusters: Sequence[ClusterId | None],
 ) -> float:
     """Weighted majority purity over clusters (clustered sequences only)."""
     table = contingency_table(true_labels, predicted_clusters)
@@ -266,8 +266,8 @@ def _comb2(n: int) -> float:
 
 
 def adjusted_rand_index(
-    true_labels: Sequence[Optional[str]],
-    predicted_clusters: Sequence[Optional[ClusterId]],
+    true_labels: Sequence[str | None],
+    predicted_clusters: Sequence[ClusterId | None],
 ) -> float:
     """Adjusted Rand index over sequences with both a label and a cluster.
 
@@ -301,8 +301,8 @@ def adjusted_rand_index(
 
 
 def normalized_mutual_information(
-    true_labels: Sequence[Optional[str]],
-    predicted_clusters: Sequence[Optional[ClusterId]],
+    true_labels: Sequence[str | None],
+    predicted_clusters: Sequence[ClusterId | None],
 ) -> float:
     """NMI (arithmetic normalisation) over labelled, clustered sequences."""
     pairs = [
@@ -337,8 +337,8 @@ def normalized_mutual_information(
 
 
 def evaluate_clustering(
-    true_labels: Sequence[Optional[str]],
-    predicted_clusters: Sequence[Optional[ClusterId]],
+    true_labels: Sequence[str | None],
+    predicted_clusters: Sequence[ClusterId | None],
     strategy: str = "majority",
 ) -> EvaluationReport:
     """One-call evaluation producing every metric the experiments need."""

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import json
 import os
-from typing import IO, Iterable, List, Optional, Sequence, Union
+from collections.abc import Iterable, Sequence
+from typing import IO, Union
 
 from ..obs import MetricsRegistry, get_registry
 
@@ -41,13 +42,13 @@ def render_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[Cell]],
     float_digits: int = 3,
-    title: Optional[str] = None,
+    title: str | None = None,
 ) -> str:
     """Render an aligned text table with a header separator.
 
     Raises ``ValueError`` when a row's width differs from the header's.
     """
-    rendered_rows: List[List[str]] = []
+    rendered_rows: list[list[str]] = []
     for row in rows:
         cells = [format_cell(cell, float_digits) for cell in row]
         if len(cells) != len(headers):
@@ -64,7 +65,7 @@ def render_table(
     def line(cells: Sequence[str]) -> str:
         return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
 
-    parts: List[str] = []
+    parts: list[str] = []
     if title:
         parts.append(title)
         parts.append("=" * len(title))
@@ -78,7 +79,7 @@ def print_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[Cell]],
     float_digits: int = 3,
-    title: Optional[str] = None,
+    title: str | None = None,
 ) -> None:
     """Print :func:`render_table` output followed by a blank line."""
     print(render_table(headers, rows, float_digits, title))
@@ -91,8 +92,8 @@ def percent(value: float) -> str:
 
 
 def metrics_section(
-    registry: Optional[MetricsRegistry] = None,
-    extra: Optional[dict] = None,
+    registry: MetricsRegistry | None = None,
+    extra: dict | None = None,
 ) -> dict:
     """A JSON-serializable telemetry document for a metrics registry.
 
@@ -119,9 +120,9 @@ def metrics_section(
 
 
 def write_metrics_json(
-    target: Union[str, "os.PathLike[str]", IO[str]],
-    registry: Optional[MetricsRegistry] = None,
-    extra: Optional[dict] = None,
+    target: str | "os.PathLike[str]" | IO[str],
+    registry: MetricsRegistry | None = None,
+    extra: dict | None = None,
 ) -> dict:
     """Write :func:`metrics_section` output to *target* as JSON.
 

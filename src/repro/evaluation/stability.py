@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from ..sequences.database import SequenceDatabase
 from .metrics import evaluate_clustering
@@ -57,7 +58,7 @@ class StabilityReport:
     """Seed-ensemble summary of one CLUSEQ configuration."""
 
     seeds: tuple
-    metrics: Dict[str, MetricSummary]
+    metrics: dict[str, MetricSummary]
 
     def __getitem__(self, name: str) -> MetricSummary:
         return self.metrics[name]
@@ -71,7 +72,7 @@ class StabilityReport:
 def stability_analysis(
     db: SequenceDatabase,
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
-    **param_overrides,
+    **param_overrides: Any,
 ) -> StabilityReport:
     """Run CLUSEQ once per seed and summarise the metric spread.
 
@@ -86,7 +87,7 @@ def stability_analysis(
     if "seed" in param_overrides:
         raise ValueError("seed is controlled by the ensemble; do not pass it")
 
-    collected: Dict[str, List[float]] = {
+    collected: dict[str, list[float]] = {
         "accuracy": [],
         "macro_precision": [],
         "macro_recall": [],

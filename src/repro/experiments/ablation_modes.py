@@ -11,7 +11,6 @@ paper loop) so the contribution of every safeguard is measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from ..evaluation.reporting import percent, print_table
 from ..sequences.database import SequenceDatabase
@@ -19,7 +18,7 @@ from .common import CluseqRun, run_cluseq, scaled_params
 from .table5_initial_k import default_database
 
 #: mode name → CluseqParams overrides.
-MODES: Dict[str, Dict[str, object]] = {
+MODES: dict[str, dict[str, object]] = {
     "hardened defaults": {},
     "no calibration": {"calibrate_threshold": False},
     "additive PSTs": {"rebuild_each_iteration": False},
@@ -45,15 +44,15 @@ class ModeRow:
 
 
 def run_ablation_modes(
-    db: Optional[SequenceDatabase] = None,
+    db: SequenceDatabase | None = None,
     true_k: int = 10,
     seed: int = 3,
     initial_k: int = 1,
-) -> List[ModeRow]:
+) -> list[ModeRow]:
     """Run every mode on the same workload with the same wrong-k start."""
     if db is None:
         db = default_database(true_k=true_k, seed=seed)
-    rows: List[ModeRow] = []
+    rows: list[ModeRow] = []
     for mode, overrides in MODES.items():
         run: CluseqRun = run_cluseq(
             db,
@@ -79,7 +78,7 @@ def run_ablation_modes(
     return rows
 
 
-def print_ablation_modes(rows: List[ModeRow], true_k: int = 10) -> None:
+def print_ablation_modes(rows: list[ModeRow], true_k: int = 10) -> None:
     print_table(
         headers=["mode", "accuracy", "precision", "recall", "clusters", "iters"],
         rows=[

@@ -10,7 +10,6 @@ quality and speed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
 
 from ..core.pruning import STRATEGIES
 from ..evaluation.reporting import percent, print_table
@@ -24,7 +23,7 @@ class PruningRow:
     """One pruning configuration's outcome."""
 
     strategy: str
-    max_nodes: Optional[int]
+    max_nodes: int | None
     accuracy: float
     precision: float
     recall: float
@@ -32,19 +31,19 @@ class PruningRow:
 
 
 def run_ablation_pruning(
-    db: Optional[SequenceDatabase] = None,
+    db: SequenceDatabase | None = None,
     max_nodes: int = 400,
     true_k: int = 10,
     seed: int = 3,
-) -> List[PruningRow]:
+) -> list[PruningRow]:
     """Compare all pruning strategies at one node budget + a control."""
     if db is None:
         db = default_database(true_k=true_k, seed=seed)
 
-    configurations: List[tuple] = [("unbounded", None)]
+    configurations: list[tuple] = [("unbounded", None)]
     configurations += [(strategy, max_nodes) for strategy in STRATEGIES]
 
-    rows: List[PruningRow] = []
+    rows: list[PruningRow] = []
     for strategy, budget in configurations:
         overrides = scaled_params(
             db,
@@ -70,7 +69,7 @@ def run_ablation_pruning(
     return rows
 
 
-def print_ablation_pruning(rows: List[PruningRow]) -> None:
+def print_ablation_pruning(rows: list[PruningRow]) -> None:
     print_table(
         headers=["strategy", "node budget", "accuracy", "precision", "recall", "time (s)"],
         rows=[

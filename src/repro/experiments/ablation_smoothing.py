@@ -11,7 +11,7 @@ on similarity scores of held-out same-cluster sequences.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -51,15 +51,15 @@ class ZeroProbabilityStats:
 
 
 def run_ablation_smoothing(
-    db: Optional[SequenceDatabase] = None,
+    db: SequenceDatabase | None = None,
     p_min_scales: Sequence[float] = (0.0, 1e-4, 1e-3, 1e-2),
     true_k: int = 10,
     seed: int = 3,
-) -> List[SmoothingRow]:
+) -> list[SmoothingRow]:
     """Cluster with several smoothing strengths (0.0 disables it)."""
     if db is None:
         db = default_database(true_k=true_k, seed=seed)
-    rows: List[SmoothingRow] = []
+    rows: list[SmoothingRow] = []
     for scale in p_min_scales:
         p_min = scale / db.alphabet.size if scale > 0 else 0.0
         run: CluseqRun = run_cluseq(
@@ -126,8 +126,8 @@ def measure_zero_probability_effect(
     smoothed = build(1e-3 / alphabet_size)
 
     zeroed_u = zeroed_s = 0
-    logs_u: List[float] = []
-    logs_s: List[float] = []
+    logs_u: list[float] = []
+    logs_s: list[float] = []
     for seq in held_out:
         whole_u = similarity(unsmoothed, seq, background).whole_sequence_log
         whole_s = similarity(smoothed, seq, background).whole_sequence_log
@@ -150,7 +150,7 @@ def measure_zero_probability_effect(
 
 
 def print_ablation_smoothing(
-    rows: List[SmoothingRow], stats: Optional[ZeroProbabilityStats] = None
+    rows: list[SmoothingRow], stats: ZeroProbabilityStats | None = None
 ) -> None:
     print_table(
         headers=["n·p_min", "accuracy", "precision", "recall", "clusters"],

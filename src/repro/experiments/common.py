@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict
+from typing import Any
 
 from ..core.cluseq import CLUSEQ, CluseqParams, ClusteringResult
 from ..evaluation.metrics import EvaluationReport, evaluate_clustering
@@ -37,7 +37,7 @@ class CluseqRun:
         return self.report.macro_recall
 
 
-def run_cluseq(db: SequenceDatabase, **param_overrides) -> CluseqRun:
+def run_cluseq(db: SequenceDatabase, **param_overrides: Any) -> CluseqRun:
     """Fit CLUSEQ on *db*, evaluate against its ground truth, and time it."""
     params = CluseqParams(**param_overrides)
     start = time.perf_counter()
@@ -47,14 +47,14 @@ def run_cluseq(db: SequenceDatabase, **param_overrides) -> CluseqRun:
     return CluseqRun(result=result, report=report, elapsed_seconds=elapsed)
 
 
-def scaled_params(db: SequenceDatabase, **overrides) -> Dict[str, object]:
+def scaled_params(db: SequenceDatabase, **overrides: object) -> dict[str, object]:
     """Default CLUSEQ parameters scaled to a laptop-sized database.
 
     The paper's ``c = 30`` and consolidation threshold assume 100 000
     sequences of length 1 000; our workloads are ~100× smaller, so the
     defaults here keep the same *relative* statistical strength.
     """
-    base: Dict[str, object] = {
+    base: dict[str, object] = {
         "k": 1,
         "significance_threshold": max(3, int(db.average_length // 25)),
         "min_unique_members": max(3, len(db) // 60),

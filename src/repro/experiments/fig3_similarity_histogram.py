@@ -13,7 +13,6 @@ the true member/non-member boundary.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,8 +32,8 @@ from .table5_initial_k import default_database
 class Fig3Result:
     """The Figure 3 data: histogram, estimator positions, separation."""
 
-    series: List[Tuple[float, int]]
-    valley_estimates: Dict[str, Optional[float]]
+    series: list[tuple[float, int]]
+    valley_estimates: dict[str, float | None]
     member_count: int
     non_member_count: int
     member_p10: float
@@ -42,7 +41,7 @@ class Fig3Result:
     final_log_threshold: float
 
     @property
-    def boundary_window(self) -> Tuple[float, float]:
+    def boundary_window(self) -> tuple[float, float]:
         """The log-sim window a correct threshold must land near:
         (upper edge of the non-member mass, lower edge of the member
         mass). The window edges can overlap on hard data."""
@@ -50,7 +49,7 @@ class Fig3Result:
 
 
 def run_fig3(
-    db: Optional[SequenceDatabase] = None,
+    db: SequenceDatabase | None = None,
     true_k: int = 10,
     seed: int = 3,
     buckets: int = 50,

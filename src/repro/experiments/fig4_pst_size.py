@@ -10,7 +10,7 @@ series: precision, recall and response time per budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..core.pst import APPROX_BYTES_PER_NODE
 from ..evaluation.reporting import percent, print_table
@@ -32,15 +32,15 @@ class PstSizeRow:
 
 
 def run_fig4(
-    db: Optional[SequenceDatabase] = None,
+    db: SequenceDatabase | None = None,
     node_budgets: Sequence[int] = (100, 250, 500, 1000, 2000, 4000),
     true_k: int = 10,
     seed: int = 3,
-) -> List[PstSizeRow]:
+) -> list[PstSizeRow]:
     """Sweep the per-tree node budget."""
     if db is None:
         db = default_database(true_k=true_k, seed=seed)
-    rows: List[PstSizeRow] = []
+    rows: list[PstSizeRow] = []
     for budget in node_budgets:
         run: CluseqRun = run_cluseq(
             db,
@@ -66,7 +66,7 @@ def run_fig4(
     return rows
 
 
-def print_fig4(rows: List[PstSizeRow]) -> None:
+def print_fig4(rows: list[PstSizeRow]) -> None:
     print_table(
         headers=[
             "max nodes/tree",

@@ -10,7 +10,7 @@ reproduction sweeps the ``m/k`` multiplier.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..evaluation.reporting import percent, print_table
 from ..sequences.database import SequenceDatabase
@@ -30,15 +30,15 @@ class SampleSizeRow:
 
 
 def run_fig5(
-    db: Optional[SequenceDatabase] = None,
+    db: SequenceDatabase | None = None,
     multipliers: Sequence[int] = (1, 2, 3, 5, 8),
     true_k: int = 10,
     seed: int = 3,
-) -> List[SampleSizeRow]:
+) -> list[SampleSizeRow]:
     """Sweep the ``m = multiplier · k_n`` sampling rule."""
     if db is None:
         db = default_database(true_k=true_k, seed=seed)
-    rows: List[SampleSizeRow] = []
+    rows: list[SampleSizeRow] = []
     for multiplier in multipliers:
         run: CluseqRun = run_cluseq(
             db,
@@ -63,7 +63,7 @@ def run_fig5(
     return rows
 
 
-def print_fig5(rows: List[SampleSizeRow]) -> None:
+def print_fig5(rows: list[SampleSizeRow]) -> None:
     print_table(
         headers=["m / k", "precision", "recall", "time (s)", "iterations"],
         rows=[

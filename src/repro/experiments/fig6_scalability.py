@@ -17,7 +17,7 @@ slope so benches can assert the shape (slope ≈ 1 for (a)/(b), ≥ 1 for
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from .common import CluseqRun, run_cluseq, scaled_params
 DIMENSIONS = ("num_clusters", "num_sequences", "avg_length", "alphabet_size")
 
 #: Default sweep values per dimension (scaled from the paper's axes).
-DEFAULT_SWEEPS: Dict[str, Tuple[int, ...]] = {
+DEFAULT_SWEEPS: dict[str, tuple[int, ...]] = {
     "num_clusters": (2, 5, 10, 20),
     "num_sequences": (50, 100, 200, 400),
     "avg_length": (40, 80, 160, 320),
@@ -65,9 +65,9 @@ class ScalabilityRow:
 
 def run_fig6_dimension(
     dimension: str,
-    values: Optional[Sequence[int]] = None,
+    values: Sequence[int] | None = None,
     seed: int = 3,
-) -> List[ScalabilityRow]:
+) -> list[ScalabilityRow]:
     """Sweep one dimension of Figure 6."""
     if dimension not in DIMENSIONS:
         raise ValueError(f"dimension must be one of {DIMENSIONS}")
@@ -84,7 +84,7 @@ def run_fig6_dimension(
         fixed_sequences = max(
             BASE_WORKLOAD["num_sequences"], 22 * int(max(values))
         )
-    rows: List[ScalabilityRow] = []
+    rows: list[ScalabilityRow] = []
     for value in values:
         workload = dict(BASE_WORKLOAD)
         workload[dimension] = value
@@ -117,12 +117,12 @@ def run_fig6_dimension(
     return rows
 
 
-def run_fig6(seed: int = 3) -> Dict[str, List[ScalabilityRow]]:
+def run_fig6(seed: int = 3) -> dict[str, list[ScalabilityRow]]:
     """All four sweeps of Figure 6."""
     return {dim: run_fig6_dimension(dim, seed=seed) for dim in DIMENSIONS}
 
 
-def linear_fit(rows: Sequence[ScalabilityRow]) -> Tuple[float, float]:
+def linear_fit(rows: Sequence[ScalabilityRow]) -> tuple[float, float]:
     """Least-squares fit of per-iteration time vs the swept value.
 
     Returns ``(slope, r_squared)``. The paper's "linearly proportional"
@@ -154,7 +154,7 @@ def loglog_slope(rows: Sequence[ScalabilityRow]) -> float:
     return float(slope)
 
 
-def print_fig6(results: Dict[str, List[ScalabilityRow]]) -> None:
+def print_fig6(results: dict[str, list[ScalabilityRow]]) -> None:
     for dimension, rows in results.items():
         print_table(
             headers=[

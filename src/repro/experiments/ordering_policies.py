@@ -9,7 +9,7 @@ runs the three policies on the shared synthetic workload.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..core.cluseq import ORDERINGS
 from ..evaluation.reporting import percent, print_table
@@ -34,12 +34,12 @@ class OrderingRow:
 
 
 def run_ordering(
-    db: Optional[SequenceDatabase] = None,
+    db: SequenceDatabase | None = None,
     orderings: Sequence[str] = ORDERINGS,
     true_k: int = 10,
     seed: int = 3,
     repeats: int = 3,
-) -> List[OrderingRow]:
+) -> list[OrderingRow]:
     """Run CLUSEQ per examination-order policy, averaged over seeds.
 
     At 200-sequence scale a single run's quality wobbles by several
@@ -50,9 +50,9 @@ def run_ordering(
         db = default_database(true_k=true_k, seed=seed)
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
-    rows: List[OrderingRow] = []
+    rows: list[OrderingRow] = []
     for ordering in orderings:
-        runs: List[CluseqRun] = [
+        runs: list[CluseqRun] = [
             run_cluseq(
                 db,
                 **scaled_params(
@@ -81,7 +81,7 @@ def run_ordering(
     return rows
 
 
-def print_ordering(rows: List[OrderingRow]) -> None:
+def print_ordering(rows: list[OrderingRow]) -> None:
     print_table(
         headers=["ordering", "accuracy", "precision", "recall", "time (s)", "clusters", "paper acc."],
         rows=[

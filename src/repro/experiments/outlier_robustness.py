@@ -9,7 +9,7 @@ materially from the low-noise to the high-noise end.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from ..evaluation.reporting import percent, print_table
 from ..sequences.generators import generate_clustered_database
@@ -34,9 +34,9 @@ def run_outlier_robustness(
     true_k: int = 10,
     num_sequences: int = 200,
     seed: int = 3,
-) -> List[OutlierRow]:
+) -> list[OutlierRow]:
     """Sweep the injected-outlier percentage."""
-    rows: List[OutlierRow] = []
+    rows: list[OutlierRow] = []
     for fraction in fractions:
         ds = generate_clustered_database(
             num_sequences=num_sequences,
@@ -80,7 +80,7 @@ def accuracy_drop(rows: Sequence[OutlierRow]) -> float:
     return ordered[0].accuracy - ordered[-1].accuracy
 
 
-def print_outlier_robustness(rows: List[OutlierRow]) -> None:
+def print_outlier_robustness(rows: list[OutlierRow]) -> None:
     print_table(
         headers=[
             "outlier %",

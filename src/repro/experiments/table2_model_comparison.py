@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional
 
 from ..baselines import (
     BlockEditClusterer,
@@ -61,10 +60,10 @@ def default_database(seed: int = 1) -> SequenceDatabase:
 
 
 def run_table2(
-    db: Optional[SequenceDatabase] = None,
-    models: Optional[List[str]] = None,
+    db: SequenceDatabase | None = None,
+    models: list[str] | None = None,
     seed: int = 1,
-) -> List[ModelRow]:
+) -> list[ModelRow]:
     """Run the full model comparison; returns one row per model.
 
     *models* filters which comparisons run (EDBO and HMM dominate the
@@ -75,7 +74,7 @@ def run_table2(
     wanted = set(models) if models is not None else set(PAPER_ACCURACY)
     num_families = len(db.distinct_labels())
     truth = db.labels
-    rows: List[ModelRow] = []
+    rows: list[ModelRow] = []
 
     if "CLUSEQ" in wanted:
         run = run_cluseq(
@@ -112,7 +111,7 @@ def run_table2(
     return rows
 
 
-def print_table2(rows: List[ModelRow]) -> None:
+def print_table2(rows: list[ModelRow]) -> None:
     """Render the rows in the paper's Table 2 layout."""
     print_table(
         headers=["Model", "Correctly labeled", "Response time (s)", "#clusters", "Paper acc."],

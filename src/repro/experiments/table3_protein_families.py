@@ -9,7 +9,6 @@ substitute.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 from ..evaluation.reporting import percent, print_table
 from ..sequences.database import SequenceDatabase
@@ -42,8 +41,8 @@ class FamilyRow:
 
 
 def run_table3(
-    db: Optional[SequenceDatabase] = None, seed: int = 1
-) -> List[FamilyRow]:
+    db: SequenceDatabase | None = None, seed: int = 1
+) -> list[FamilyRow]:
     """Cluster the protein database and score each family."""
     if db is None:
         db = default_database(seed)
@@ -64,7 +63,7 @@ def run_table3(
     return rows
 
 
-def print_table3(rows: List[FamilyRow]) -> None:
+def print_table3(rows: list[FamilyRow]) -> None:
     paper = {name: (p, r) for name, _, p, r in PAPER_TABLE3}
     print_table(
         headers=["Family", "Size", "Precision", "Recall", "Paper P", "Paper R"],

@@ -15,7 +15,6 @@ hardest. The reproduction uses the generated language substitute
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 from ..datasets.languages import make_language_database
 from ..evaluation.reporting import percent, print_table
@@ -41,11 +40,11 @@ class LanguageRow:
 
 
 def run_table4(
-    db: Optional[SequenceDatabase] = None,
+    db: SequenceDatabase | None = None,
     sentences_per_language: int = 120,
     noise_sentences: int = 20,
     seed: int = 2,
-) -> List[LanguageRow]:
+) -> list[LanguageRow]:
     """Cluster the language database and score each language."""
     if db is None:
         db = make_language_database(
@@ -67,7 +66,7 @@ def run_table4(
     ]
 
 
-def print_table4(rows: List[LanguageRow]) -> None:
+def print_table4(rows: list[LanguageRow]) -> None:
     print_table(
         headers=["Language", "Precision", "Recall", "Size", "Paper P", "Paper R"],
         rows=[

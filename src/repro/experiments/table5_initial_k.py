@@ -13,7 +13,7 @@ exact, and above the truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..evaluation.reporting import percent, print_table
 from ..sequences.generators import generate_clustered_database
@@ -54,15 +54,15 @@ def default_database(true_k: int = 10, seed: int = 3) -> SequenceDatabase:
 
 
 def run_table5(
-    db: Optional[SequenceDatabase] = None,
+    db: SequenceDatabase | None = None,
     initial_ks: Sequence[int] = (1, 2, 10, 20),
     true_k: int = 10,
     seed: int = 3,
-) -> List[InitialKRow]:
+) -> list[InitialKRow]:
     """Sweep the initial cluster count and record the recovery."""
     if db is None:
         db = default_database(true_k=true_k, seed=seed)
-    rows: List[InitialKRow] = []
+    rows: list[InitialKRow] = []
     for k in initial_ks:
         run: CluseqRun = run_cluseq(
             db,
@@ -83,7 +83,7 @@ def run_table5(
     return rows
 
 
-def print_table5(rows: List[InitialKRow], true_k: int = 10) -> None:
+def print_table5(rows: list[InitialKRow], true_k: int = 10) -> None:
     print_table(
         headers=[
             "init k",

@@ -17,7 +17,7 @@ how far raw valley-blending alone gets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..evaluation.reporting import percent, print_table
 from ..sequences.database import SequenceDatabase
@@ -39,16 +39,16 @@ class InitialTRow:
 
 
 def run_table6(
-    db: Optional[SequenceDatabase] = None,
+    db: SequenceDatabase | None = None,
     initial_ts: Sequence[float] = (1.05, 1.5, 2.0, 3.0),
     true_k: int = 10,
     seed: int = 3,
     calibrate: bool = True,
-) -> List[InitialTRow]:
+) -> list[InitialTRow]:
     """Sweep the initial similarity threshold and record convergence."""
     if db is None:
         db = default_database(true_k=true_k, seed=seed)
-    rows: List[InitialTRow] = []
+    rows: list[InitialTRow] = []
     for t in initial_ts:
         run: CluseqRun = run_cluseq(
             db,
@@ -83,7 +83,7 @@ def final_threshold_spread(rows: Sequence[InitialTRow]) -> float:
     return max(values) - min(values)
 
 
-def print_table6(rows: List[InitialTRow]) -> None:
+def print_table6(rows: list[InitialTRow]) -> None:
     print_table(
         headers=[
             "init t",

@@ -31,7 +31,7 @@ import json
 import logging
 import sys
 import time
-from typing import IO, Optional, Union
+from typing import IO
 
 __all__ = [
     "LOGGER_NAME",
@@ -78,7 +78,7 @@ class JsonLinesFormatter(logging.Formatter):
         return json.dumps(payload, default=str)
 
 
-def get_logger(name: Optional[str] = None) -> logging.Logger:
+def get_logger(name: str | None = None) -> logging.Logger:
     """The ``repro`` logger, or the ``repro.<name>`` child logger."""
     if not name:
         return logging.getLogger(LOGGER_NAME)
@@ -96,13 +96,13 @@ if not any(isinstance(h, logging.NullHandler) for h in _package_logger.handlers)
     _package_logger.addHandler(_null_handler)
 
 #: The handler installed by :func:`configure_logging`, for idempotency.
-_configured_handler: Optional[logging.Handler] = None
+_configured_handler: logging.Handler | None = None
 
 
 def configure_logging(
-    level: Union[int, str] = "INFO",
+    level: int | str = "INFO",
     json_lines: bool = False,
-    stream: Optional[IO[str]] = None,
+    stream: IO[str] | None = None,
 ) -> logging.Handler:
     """Attach a stream handler to the ``repro`` logger hierarchy.
 

@@ -44,7 +44,8 @@ import json
 import math
 import threading
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
+from typing import TypeVar, Union, cast
 
 __all__ = [
     "Counter",
@@ -61,12 +62,17 @@ __all__ = [
 ]
 
 #: Default histogram bucket upper bounds: powers of two up to 64k.
-DEFAULT_BUCKETS: Tuple[float, ...] = tuple(float(2**i) for i in range(17))
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(float(2**i) for i in range(17))
 
-LabelItems = Tuple[Tuple[str, str], ...]
+LabelItems = tuple[tuple[str, str], ...]
+
+#: Any concrete instrument (typing.Union: evaluated at runtime on py39).
+Metric = Union["Counter", "Gauge", "Histogram", "Timer", "Series"]
+
+_M = TypeVar("_M", "Counter", "Gauge", "Histogram", "Timer", "Series")
 
 
-def _label_key(labels: Dict[str, object]) -> LabelItems:
+def _label_key(labels: dict[str, object]) -> LabelItems:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
@@ -90,7 +96,7 @@ class Counter:
             raise ValueError("counters only go up; use a Gauge instead")
         self.value += amount
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {"type": "counter", "value": self.value}
 
 
@@ -111,7 +117,7 @@ class Gauge:
     def dec(self, amount: float = 1) -> None:
         self.value -= amount
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {"type": "gauge", "value": self.value}
 
 
@@ -126,14 +132,14 @@ class Histogram:
 
     __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
 
-    def __init__(self, buckets: Optional[Sequence[float]] = None) -> None:
+    def __init__(self, buckets: Sequence[float] | None = None) -> None:
         bounds = tuple(float(b) for b in (buckets or DEFAULT_BUCKETS))
         if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
             raise ValueError("histogram buckets must be strictly increasing")
         if not bounds:
             raise ValueError("need at least one bucket bound")
         self.bounds = bounds
-        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.bucket_counts: list[int] = [0] * (len(bounds) + 1)
         self.count = 0
         self.total = 0.0
         self.min = math.inf
@@ -152,7 +158,7 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "type": "histogram",
             "count": self.count,
@@ -178,7 +184,7 @@ class Timer:
         self.min = math.inf
         self.max = -math.inf
 
-    def record(self, wall_seconds: float, cpu_seconds: Optional[float] = None) -> None:
+    def record(self, wall_seconds: float, cpu_seconds: float | None = None) -> None:
         if wall_seconds < 0:
             raise ValueError("durations must be non-negative")
         self.count += 1
@@ -194,7 +200,7 @@ class Timer:
     def mean_seconds(self) -> float:
         return self.total_seconds / self.count if self.count else 0.0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {
             "type": "timer",
             "count": self.count,
@@ -211,7 +217,7 @@ class Series:
     __slots__ = ("values",)
 
     def __init__(self) -> None:
-        self.values: List[float] = []
+        self.values: list[float] = []
 
     def append(self, value: float) -> None:
         self.values.append(value)
@@ -219,7 +225,7 @@ class Series:
     def __len__(self) -> int:
         return len(self.values)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         return {"type": "series", "values": list(self.values)}
 
 
@@ -239,13 +245,19 @@ class MetricsRegistry:
     enabled = True
 
     def __init__(self) -> None:
-        self._metrics: Dict[Tuple[str, LabelItems], object] = {}
-        self._types: Dict[Tuple[str, LabelItems], str] = {}
+        self._metrics: dict[tuple[str, LabelItems], Metric] = {}
+        self._types: dict[tuple[str, LabelItems], str] = {}
         self._lock = threading.Lock()
 
     # -- instrument factories ------------------------------------------------
 
-    def _get_or_create(self, kind: str, name: str, labels: Dict[str, object], factory):
+    def _get_or_create(
+        self,
+        kind: str,
+        name: str,
+        labels: dict[str, object],
+        factory: Callable[[], _M],
+    ) -> _M:
         key = (name, _label_key(labels))
         metric = self._metrics.get(key)
         if metric is not None:
@@ -254,7 +266,7 @@ class MetricsRegistry:
                     f"metric {name!r} already registered as {self._types[key]}, "
                     f"requested as {kind}"
                 )
-            return metric
+            return cast(_M, metric)
         with self._lock:
             metric = self._metrics.get(key)
             if metric is None:
@@ -266,30 +278,30 @@ class MetricsRegistry:
                     f"metric {name!r} already registered as {self._types[key]}, "
                     f"requested as {kind}"
                 )
-        return metric
+        return cast(_M, metric)
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: object) -> Counter:
         return self._get_or_create("counter", name, labels, Counter)
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: object) -> Gauge:
         return self._get_or_create("gauge", name, labels, Gauge)
 
     def histogram(
-        self, name: str, buckets: Optional[Sequence[float]] = None, **labels
+        self, name: str, buckets: Sequence[float] | None = None, **labels: object
     ) -> Histogram:
         return self._get_or_create(
             "histogram", name, labels, lambda: Histogram(buckets)
         )
 
-    def timer(self, name: str, **labels) -> Timer:
+    def timer(self, name: str, **labels: object) -> Timer:
         return self._get_or_create("timer", name, labels, Timer)
 
-    def series(self, name: str, **labels) -> Series:
+    def series(self, name: str, **labels: object) -> Series:
         return self._get_or_create("series", name, labels, Series)
 
     # -- introspection -------------------------------------------------------
 
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         """Sorted rendered names (labels inlined) of all instruments."""
         return sorted(_render_name(name, labels) for name, labels in self._metrics)
 
@@ -299,13 +311,13 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return any(base == name for base, _ in self._metrics)
 
-    def get(self, name: str, **labels):
+    def get(self, name: str, **labels: object) -> Metric | None:
         """The instrument registered under *name*/*labels*, or ``None``."""
         return self._metrics.get((name, _label_key(labels)))
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, dict[str, object]]:
         """A JSON-serializable dump of every instrument's state."""
-        out: Dict[str, dict] = {}
+        out: dict[str, dict[str, object]] = {}
         for (name, labels), metric in sorted(self._metrics.items()):
             entry = metric.to_dict()
             if labels:
@@ -313,7 +325,7 @@ class MetricsRegistry:
             out[_render_name(name, labels)] = entry
         return out
 
-    def to_json(self, indent: Optional[int] = 2) -> str:
+    def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(_sanitize(self.snapshot()), indent=indent)
 
     def reset(self) -> None:
@@ -323,7 +335,7 @@ class MetricsRegistry:
             self._types.clear()
 
 
-def _sanitize(value):
+def _sanitize(value: object) -> object:
     """Make *value* strict-JSON safe: non-finite floats become ``None``
     (``json.dumps`` would otherwise emit the invalid ``Infinity``/``NaN``
     literals, which non-Python consumers reject)."""
@@ -369,7 +381,7 @@ class _NullHistogram(Histogram):
 class _NullTimer(Timer):
     __slots__ = ()
 
-    def record(self, wall_seconds: float, cpu_seconds: Optional[float] = None) -> None:
+    def record(self, wall_seconds: float, cpu_seconds: float | None = None) -> None:
         pass
 
 
@@ -400,21 +412,21 @@ class NullRegistry(MetricsRegistry):
     def __init__(self) -> None:
         super().__init__()
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: object) -> Counter:
         return _NULL_COUNTER
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: object) -> Gauge:
         return _NULL_GAUGE
 
     def histogram(
-        self, name: str, buckets: Optional[Sequence[float]] = None, **labels
+        self, name: str, buckets: Sequence[float] | None = None, **labels: object
     ) -> Histogram:
         return _NULL_HISTOGRAM
 
-    def timer(self, name: str, **labels) -> Timer:
+    def timer(self, name: str, **labels: object) -> Timer:
         return _NULL_TIMER
 
-    def series(self, name: str, **labels) -> Series:
+    def series(self, name: str, **labels: object) -> Series:
         return _NULL_SERIES
 
 
@@ -429,7 +441,7 @@ def get_registry() -> MetricsRegistry:
     return _active
 
 
-def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
     """Install *registry* as the active one; ``None`` disables collection.
 
     Returns the previously active registry so callers can restore it.
@@ -450,13 +462,13 @@ class use_registry:
     1
     """
 
-    def __init__(self, registry: Optional[MetricsRegistry]) -> None:
+    def __init__(self, registry: MetricsRegistry | None) -> None:
         self.registry = registry if registry is not None else NULL_REGISTRY
-        self._previous: Optional[MetricsRegistry] = None
+        self._previous: MetricsRegistry | None = None
 
     def __enter__(self) -> MetricsRegistry:
         self._previous = set_registry(self.registry)
         return self.registry
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         set_registry(self._previous)

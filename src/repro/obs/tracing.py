@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Iterator, List, Optional
+from collections.abc import Iterator
 
 from .logging import get_logger
 from .metrics import MetricsRegistry, get_registry
@@ -42,7 +42,7 @@ _logger = get_logger("obs.trace")
 _state = threading.local()
 
 
-def _stack() -> List["Span"]:
+def _stack() -> list["Span"]:
     stack = getattr(_state, "stack", None)
     if stack is None:
         stack = []
@@ -65,13 +65,15 @@ class Span:
         "_registry",
     )
 
-    def __init__(self, name: str, path: str, depth: int, registry: MetricsRegistry):
+    def __init__(
+        self, name: str, path: str, depth: int, registry: MetricsRegistry
+    ) -> None:
         self.name = name
         self.path = path
         self.depth = depth
-        self.children: List["Span"] = []
-        self.wall_seconds: Optional[float] = None
-        self.cpu_seconds: Optional[float] = None
+        self.children: list["Span"] = []
+        self.wall_seconds: float | None = None
+        self.cpu_seconds: float | None = None
         self._wall_start = 0.0
         self._cpu_start = 0.0
         self._registry = registry
@@ -104,12 +106,12 @@ class span:
 
     __slots__ = ("_name", "_registry", "_span")
 
-    def __init__(self, name: str, registry: Optional[MetricsRegistry] = None):
+    def __init__(self, name: str, registry: MetricsRegistry | None = None) -> None:
         if not name:
             raise ValueError("span name must be non-empty")
         self._name = name
         self._registry = registry
-        self._span: Optional[Span] = None
+        self._span: Span | None = None
 
     def __enter__(self) -> Span:
         registry = self._registry if self._registry is not None else get_registry()
@@ -123,7 +125,7 @@ class span:
         current._wall_start = time.perf_counter()
         return current
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         wall_end = time.perf_counter()
         cpu_end = time.process_time()
         current = self._span
@@ -156,7 +158,7 @@ class span:
             )
 
 
-def current_span() -> Optional[Span]:
+def current_span() -> Span | None:
     """The innermost open span on this thread, or ``None``."""
     stack = _stack()
     return stack[-1] if stack else None

@@ -14,10 +14,10 @@ they are used with the alphabet they were built with.
 from __future__ import annotations
 
 import string
-from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+from collections.abc import Hashable, Iterable, Iterator
 
 Symbol = Hashable
-EncodedSequence = List[int]
+EncodedSequence = list[int]
 
 #: The 20 standard amino acids, by one-letter code.
 AMINO_ACIDS = "ACDEFGHIKLMNPQRSTVWY"
@@ -50,9 +50,9 @@ class Alphabet:
 
     __slots__ = ("_symbols", "_index")
 
-    def __init__(self, symbols: Iterable[Symbol]):
-        self._symbols: Tuple[Symbol, ...] = tuple(symbols)
-        self._index: Dict[Symbol, int] = {}
+    def __init__(self, symbols: Iterable[Symbol]) -> None:
+        self._symbols: tuple[Symbol, ...] = tuple(symbols)
+        self._index: dict[Symbol, int] = {}
         for i, sym in enumerate(self._symbols):
             if sym in self._index:
                 raise AlphabetError(f"duplicate symbol {sym!r} in alphabet")
@@ -69,7 +69,7 @@ class Alphabet:
         Symbols are ordered by first appearance, which keeps encodings
         deterministic for a fixed input order.
         """
-        seen: Dict[Symbol, None] = {}
+        seen: dict[Symbol, None] = {}
         for seq in sequences:
             for sym in seq:
                 if sym not in seen:
@@ -133,7 +133,7 @@ class Alphabet:
         return f"Alphabet({inner})"
 
     @property
-    def symbols(self) -> Tuple[Symbol, ...]:
+    def symbols(self) -> tuple[Symbol, ...]:
         """The symbols, in id order."""
         return self._symbols
 
@@ -173,7 +173,7 @@ class Alphabet:
         except KeyError as exc:
             raise AlphabetError(f"symbol {exc.args[0]!r} not in alphabet") from None
 
-    def decode(self, ids: Iterable[int]) -> Tuple[Symbol, ...]:
+    def decode(self, ids: Iterable[int]) -> tuple[Symbol, ...]:
         """Decode a sequence of integer ids back into symbols."""
         return tuple(self.symbol_of(i) for i in ids)
 

@@ -15,7 +15,7 @@ algorithm in this library (the paper's ``Σ``). It owns
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -40,8 +40,8 @@ class SequenceRecord:
     """
 
     sid: int
-    symbols: Tuple[Symbol, ...]
-    label: Optional[str] = None
+    symbols: tuple[Symbol, ...]
+    label: str | None = None
 
     def __len__(self) -> int:
         return len(self.symbols)
@@ -78,11 +78,11 @@ class SequenceDatabase:
     def __init__(
         self,
         alphabet: Alphabet,
-        records: Optional[Iterable[SequenceRecord]] = None,
-    ):
+        records: Iterable[SequenceRecord] | None = None,
+    ) -> None:
         self.alphabet = alphabet
-        self._records: List[SequenceRecord] = []
-        self._encoded: List[List[int]] = []
+        self._records: list[SequenceRecord] = []
+        self._encoded: list[list[int]] = []
         self._symbol_counts = np.zeros(alphabet.size, dtype=np.int64)
         if records is not None:
             for record in records:
@@ -94,8 +94,8 @@ class SequenceDatabase:
     def from_sequences(
         cls,
         sequences: Iterable[Sequence[Symbol]],
-        labels: Optional[Iterable[Optional[str]]] = None,
-        alphabet: Optional[Alphabet] = None,
+        labels: Iterable[str | None] | None = None,
+        alphabet: Alphabet | None = None,
     ) -> "SequenceDatabase":
         """Build a database from raw sequences.
 
@@ -106,7 +106,7 @@ class SequenceDatabase:
         if alphabet is None:
             alphabet = Alphabet.from_sequences(sequences)
         if labels is None:
-            label_list: List[Optional[str]] = [None] * len(sequences)
+            label_list: list[str | None] = [None] * len(sequences)
         else:
             label_list = list(labels)
             if len(label_list) != len(sequences):
@@ -122,8 +122,8 @@ class SequenceDatabase:
     def from_strings(
         cls,
         strings: Iterable[str],
-        labels: Optional[Iterable[Optional[str]]] = None,
-        alphabet: Optional[Alphabet] = None,
+        labels: Iterable[str | None] | None = None,
+        alphabet: Alphabet | None = None,
     ) -> "SequenceDatabase":
         """Build a database of character sequences from plain strings."""
         return cls.from_sequences([tuple(s) for s in strings], labels, alphabet)
@@ -138,7 +138,7 @@ class SequenceDatabase:
         np.add.at(self._symbol_counts, encoded, 1)
 
     def add_sequence(
-        self, symbols: Sequence[Symbol], label: Optional[str] = None
+        self, symbols: Sequence[Symbol], label: str | None = None
     ) -> SequenceRecord:
         """Append a new sequence, assigning the next free id."""
         record = SequenceRecord(sid=len(self._records), symbols=tuple(symbols), label=label)
@@ -165,26 +165,26 @@ class SequenceDatabase:
 
     # -- views -----------------------------------------------------------------
 
-    def encoded(self, index: int) -> List[int]:
+    def encoded(self, index: int) -> list[int]:
         """The integer-encoded form of the sequence at *index*."""
         return self._encoded[index]
 
-    def iter_encoded(self) -> Iterator[Tuple[int, List[int]]]:
+    def iter_encoded(self) -> Iterator[tuple[int, list[int]]]:
         """Iterate over ``(index, encoded_sequence)`` pairs."""
         return iter(enumerate(self._encoded))
 
     @property
-    def records(self) -> Tuple[SequenceRecord, ...]:
+    def records(self) -> tuple[SequenceRecord, ...]:
         return tuple(self._records)
 
     @property
-    def labels(self) -> List[Optional[str]]:
+    def labels(self) -> list[str | None]:
         """Ground-truth labels, index-aligned with the records."""
         return [r.label for r in self._records]
 
-    def distinct_labels(self, include_outliers: bool = False) -> List[str]:
+    def distinct_labels(self, include_outliers: bool = False) -> list[str]:
         """Distinct non-``None`` labels, in first-appearance order."""
-        seen: Dict[str, None] = {}
+        seen: dict[str, None] = {}
         for record in self._records:
             if record.label is None:
                 continue
@@ -207,7 +207,7 @@ class SequenceDatabase:
             return 0.0
         return self.total_length / len(self._records)
 
-    def length_range(self) -> Tuple[int, int]:
+    def length_range(self) -> tuple[int, int]:
         """``(min, max)`` sequence length; ``(0, 0)`` when empty."""
         if not self._records:
             return (0, 0)

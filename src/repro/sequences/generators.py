@@ -11,7 +11,7 @@ input of every scalability/sensitivity benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -60,16 +60,16 @@ class SyntheticDataset:
 
     database: SequenceDatabase
     spec: SyntheticSpec
-    sources: List[MarkovSource] = field(default_factory=list)
+    sources: list[MarkovSource] = field(default_factory=list)
 
     @property
-    def cluster_labels(self) -> List[str]:
+    def cluster_labels(self) -> list[str]:
         """Labels of the embedded clusters (excludes the outlier label)."""
         return [f"cluster{i}" for i in range(self.spec.num_clusters)]
 
 
 def generate_clustered_database(
-    spec: Optional[SyntheticSpec] = None, **overrides
+    spec: SyntheticSpec | None = None, **overrides: Any
 ) -> SyntheticDataset:
     """Generate a synthetic clustered sequence database.
 
@@ -173,7 +173,7 @@ def inject_outliers(
     db: SequenceDatabase,
     fraction: float,
     seed: int = 0,
-    avg_length: Optional[int] = None,
+    avg_length: int | None = None,
 ) -> SequenceDatabase:
     """Return a copy of *db* with uniform-random outliers appended.
 

@@ -11,35 +11,37 @@ Two disk formats are supported:
 from __future__ import annotations
 
 import os
-from typing import Iterator, List, Optional, TextIO, Tuple, Union
+from collections.abc import Iterator
+from typing import TextIO, Union
 
 from .alphabet import Alphabet
 from .database import SequenceDatabase
 
-PathOrFile = Union[str, os.PathLike, TextIO]
+#: Acceptable read/write targets (typing.Union: evaluated at runtime).
+PathOrFile = Union[str, "os.PathLike[str]", TextIO]
 
 
 class SequenceFormatError(ValueError):
     """Raised when an input file cannot be parsed."""
 
 
-def _open_for_read(source: PathOrFile):
+def _open_for_read(source: PathOrFile) -> tuple[TextIO, bool]:
     """Return ``(file, should_close)`` for a path or an open handle."""
     if hasattr(source, "read"):
-        return source, False
-    return open(source, "r", encoding="utf-8"), True
+        return source, False  # type: ignore[return-value]
+    return open(source, encoding="utf-8"), True  # type: ignore[arg-type]
 
 
-def _open_for_write(target: PathOrFile):
+def _open_for_write(target: PathOrFile) -> tuple[TextIO, bool]:
     if hasattr(target, "write"):
-        return target, False
-    return open(target, "w", encoding="utf-8"), True
+        return target, False  # type: ignore[return-value]
+    return open(target, "w", encoding="utf-8"), True  # type: ignore[arg-type]
 
 
 # -- FASTA ----------------------------------------------------------------------
 
 
-def iter_fasta(source: PathOrFile) -> Iterator[Tuple[str, str]]:
+def iter_fasta(source: PathOrFile) -> Iterator[tuple[str, str]]:
     """Yield ``(header, sequence)`` pairs from a FASTA file.
 
     Sequence lines are concatenated and whitespace is stripped; the
@@ -49,8 +51,8 @@ def iter_fasta(source: PathOrFile) -> Iterator[Tuple[str, str]]:
     """
     handle, should_close = _open_for_read(source)
     try:
-        header: Optional[str] = None
-        chunks: List[str] = []
+        header: str | None = None
+        chunks: list[str] = []
         for lineno, raw in enumerate(handle, start=1):
             line = raw.strip()
             if not line:
@@ -79,7 +81,7 @@ def iter_fasta(source: PathOrFile) -> Iterator[Tuple[str, str]]:
             handle.close()
 
 
-def parse_fasta_header(header: str) -> Tuple[str, Optional[str]]:
+def parse_fasta_header(header: str) -> tuple[str, str | None]:
     """Split a FASTA header into ``(name, label)``.
 
     The label is the second whitespace-separated token when present:
@@ -94,14 +96,14 @@ def parse_fasta_header(header: str) -> Tuple[str, Optional[str]]:
 
 
 def read_fasta(
-    source: PathOrFile, alphabet: Optional[Alphabet] = None
+    source: PathOrFile, alphabet: Alphabet | None = None
 ) -> SequenceDatabase:
     """Read a FASTA file into a :class:`SequenceDatabase`.
 
     The second header token, when present, becomes the record label.
     """
-    sequences: List[str] = []
-    labels: List[Optional[str]] = []
+    sequences: list[str] = []
+    labels: list[str | None] = []
     for header, seq in iter_fasta(source):
         _, label = parse_fasta_header(header)
         sequences.append(seq)
@@ -134,15 +136,15 @@ def write_fasta(
 
 
 def read_labelled_text(
-    source: PathOrFile, alphabet: Optional[Alphabet] = None
+    source: PathOrFile, alphabet: Alphabet | None = None
 ) -> SequenceDatabase:
     """Read a labelled-text file: ``label<TAB>sequence`` per line.
 
     Lines without a tab are treated as unlabelled sequences; blank
     lines and ``#`` comments are skipped.
     """
-    sequences: List[str] = []
-    labels: List[Optional[str]] = []
+    sequences: list[str] = []
+    labels: list[str | None] = []
     handle, should_close = _open_for_read(source)
     try:
         for raw in handle:

@@ -11,11 +11,11 @@ random source, which is how embedded clusters are created.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
-Context = Tuple[int, ...]
+Context = tuple[int, ...]
 
 
 class MarkovSource:
@@ -43,8 +43,8 @@ class MarkovSource:
         self,
         alphabet_size: int,
         order: int,
-        transitions: Dict[Context, np.ndarray],
-    ):
+        transitions: dict[Context, np.ndarray],
+    ) -> None:
         if alphabet_size <= 0:
             raise ValueError("alphabet_size must be positive")
         if order < 0:
@@ -53,7 +53,7 @@ class MarkovSource:
             raise ValueError("transitions must define the empty context ()")
         self.alphabet_size = alphabet_size
         self.order = order
-        self._transitions: Dict[Context, np.ndarray] = {}
+        self._transitions: dict[Context, np.ndarray] = {}
         for context, probs in transitions.items():
             vec = np.asarray(probs, dtype=np.float64)
             if vec.shape != (alphabet_size,):
@@ -69,7 +69,7 @@ class MarkovSource:
             self._transitions[tuple(context)] = vec / total
 
     @property
-    def contexts(self) -> List[Context]:
+    def contexts(self) -> list[Context]:
         """All contexts with an explicit distribution."""
         return list(self._transitions.keys())
 
@@ -85,13 +85,18 @@ class MarkovSource:
             context = context[1:]
 
     def sample(
-        self, length: int, rng: Optional[np.random.Generator] = None
-    ) -> List[int]:
-        """Sample one sequence of exactly *length* symbols."""
+        self, length: int, rng: np.random.Generator | None = None
+    ) -> list[int]:
+        """Sample one sequence of exactly *length* symbols.
+
+        Deterministic when *rng* is omitted: a fixed seed-0 generator
+        is created per call.
+        """
         if length < 0:
             raise ValueError("length must be non-negative")
-        rng = rng or np.random.default_rng()
-        out: List[int] = []
+        if rng is None:
+            rng = np.random.default_rng(0)
+        out: list[int] = []
         symbol_ids = np.arange(self.alphabet_size)
         for _ in range(length):
             dist = self.distribution_for(out)
@@ -102,10 +107,10 @@ class MarkovSource:
         self,
         count: int,
         mean_length: int,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
         length_jitter: float = 0.2,
         min_length: int = 2,
-    ) -> List[List[int]]:
+    ) -> list[list[int]]:
         """Sample *count* sequences with lengths around *mean_length*.
 
         Lengths are drawn from a normal distribution with standard
@@ -115,7 +120,8 @@ class MarkovSource:
         """
         if count < 0:
             raise ValueError("count must be non-negative")
-        rng = rng or np.random.default_rng()
+        if rng is None:
+            rng = np.random.default_rng(0)
         sigma = max(length_jitter, 0.0) * mean_length
         lengths = rng.normal(mean_length, sigma, size=count)
         return [
@@ -148,7 +154,7 @@ def _dirichlet_rows(
 def random_markov_source(
     alphabet_size: int,
     order: int = 2,
-    rng: Optional[np.random.Generator] = None,
+    rng: np.random.Generator | None = None,
     concentration: float = 0.2,
     context_fraction: float = 1.0,
     max_contexts: int = 4096,
@@ -162,7 +168,8 @@ def random_markov_source(
     order:
         Context length of the source.
     rng:
-        Random generator (``numpy.random.default_rng()`` if omitted).
+        Random generator (a fixed seed-0 generator if omitted, so
+        rng-less calls are deterministic).
     concentration:
         Symmetric Dirichlet concentration for each next-symbol
         distribution. Small values (< 1) produce *peaked* distributions,
@@ -176,8 +183,9 @@ def random_markov_source(
     """
     if not 0.0 <= context_fraction <= 1.0:
         raise ValueError("context_fraction must be within [0, 1]")
-    rng = rng or np.random.default_rng()
-    transitions: Dict[Context, np.ndarray] = {}
+    if rng is None:
+        rng = np.random.default_rng(0)
+    transitions: dict[Context, np.ndarray] = {}
     transitions[()] = rng.dirichlet(np.full(alphabet_size, 1.0))
 
     if order >= 1:

@@ -16,26 +16,29 @@ robustness can be measured instead of asserted:
   database, preserving labels.
 
 All functions are pure: they return new lists and never modify their
-inputs.
+inputs. They are also deterministic: when no generator is passed, a
+fixed seed-0 ``np.random.Generator`` is created per call, so repeated
+rng-less calls return identical output (pass your own generator for
+varied draws).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
 from .database import SequenceDatabase
 
-Mutation = Callable[[List[int], np.random.Generator], List[int]]
+Mutation = Callable[[list[int], np.random.Generator], list[int]]
 
 
 def point_mutations(
     encoded: Sequence[int],
     rate: float,
     alphabet_size: int,
-    rng: Optional[np.random.Generator] = None,
-) -> List[int]:
+    rng: np.random.Generator | None = None,
+) -> list[int]:
     """Substitute each position with probability *rate*.
 
     Replacement symbols are drawn uniformly from the alphabet
@@ -46,7 +49,8 @@ def point_mutations(
         raise ValueError("rate must be in [0, 1]")
     if alphabet_size < 2:
         raise ValueError("need at least 2 symbols to substitute")
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        rng = np.random.default_rng(0)
     out = list(encoded)
     for i in range(len(out)):
         if rng.random() < rate:
@@ -61,8 +65,8 @@ def indels(
     encoded: Sequence[int],
     rate: float,
     alphabet_size: int,
-    rng: Optional[np.random.Generator] = None,
-) -> List[int]:
+    rng: np.random.Generator | None = None,
+) -> list[int]:
     """Apply random insertions and deletions, each at *rate* / 2.
 
     The expected length is preserved; a sequence never shrinks below
@@ -72,8 +76,9 @@ def indels(
         raise ValueError("rate must be in [0, 1]")
     if alphabet_size < 1:
         raise ValueError("alphabet_size must be positive")
-    rng = rng or np.random.default_rng()
-    out: List[int] = []
+    if rng is None:
+        rng = np.random.default_rng(0)
+    out: list[int] = []
     half = rate / 2.0
     for symbol in encoded:
         if rng.random() < half:
@@ -89,8 +94,8 @@ def indels(
 def block_shuffle(
     encoded: Sequence[int],
     num_blocks: int,
-    rng: Optional[np.random.Generator] = None,
-) -> List[int]:
+    rng: np.random.Generator | None = None,
+) -> list[int]:
     """Cut into *num_blocks* contiguous blocks and permute them.
 
     With ``num_blocks=2`` this is exactly the paper's ``aaaabbb`` →
@@ -100,7 +105,8 @@ def block_shuffle(
     """
     if num_blocks < 1:
         raise ValueError("num_blocks must be at least 1")
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        rng = np.random.default_rng(0)
     seq = list(encoded)
     if num_blocks == 1 or len(seq) < num_blocks:
         return seq

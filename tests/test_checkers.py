@@ -1,0 +1,460 @@
+"""Tests for the repo's AST invariant checker (``tools.checkers``).
+
+Every rule gets a firing fixture (the acceptance criterion: prove the
+rule can fail), a passing fixture, and a suppression fixture. Fixture
+files are written under ``tmp_path`` with a ``src/repro/...`` layout so
+``module_name_for`` resolves them into the package the rules scope to.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.checkers import (  # noqa: E402
+    Checker,
+    all_rules,
+    get_rule,
+    iter_python_files,
+)
+from tools.checkers.engine import (  # noqa: E402
+    is_test_code,
+    module_name_for,
+    parse_suppressions,
+)
+
+
+def check_source(tmp_path: Path, relpath: str, source: str, rule_id: str):
+    """Write *source* at ``tmp_path/relpath`` and run one rule on it."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return Checker(rules=[get_rule(rule_id)]).check_file(path)
+
+
+def rule_ids(violations):
+    return [v.rule_id for v in violations]
+
+
+# -- engine plumbing ----------------------------------------------------------
+
+
+class TestEngine:
+    def test_module_name_from_src_layout(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "core" / "pst.py"
+        assert module_name_for(path) == "repro.core.pst"
+
+    def test_module_name_init_maps_to_package(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "core" / "__init__.py"
+        assert module_name_for(path) == "repro.core"
+
+    def test_test_code_detection(self):
+        assert is_test_code(Path("tests/test_pst.py"))
+        assert is_test_code(Path("benchmarks/bench_scaling.py"))
+        assert is_test_code(Path("src/repro/conftest.py"))
+        assert not is_test_code(Path("src/repro/core/pst.py"))
+
+    def test_parse_suppressions(self):
+        source = (
+            "x = 1  # cluseq: ignore\n"
+            "y = 2  # cluseq: ignore[CLQ002]\n"
+            "z = 3  # cluseq: ignore[CLQ001, CLQ003]\n"
+            "plain = 4\n"
+        )
+        sup = parse_suppressions(source)
+        assert sup[1] is None  # bare ignore = all rules
+        assert sup[2] == {"CLQ002"}
+        assert sup[3] == {"CLQ001", "CLQ003"}
+        assert 4 not in sup
+
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__" / "a.py").write_text("x = 1\n")
+        found = list(iter_python_files([tmp_path]))
+        assert [p.name for p in found] == ["a.py"]
+
+    def test_all_rules_registered(self):
+        assert [r.rule_id for r in all_rules()] == [
+            "CLQ001",
+            "CLQ002",
+            "CLQ003",
+            "CLQ004",
+            "CLQ005",
+        ]
+
+    def test_syntax_error_raises_checker_error(self, tmp_path):
+        from tools.checkers.engine import CheckerError
+
+        bad = tmp_path / "src" / "repro" / "core" / "broken.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def broken(:\n")
+        with pytest.raises(CheckerError):
+            Checker().check_file(bad)
+
+
+# -- CLQ001: import layering --------------------------------------------------
+
+
+class TestImportLayering:
+    def test_core_importing_experiments_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "from repro.experiments import common\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_core_relative_import_of_cli_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "from ..cli import main\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_core_importing_sequences_is_fine(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/good.py",
+            "from ..sequences.database import SequenceDatabase\nimport numpy\n",
+            "CLQ001",
+        )
+        assert violations == []
+
+    def test_obs_importing_numpy_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/obs/bad.py",
+            "import numpy as np\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_obs_stdlib_and_intra_obs_is_fine(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/obs/good.py",
+            "import json\nimport logging\nfrom .metrics import get_registry\n",
+            "CLQ001",
+        )
+        assert violations == []
+
+    def test_suppression_comment_silences(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "from repro.cli import main  # cluseq: ignore[CLQ001]\n",
+            "CLQ001",
+        )
+        assert violations == []
+
+
+# -- CLQ002: determinism ------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_unseeded_default_rng_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/sequences/bad.py",
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            "CLQ002",
+        )
+        assert rule_ids(violations) == ["CLQ002"]
+
+    def test_global_numpy_random_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/sequences/bad.py",
+            "import numpy as np\nx = np.random.random()\n",
+            "CLQ002",
+        )
+        assert rule_ids(violations) == ["CLQ002"]
+
+    def test_stdlib_random_module_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/sequences/bad.py",
+            "import random\nx = random.random()\n",
+            "CLQ002",
+        )
+        assert rule_ids(violations) == ["CLQ002"]
+
+    def test_seeded_generator_is_fine(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/sequences/good.py",
+            "import numpy as np\nrng = np.random.default_rng(0)\nx = rng.random()\n",
+            "CLQ002",
+        )
+        assert violations == []
+
+    def test_test_code_is_exempt(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "tests/test_whatever.py",
+            "import numpy as np\nrng = np.random.default_rng()\n",
+            "CLQ002",
+        )
+        assert violations == []
+
+    def test_suppression_comment_silences(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/sequences/bad.py",
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # cluseq: ignore[CLQ002]\n",
+            "CLQ002",
+        )
+        assert violations == []
+
+
+# -- CLQ003: float equality in core -------------------------------------------
+
+
+class TestFloatEquality:
+    def test_float_literal_equality_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "def f(x: float) -> bool:\n    return x == 0.5\n",
+            "CLQ003",
+        )
+        assert rule_ids(violations) == ["CLQ003"]
+        assert "math.isclose" in violations[0].message
+
+    def test_division_result_equality_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "def f(a: float, b: float, c: float) -> bool:\n"
+            "    return a / b != c\n",
+            "CLQ003",
+        )
+        assert rule_ids(violations) == ["CLQ003"]
+
+    def test_int_equality_is_fine(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/good.py",
+            "def f(n: int) -> bool:\n    return n == 3\n",
+            "CLQ003",
+        )
+        assert violations == []
+
+    def test_outside_core_is_exempt(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/evaluation/loose.py",
+            "def f(x: float) -> bool:\n    return x == 0.5\n",
+            "CLQ003",
+        )
+        assert violations == []
+
+    def test_suppression_comment_silences(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "def f(x: float) -> bool:\n"
+            "    return x == 0.5  # cluseq: ignore[CLQ003]\n",
+            "CLQ003",
+        )
+        assert violations == []
+
+
+# -- CLQ004: mutable defaults -------------------------------------------------
+
+
+class TestMutableDefaults:
+    def test_list_literal_default_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "def f(items=[]):\n    return items\n",
+            "CLQ004",
+        )
+        assert rule_ids(violations) == ["CLQ004"]
+
+    def test_dict_call_default_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "def f(mapping=dict()):\n    return mapping\n",
+            "CLQ004",
+        )
+        assert rule_ids(violations) == ["CLQ004"]
+
+    def test_kwonly_mutable_default_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "def f(*, seen=set()):\n    return seen\n",
+            "CLQ004",
+        )
+        assert rule_ids(violations) == ["CLQ004"]
+
+    def test_none_and_tuple_defaults_are_fine(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/good.py",
+            "def f(items=None, pair=(1, 2), name=\"x\"):\n    return items\n",
+            "CLQ004",
+        )
+        assert violations == []
+
+    def test_suppression_comment_silences(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "def f(items=[]):  # cluseq: ignore[CLQ004]\n    return items\n",
+            "CLQ004",
+        )
+        assert violations == []
+
+
+# -- CLQ005: paper anchors ----------------------------------------------------
+
+
+class TestPaperAnchors:
+    def test_public_core_function_without_anchor_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            'def score(x: float) -> float:\n    """Score a thing."""\n    return x\n',
+            "CLQ005",
+        )
+        assert rule_ids(violations) == ["CLQ005"]
+
+    def test_missing_docstring_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "def score(x: float) -> float:\n    return x\n",
+            "CLQ005",
+        )
+        assert rule_ids(violations) == ["CLQ005"]
+
+    def test_section_anchor_passes(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/good.py",
+            'def score(x: float) -> float:\n'
+            '    """The paper\'s similarity measure (§4.3)."""\n'
+            "    return x\n",
+            "CLQ005",
+        )
+        assert violations == []
+
+    def test_private_functions_exempt(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/good.py",
+            "def _helper(x: float) -> float:\n    return x\n",
+            "CLQ005",
+        )
+        assert violations == []
+
+    def test_methods_exempt(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/good.py",
+            "class Thing:\n"
+            "    def compute(self) -> int:\n"
+            '        """No anchor needed on methods."""\n'
+            "        return 1\n",
+            "CLQ005",
+        )
+        assert violations == []
+
+    def test_outside_core_is_exempt(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/evaluation/free.py",
+            "def score(x: float) -> float:\n    return x\n",
+            "CLQ005",
+        )
+        assert violations == []
+
+    def test_suppression_comment_silences(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "def score(x: float) -> float:  # cluseq: ignore[CLQ005]\n    return x\n",
+            "CLQ005",
+        )
+        assert violations == []
+
+
+# -- CLI / meta ---------------------------------------------------------------
+
+
+class TestCliAndMeta:
+    def test_repo_passes_all_rules(self):
+        """The shipped package must be invariant-clean (the CI gate)."""
+        checker = Checker()
+        violations, files_checked = checker.check_targets(
+            [REPO_ROOT / "src" / "repro"]
+        )
+        assert files_checked > 30
+        assert violations == [], "\n".join(v.render() for v in violations)
+
+    def test_cli_exit_codes(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(items=[]):\n    return items\n")
+        env_cwd = str(REPO_ROOT)
+        dirty = subprocess.run(
+            [sys.executable, "-m", "tools.checkers", str(bad)],
+            capture_output=True,
+            text=True,
+            cwd=env_cwd,
+        )
+        assert dirty.returncode == 1
+        assert "CLQ004" in dirty.stdout
+        clean = subprocess.run(
+            [sys.executable, "-m", "tools.checkers", "src/repro"],
+            capture_output=True,
+            text=True,
+            cwd=env_cwd,
+        )
+        assert clean.returncode == 0, clean.stdout + clean.stderr
+
+    def test_cli_list_rules(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.checkers", "--list-rules"],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+        )
+        assert proc.returncode == 0
+        for rule_id in ("CLQ001", "CLQ002", "CLQ003", "CLQ004", "CLQ005"):
+            assert rule_id in proc.stdout
+
+    def test_select_restricts_rules(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        # CLQ004 violation only; selecting CLQ001 must pass.
+        bad.write_text("def f(items=[]):\n    return items\n")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "tools.checkers",
+                "--select",
+                "CLQ001",
+                str(bad),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

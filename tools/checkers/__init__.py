@@ -1,0 +1,47 @@
+"""CLUSEQ invariant checkers — a repo-specific static analyzer.
+
+Generic linters cannot see the invariants this codebase lives by: the
+core → obs/sequences layering that keeps the hot path light, the
+"every RNG flows from an explicit seed" determinism contract that makes
+paper tables reproducible, or the log-domain float arithmetic that must
+never be compared with ``==``. This package walks Python ASTs and
+enforces those contracts as CLQ-prefixed rules:
+
+========  ==============================================================
+CLQ001    import layering (core must not import experiments/cli/
+          evaluation; obs must import only the stdlib)
+CLQ002    determinism (no module-level or unseeded ``random`` /
+          ``np.random`` use outside test/bench code)
+CLQ003    float equality (no ``==`` / ``!=`` on float-typed expressions
+          in ``core`` — use ``math.isclose``)
+CLQ004    mutable default arguments
+CLQ005    paper anchors (public ``core`` functions must carry a
+          docstring referencing a paper section/equation/table)
+========  ==============================================================
+
+Run it with ``python -m tools.checkers src/repro``. Suppress a finding
+on one line with ``# cluseq: ignore[CLQ00X]`` (or a bare
+``# cluseq: ignore`` to silence every rule on that line).
+"""
+
+from .engine import (
+    Checker,
+    FileContext,
+    Rule,
+    Violation,
+    all_rules,
+    get_rule,
+    iter_python_files,
+    register,
+)
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "register",
+]

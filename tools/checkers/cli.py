@@ -1,0 +1,89 @@
+"""Command-line front end: ``python -m tools.checkers [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from collections.abc import Sequence
+
+from .engine import Checker, CheckerError, all_rules, get_rule
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.checkers",
+        description="CLUSEQ repo-specific AST invariant checks (CLQ rules)",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the known rules and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (violations still print)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    if args.select:
+        try:
+            rules = [get_rule(r.strip()) for r in args.select.split(",") if r.strip()]
+        except KeyError as exc:
+            parser.error(str(exc.args[0]))
+        if not rules:
+            parser.error("--select given but no rule ids parsed")
+    else:
+        rules = all_rules()
+
+    targets: list[Path] = []
+    for raw in args.targets:
+        path = Path(raw)
+        if not path.exists():
+            parser.error(f"no such file or directory: {raw}")
+        targets.append(path)
+
+    checker = Checker(rules)
+    try:
+        violations, files_checked = checker.check_targets(targets)
+    except CheckerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    for violation in violations:
+        print(violation.render())
+    if not args.quiet:
+        rule_word = "rule" if len(checker.rules) == 1 else "rules"
+        print(
+            f"checked {files_checked} files against {len(checker.rules)} "
+            f"{rule_word}: {len(violations)} violation(s)",
+            file=sys.stderr,
+        )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

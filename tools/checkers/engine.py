@@ -1,0 +1,262 @@
+"""Rule engine: file discovery, suppression comments, and the runner.
+
+The engine is deliberately dependency-free (stdlib only) so the gate
+can run on a bare CI image before the package's own dependencies are
+installed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable, Iterator, Sequence
+
+#: ``# cluseq: ignore`` or ``# cluseq: ignore[CLQ001,CLQ005]``.
+_SUPPRESSION_RE = re.compile(
+    r"#\s*cluseq:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
+)
+
+#: Directory/file name markers of test and benchmark code (exempt from
+#: the determinism rule, which is about library behaviour).
+_TEST_DIR_NAMES = frozenset({"tests", "test", "benchmarks", "benches"})
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+class CheckerError(RuntimeError):
+    """Raised when a target file cannot be analyzed at all."""
+
+
+def module_name_for(path: Path) -> str:
+    """Best-effort dotted module name for *path*.
+
+    Everything after a ``src`` path component is taken as the package
+    path (``src/repro/core/pst.py`` → ``repro.core.pst``); otherwise
+    the parts after the last ``site-packages``-style anchor or simply
+    the file stem chain is used. ``__init__.py`` maps to its package.
+    """
+    parts = list(path.parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    else:
+        # Fall back to the longest trailing run of identifier-like parts.
+        tail: list[str] = []
+        for part in reversed(parts):
+            name = part[:-3] if part.endswith(".py") else part
+            if not name.isidentifier():
+                break
+            tail.append(part)
+        parts = list(reversed(tail)) or [path.name]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def is_test_code(path: Path) -> bool:
+    """Whether *path* is test or benchmark code (relaxed determinism)."""
+    if any(part in _TEST_DIR_NAMES for part in path.parts[:-1]):
+        return True
+    name = path.name
+    return (
+        name.startswith("test_")
+        or name.startswith("bench_")
+        or name == "conftest.py"
+    )
+
+
+def parse_suppressions(source: str) -> dict[int, set[str] | None]:
+    """Map line number → suppressed rule ids (``None`` = all rules)."""
+    suppressions: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[lineno] = None
+        else:
+            ids = {r.strip() for r in rules.split(",") if r.strip()}
+            existing = suppressions.get(lineno)
+            if lineno in suppressions and existing is None:
+                continue  # a bare ignore already covers everything
+            suppressions[lineno] = (existing or set()) | ids
+    return suppressions
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    module: str
+    suppressions: dict[int, set[str] | None] = field(default_factory=dict)
+
+    @classmethod
+    def from_path(cls, path: Path, module: str | None = None) -> "FileContext":
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise CheckerError(f"cannot read {path}: {exc}") from exc
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise CheckerError(f"cannot parse {path}: {exc}") from exc
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            module=module if module is not None else module_name_for(path),
+            suppressions=parse_suppressions(source),
+        )
+
+    @property
+    def package(self) -> str:
+        """The package containing this module (itself for __init__)."""
+        if self.path.name == "__init__.py":
+            return self.module
+        return self.module.rpartition(".")[0]
+
+    @property
+    def is_test_code(self) -> bool:
+        return is_test_code(self.path)
+
+    def in_package(self, prefix: str) -> bool:
+        """Whether the module lives in *prefix* (or a subpackage)."""
+        return self.module == prefix or self.module.startswith(prefix + ".")
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if line not in self.suppressions:
+            return False
+        rules = self.suppressions[line]
+        return rules is None or rule_id in rules
+
+
+class Rule:
+    """Base class for pluggable checks.
+
+    Subclasses set :attr:`rule_id` / :attr:`summary` and implement
+    :meth:`check` yielding :class:`Violation` objects. Registration is
+    via the :func:`register` decorator.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, context: FileContext, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            path=str(context.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule instance to the global registry."""
+    rule = rule_class()
+    if not rule.rule_id:
+        raise ValueError(f"{rule_class.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    _load_rules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _load_rules()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def _load_rules() -> None:
+    """Import the built-in rule modules (idempotent)."""
+    from . import rules  # noqa: F401  (import side effect registers rules)
+
+
+def iter_python_files(targets: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: set[Path] = set()
+    for target in targets:
+        if target.is_dir():
+            candidates: Iterable[Path] = sorted(target.rglob("*.py"))
+        else:
+            candidates = [target]
+        for path in candidates:
+            if "__pycache__" in path.parts:
+                continue
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield path
+
+
+class Checker:
+    """Run a set of rules over files and collect violations."""
+
+    def __init__(self, rules: Sequence[Rule] | None = None) -> None:
+        self.rules: list[Rule] = list(rules) if rules is not None else all_rules()
+
+    def check_file(self, path: Path, module: str | None = None) -> list[Violation]:
+        context = FileContext.from_path(path, module=module)
+        return self.check_context(context)
+
+    def check_context(self, context: FileContext) -> list[Violation]:
+        found: list[Violation] = []
+        for rule in self.rules:
+            for violation in rule.check(context):
+                if context.is_suppressed(violation.rule_id, violation.line):
+                    continue
+                found.append(violation)
+        found.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+        return found
+
+    def check_targets(
+        self, targets: Sequence[Path]
+    ) -> tuple[list[Violation], int]:
+        """Check every Python file under *targets*.
+
+        Returns ``(violations, files_checked)``.
+        """
+        violations: list[Violation] = []
+        count = 0
+        for path in iter_python_files(targets):
+            count += 1
+            violations.extend(self.check_file(path))
+        return violations, count

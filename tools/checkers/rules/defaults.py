@@ -1,0 +1,63 @@
+"""CLQ004 — mutable default arguments.
+
+A mutable default (``def f(x=[])``) is evaluated once at function
+definition time and shared across every call — state leaks between
+clustering runs, which is exactly the class of bug a reproduction
+pipeline cannot afford. Use ``None`` and materialize inside the body.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import Union
+
+from ..engine import FileContext, Rule, Violation, register
+
+#: Zero-argument constructor calls that produce fresh mutable state.
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "Counter", "defaultdict", "OrderedDict", "deque"}
+)
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name in _MUTABLE_FACTORIES
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "CLQ004"
+    summary = "no mutable default arguments"
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield self.violation(
+                        context,
+                        default,
+                        f"mutable default argument in {name}() is shared "
+                        "across calls — default to None and build inside",
+                    )

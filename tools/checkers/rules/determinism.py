@@ -1,0 +1,191 @@
+"""CLQ002 — determinism.
+
+Every number the pipeline reports must be reproducible from an explicit
+seed: the paper's tables are only comparable across runs if the RNG
+state flows from a seed or a caller-supplied ``np.random.Generator``.
+This rule bans the three ways hidden entropy sneaks in:
+
+* ``np.random.default_rng()`` called with no seed,
+* the legacy numpy global-state API (``np.random.seed``,
+  ``np.random.rand``, …),
+* the stdlib ``random`` module's global functions (``random.random``,
+  ``random.shuffle``, …) — ``random.Random(seed)`` instances are fine.
+
+Test and benchmark files are exempt (fixtures may use ambient
+randomness when the assertion is statistical).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import FileContext, Rule, Violation, register
+
+#: numpy.random attributes that are *not* global-state entry points.
+_NP_RANDOM_SAFE = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+        "RandomState",  # flagged separately below when *called*
+    }
+)
+
+#: stdlib random attributes that do not touch the hidden global state.
+_RANDOM_SAFE = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` attribute chains as a dotted string (else ``None``)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _ImportTracker(ast.NodeVisitor):
+    """Record local names bound to the stdlib/numpy random modules."""
+
+    def __init__(self) -> None:
+        self.random_aliases: set[str] = set()
+        self.np_random_aliases: set[str] = set()
+        self.numpy_aliases: set[str] = set()
+        self.from_random_names: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".", 1)[0]
+            if alias.name == "random":
+                self.random_aliases.add(bound)
+            elif alias.name == "numpy":
+                self.numpy_aliases.add(bound)
+            elif alias.name == "numpy.random":
+                if alias.asname:
+                    self.np_random_aliases.add(alias.asname)
+                else:
+                    self.numpy_aliases.add("numpy")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            return
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in _RANDOM_SAFE:
+                    self.from_random_names.add(alias.asname or alias.name)
+        elif node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self.np_random_aliases.add(alias.asname or "random")
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name == "default_rng":
+                    # calls are checked by name below
+                    self.from_random_names.discard(alias.asname or alias.name)
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "CLQ002"
+    summary = "no unseeded default_rng() or global-state random calls"
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        if context.is_test_code:
+            return
+        tracker = _ImportTracker()
+        tracker.visit(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            violation = self._check_call(context, node, tracker)
+            if violation is not None:
+                yield violation
+
+    def _check_call(
+        self, context: FileContext, node: ast.Call, tracker: _ImportTracker
+    ) -> Violation | None:
+        func = node.func
+        dotted = _dotted(func)
+
+        # Unseeded default_rng() / RandomState(), however it was reached.
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "default_rng",
+            "RandomState",
+        ):
+            base = _dotted(func.value)
+            is_np_random = base is not None and (
+                base in tracker.np_random_aliases
+                or any(
+                    base == f"{np_alias}.random"
+                    for np_alias in tracker.numpy_aliases
+                )
+            )
+            if is_np_random and not node.args and not node.keywords:
+                return self.violation(
+                    context,
+                    node,
+                    f"unseeded np.random.{func.attr}() — pass an explicit "
+                    "seed or accept an np.random.Generator parameter",
+                )
+            if is_np_random:
+                return None
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "default_rng"
+            and not node.args
+            and not node.keywords
+        ):
+            return self.violation(
+                context,
+                node,
+                "unseeded default_rng() — pass an explicit seed or accept "
+                "an np.random.Generator parameter",
+            )
+
+        # Legacy numpy global-state API: np.random.<fn>(...).
+        if dotted is not None:
+            parts = dotted.split(".")
+            if len(parts) >= 2:
+                base, attr = ".".join(parts[:-1]), parts[-1]
+                is_np_random = base in tracker.np_random_aliases or any(
+                    base == f"{np_alias}.random"
+                    for np_alias in tracker.numpy_aliases
+                )
+                if is_np_random and attr not in _NP_RANDOM_SAFE:
+                    return self.violation(
+                        context,
+                        node,
+                        f"np.random.{attr}() uses hidden global RNG state — "
+                        "use a seeded np.random.Generator instead",
+                    )
+                if (
+                    len(parts) == 2
+                    and parts[0] in tracker.random_aliases
+                    and attr not in _RANDOM_SAFE
+                ):
+                    return self.violation(
+                        context,
+                        node,
+                        f"random.{attr}() uses hidden global RNG state — "
+                        "use random.Random(seed) or np.random.Generator",
+                    )
+
+        # ``from random import shuffle`` style calls.
+        if isinstance(func, ast.Name) and func.id in tracker.from_random_names:
+            return self.violation(
+                context,
+                node,
+                f"{func.id}() (from the random module) uses hidden global "
+                "RNG state — use random.Random(seed) or np.random.Generator",
+            )
+        return None

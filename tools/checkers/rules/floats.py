@@ -1,0 +1,77 @@
+"""CLQ003 — float equality in the core layer.
+
+The similarity measure works in the log domain (§3.1's product of
+conditional-probability ratios becomes a sum of logs), where exact
+float equality is never meaningful: two mathematically equal
+similarities differ in the last ulp depending on summation order.
+``==`` / ``!=`` against a float-typed expression in ``repro.core`` is
+therefore a bug magnet; use ``math.isclose`` (or an explicit tolerance)
+instead.
+
+The analysis is syntactic — it flags comparisons where an operand is
+*visibly* a float: a float literal, a ``float(...)`` / ``math.*``
+call/constant, or arithmetic over such operands. Comparing against the
+literal ``0.0`` sentinel is still flagged: core code uses explicit
+tolerances even there.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import FileContext, Rule, Violation, register
+
+_MATH_CONSTANTS = frozenset({"inf", "nan", "pi", "e", "tau"})
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    """Whether *node* is syntactically float-valued."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.BinOp):
+        # Any arithmetic with a float operand is float-valued; ``/`` is
+        # float-valued regardless of its operands in Python 3.
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return True
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.value.id == "math":
+                return True
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if node.value.id == "math" and node.attr in _MATH_CONSTANTS:
+            return True
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    rule_id = "CLQ003"
+    summary = "no ==/!= on float-typed expressions in repro.core"
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        if not context.in_package("repro.core"):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floatish(left) or _is_floatish(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.violation(
+                        context,
+                        node,
+                        f"float {symbol} comparison in core — use "
+                        "math.isclose(a, b, rel_tol=..., abs_tol=...) "
+                        "or an explicit tolerance",
+                    )
+                    break

@@ -1,0 +1,114 @@
+"""CLQ001 — import layering.
+
+The CLUSEQ hot path (``repro.core``) must stay dependency-light so a
+production deployment can ship the clustering engine without the
+experiment harnesses, the CLI, or the evaluation stack; and the
+observability layer (``repro.obs``) must import *only* the standard
+library so instrumentation can never drag numpy/scipy into a context
+that just wants a logger.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from collections.abc import Iterator
+
+from ..engine import FileContext, Rule, Violation, register
+
+#: Packages the core layer must never depend on.
+CORE_FORBIDDEN = ("repro.experiments", "repro.cli", "repro.evaluation")
+
+#: Top-level modules the obs layer may import besides the stdlib.
+OBS_ALLOWED_PREFIX = "repro.obs"
+
+if sys.version_info >= (3, 10):
+    _STDLIB = frozenset(sys.stdlib_module_names)
+else:  # pragma: no cover - py39 fallback for the CI matrix
+    import distutils.sysconfig
+    import os
+
+    _std_dir = distutils.sysconfig.get_python_lib(standard_lib=True)
+    _names = {"sys", "builtins", "itertools", "time", "math", "gc", "marshal"}
+    for _entry in os.listdir(_std_dir):
+        if _entry.endswith(".py"):
+            _names.add(_entry[:-3])
+        elif "." not in _entry:
+            _names.add(_entry)
+    _STDLIB = frozenset(_names)
+
+
+def _absolute_targets(
+    node: ast.stmt, package: str
+) -> list[tuple[str, ast.stmt]]:
+    """Absolute dotted module names a statement imports."""
+    targets: list[tuple[str, ast.stmt]] = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            targets.append((alias.name, node))
+    elif isinstance(node, ast.ImportFrom):
+        if node.level == 0:
+            base = node.module or ""
+        else:
+            # Resolve ``from ..x import y`` against the file's package.
+            parts = package.split(".") if package else []
+            if node.level - 1 > 0:
+                parts = parts[: -(node.level - 1)] if node.level - 1 <= len(parts) else []
+            base = ".".join(parts)
+            if node.module:
+                base = f"{base}.{node.module}" if base else node.module
+        if base:
+            targets.append((base, node))
+        else:
+            # ``from . import similarity`` — each name is a submodule.
+            for alias in node.names:
+                targets.append(
+                    (f"{package}.{alias.name}" if package else alias.name, node)
+                )
+    return targets
+
+
+@register
+class ImportLayeringRule(Rule):
+    rule_id = "CLQ001"
+    summary = (
+        "core must not import experiments/cli/evaluation; "
+        "obs must import stdlib only"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        in_core = context.in_package("repro.core")
+        in_obs = context.in_package("repro.obs")
+        if not (in_core or in_obs):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            for target, stmt in _absolute_targets(node, context.package):
+                if in_core:
+                    for forbidden in CORE_FORBIDDEN:
+                        if target == forbidden or target.startswith(forbidden + "."):
+                            yield self.violation(
+                                context,
+                                stmt,
+                                f"repro.core must not import {target} "
+                                "(layering: core -> obs/sequences only)",
+                            )
+                if in_obs:
+                    top = target.split(".", 1)[0]
+                    if top != "repro" and top not in _STDLIB:
+                        yield self.violation(
+                            context,
+                            stmt,
+                            f"repro.obs may only import the stdlib, not {target}",
+                        )
+                    elif top == "repro" and not (
+                        target == OBS_ALLOWED_PREFIX
+                        or target.startswith(OBS_ALLOWED_PREFIX + ".")
+                    ):
+                        yield self.violation(
+                            context,
+                            stmt,
+                            "repro.obs must not import the rest of the "
+                            f"package ({target}) — obs is the bottom layer",
+                        )
