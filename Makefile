@@ -11,10 +11,11 @@ test:
 lint:
 	ruff check .
 
-# Strict on the paper-critical layers (core algorithm + observability),
-# baseline strictness (from pyproject [tool.mypy]) on the rest.
+# Strict on the paper-critical layers (core algorithm, streaming
+# engine, observability), baseline strictness (from pyproject
+# [tool.mypy]) on the rest.
 typecheck:
-	mypy --strict src/repro/core src/repro/obs
+	mypy --strict src/repro/core src/repro/obs src/repro/stream
 	mypy src/repro
 
 # Repo-specific AST invariants (CLQ001-CLQ005); stdlib-only, always

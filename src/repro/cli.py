@@ -9,6 +9,11 @@ Subcommands
     Write a synthetic clustered database to disk, for experimentation.
 ``experiment``
     Run one of the paper-reproduction harnesses by name.
+``stream``
+    Online clustering: consume newline-delimited sequences from a file
+    or stdin through the micro-batch streaming engine, optionally with
+    a durable state directory (journal + checkpoints) that ``--resume``
+    recovers from after a crash.
 
 Global observability flags (before the subcommand):
 
@@ -125,6 +130,92 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("model", help="model file written by `cluster --save-model`")
     classify.add_argument("input", help="FASTA or labelled-text file to classify")
     classify.add_argument("--format", choices=("auto", "fasta", "text"), default="auto")
+    classify.add_argument(
+        "--absorb",
+        action="store_true",
+        help="absorb each joining sequence into its cluster's PST (§4.4) "
+        "instead of read-only prediction",
+    )
+    classify.add_argument(
+        "--save-model",
+        metavar="PATH",
+        default=None,
+        help="write the (possibly absorbed) model back out after classifying",
+    )
+
+    stream = subparsers.add_parser(
+        "stream", help="online clustering of a sequence stream"
+    )
+    stream.add_argument(
+        "input",
+        help="newline-delimited sequence file, or '-' to read stdin",
+    )
+    start = stream.add_mutually_exclusive_group()
+    start.add_argument(
+        "--model",
+        metavar="PATH",
+        default=None,
+        help="warm-start from a model written by `cluster --save-model`",
+    )
+    start.add_argument(
+        "--alphabet",
+        metavar="SYMBOLS",
+        default=None,
+        help="cold-start with this symbol alphabet (e.g. 'acgt')",
+    )
+    stream.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="durable state directory (ingest journal + checkpoints)",
+    )
+    stream.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover from --state-dir (checkpoint + journal replay) "
+        "before ingesting",
+    )
+    stream.add_argument("--batch-size", type=int, default=32)
+    stream.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=16,
+        metavar="BATCHES",
+        help="checkpoint interval in batches (0 = only the final one)",
+    )
+    stream.add_argument("--pool-size", type=int, default=512)
+    stream.add_argument("--reseed-every", type=int, default=4, metavar="BATCHES")
+    stream.add_argument("--reseed-k", type=int, default=2)
+    stream.add_argument(
+        "--decay-factor",
+        type=float,
+        default=1.0,
+        help="PST count decay multiplier per decay event (1.0 = off)",
+    )
+    stream.add_argument("--decay-every", type=int, default=0, metavar="BATCHES")
+    stream.add_argument("--adjust-every", type=int, default=0, metavar="BATCHES")
+    stream.add_argument("--consolidate-every", type=int, default=16, metavar="BATCHES")
+    stream.add_argument(
+        "-t", "--threshold", type=float, default=1.2,
+        help="initial similarity threshold (cold start only)",
+    )
+    stream.add_argument(
+        "-c", "--significance", type=int, default=5,
+        help="significance threshold c (cold start only)",
+    )
+    stream.add_argument("--max-depth", type=int, default=6)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip per-batch journal fsync (faster, weaker durability)",
+    )
+    stream.add_argument(
+        "--save-model",
+        metavar="PATH",
+        default=None,
+        help="write the final clustering as a `classify`-compatible model",
+    )
 
     generate = subparsers.add_parser(
         "generate", help="write a synthetic clustered database"
@@ -200,7 +291,7 @@ def _command_cluster(args: argparse.Namespace) -> int:
 
 
 def _command_classify(args: argparse.Namespace) -> int:
-    from .core.persistence import load_result_with_alphabet
+    from .core.persistence import load_result_with_alphabet, save_result
     from .sequences.alphabet import AlphabetError
 
     result, alphabet = load_result_with_alphabet(args.model)
@@ -214,9 +305,103 @@ def _command_classify(args: argparse.Namespace) -> int:
         except AlphabetError:
             print(f"seq{record.sid}\t<unknown symbols>")
             continue
-        assignment = result.predict(encoded)
+        if args.absorb:
+            assignment = result.assign_and_absorb(encoded)
+        else:
+            assignment = result.predict(encoded)
         label = "outlier" if assignment is None else f"cluster{assignment}"
         print(f"seq{record.sid}\t{label}")
+    if args.save_model:
+        save_result(result, args.save_model, alphabet=alphabet)
+        print(f"model written to {args.save_model}", file=sys.stderr)
+    return 0
+
+
+def _command_stream(args: argparse.Namespace) -> int:
+    from .core.persistence import load_result_with_alphabet, save_result
+    from .sequences.alphabet import Alphabet
+    from .stream import (
+        DecayPolicy,
+        StreamConfig,
+        StreamingCluseq,
+        batched,
+        read_encoded_lines,
+    )
+
+    config = StreamConfig(
+        batch_size=args.batch_size,
+        pool_size=args.pool_size,
+        reseed_every=args.reseed_every,
+        reseed_k=args.reseed_k,
+        consolidate_every=args.consolidate_every,
+        adjust_every=args.adjust_every,
+        decay=DecayPolicy(
+            factor=args.decay_factor, every_batches=args.decay_every
+        ),
+        checkpoint_every=args.checkpoint_every,
+        journal_fsync=not args.no_fsync,
+        seed=args.seed,
+    )
+    if args.resume:
+        if not args.state_dir:
+            print("--resume requires --state-dir", file=sys.stderr)
+            return 2
+        engine = StreamingCluseq.recover(args.state_dir)
+    elif args.model:
+        result, alphabet = load_result_with_alphabet(args.model)
+        engine = StreamingCluseq(
+            result, config=config, alphabet=alphabet, state_dir=args.state_dir
+        )
+    elif args.alphabet:
+        engine = StreamingCluseq.cold_start(
+            alphabet=Alphabet(args.alphabet),
+            similarity_threshold=args.threshold,
+            significance_threshold=args.significance,
+            max_depth=args.max_depth,
+            config=config,
+            state_dir=args.state_dir,
+        )
+    else:
+        print(
+            "pass --model, --alphabet, or --resume with --state-dir",
+            file=sys.stderr,
+        )
+        return 2
+    if engine.alphabet is None:
+        print("no alphabet available; cannot encode the stream", file=sys.stderr)
+        return 1
+    with engine:
+        if args.input == "-":
+            encoded = read_encoded_lines(sys.stdin, engine.alphabet)
+            for batch in batched(encoded, config.batch_size):
+                engine.ingest_batch(batch)
+        else:
+            with open(args.input, encoding="utf-8") as handle:
+                encoded = read_encoded_lines(handle, engine.alphabet)
+                for batch in batched(encoded, config.batch_size):
+                    engine.ingest_batch(batch)
+        if args.state_dir:
+            engine.checkpoint()
+    stats = engine.stats()
+    print_table(
+        ["metric", "value"],
+        [(key, value) for key, value in stats.to_dict().items()],
+    )
+    rows = []
+    for cluster in sorted(engine.result.clusters, key=lambda cl: -cl.size):
+        rows.append(
+            (
+                cluster.cluster_id,
+                cluster.size,
+                cluster.created_at_iteration,
+                cluster.pst.node_count,
+            )
+        )
+    if rows:
+        print_table(["cluster", "size", "born (batch)", "PST nodes"], rows)
+    if args.save_model:
+        save_result(engine.result, args.save_model, alphabet=engine.alphabet)
+        print(f"model written to {args.save_model}", file=sys.stderr)
     return 0
 
 
@@ -253,6 +438,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_cluster(args)
     if args.command == "classify":
         return _command_classify(args)
+    if args.command == "stream":
+        return _command_stream(args)
     if args.command == "generate":
         return _command_generate(args)
     if args.command == "experiment":

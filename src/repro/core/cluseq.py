@@ -269,7 +269,27 @@ class ClusteringResult:
             return best_id
         return None
 
-    def assign_and_absorb(self, encoded: Sequence[int]) -> int | None:
+    def next_sequence_index(self) -> int:
+        """Smallest index that collides with no recorded sequence.
+
+        Scans the assignment map *and* every cluster's membership (plus
+        seed indices): a model loaded from disk may carry members that
+        are absent from a trimmed assignment map, and appending at
+        ``max(assignments) + 1`` alone would silently overwrite one of
+        their membership records.
+        """
+        top = max(self.assignments.keys(), default=-1)
+        for cluster in self.clusters:
+            top = max(top, cluster.seed_index, max(cluster.members, default=-1))
+        return top + 1
+
+    def assign_and_absorb(
+        self,
+        encoded: Sequence[int],
+        *,
+        index: int | None = None,
+        log_threshold: float | None = None,
+    ) -> int | None:
         """Incrementally add one new sequence to the fitted clustering.
 
         The streaming counterpart of ``fit``: the sequence is scored
@@ -279,19 +299,28 @@ class ClusteringResult:
         entry. Returns the cluster id, or ``None`` when the sequence is
         an outlier (which is also recorded).
 
+        *index* pins the sequence index explicitly (the streaming
+        engine allocates its own); when omitted a safe non-colliding
+        index is chosen via :meth:`next_sequence_index`, which stays
+        correct after a persistence round-trip. *log_threshold*
+        overrides the run's final threshold for this one decision.
+
         This performs no re-iteration — existing memberships are left
         untouched — so it suits append-only deployment; rerun ``fit``
         periodically if the data distribution drifts.
         """
         if len(encoded) == 0:
             raise ValueError("cannot assign an empty sequence")
-        new_index = max(self.assignments.keys(), default=-1) + 1
+        new_index = self.next_sequence_index() if index is None else index
+        log_t = (
+            self.final_log_threshold if log_threshold is None else log_threshold
+        )
         best: tuple[int, SimilarityResult] | None = None
         for cluster in self.clusters:
             result = similarity(cluster.pst, encoded, self.background)
             if best is None or result.log_similarity > best[1].log_similarity:
                 best = (cluster.cluster_id, result)
-        if best is None or best[1].log_similarity < self.final_log_threshold:
+        if best is None or best[1].log_similarity < log_t:
             self.assignments[new_index] = set()
             return None
         best_id, best_result = best

@@ -36,6 +36,7 @@ from typing import Any
 import numpy as np
 import numpy.typing as npt
 
+from ..obs import get_registry
 from .smoothing import adjust_probability, validate_p_min
 
 #: Rough per-node memory footprint used to translate the paper's
@@ -428,6 +429,66 @@ class ProbabilisticSuffixTree:
         )
 
     # -- maintenance -------------------------------------------------------------------
+
+    def decay_counts(self, factor: float, min_count: int = 1) -> int:
+        """Exponentially decay every count in the tree (streaming drift).
+
+        Multiplies each node's occurrence count — and its next-symbol
+        counters — by *factor* (``0 < factor ≤ 1``), flooring to
+        integers, then discards any subtree whose root count falls
+        below *min_count* via :meth:`_forget_subtree`. Flooring
+        preserves the suffix-trie invariant ``child.count ≤
+        parent.count`` (a longer label never occurs more often than
+        its suffix), so discarded nodes always take their entire
+        subtree with them and the tree stays structurally consistent.
+
+        This is the streaming counterpart of the paper's §5.1 pruning:
+        instead of forgetting under a *memory* budget, the model
+        forgets under a *time* budget, so cluster PSTs track concept
+        drift instead of fossilizing around historical counts.
+        Repeated decay with no intervening insertions can only shrink
+        the significant-node set (counts are non-increasing under
+        flooring), never grow it.
+
+        Returns the number of nodes removed. ``factor >= 1`` is a
+        no-op returning 0; probability vectors remain normalized
+        because they are re-derived from the scaled counts.
+        """
+        if factor <= 0.0 or factor > 1.0:
+            raise ValueError("decay factor must be in (0, 1]")
+        if min_count < 1:
+            raise ValueError("min_count must be at least 1")
+        if factor >= 1.0:
+            return 0
+
+        def scale(value: int) -> int:
+            return int(value * factor)
+
+        removed = 0
+        root = self.root
+        root.count = scale(root.count)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for symbol, counts in list(node.next_counts.items()):
+                scaled = scale(counts)
+                if scaled <= 0:
+                    del node.next_counts[symbol]
+                else:
+                    node.next_counts[symbol] = scaled
+            for symbol in list(node.children):
+                child = node.children[symbol]
+                new_count = scale(child.count)
+                if new_count < min_count:
+                    removed += self._forget_subtree(node, symbol)
+                    continue
+                child.count = new_count
+                stack.append(child)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("pst.decay_events").inc()
+            registry.counter("pst.decay_pruned_nodes").inc(removed)
+        return removed
 
     def _forget_subtree(self, parent: PSTNode, symbol: int) -> int:
         """Detach and discount the child subtree at ``parent.children[symbol]``.

@@ -1,0 +1,790 @@
+"""The streaming CLUSEQ engine: micro-batch online clustering.
+
+:class:`StreamingCluseq` wraps a fitted (or cold-started)
+:class:`~repro.core.cluseq.ClusteringResult` and consumes an unbounded
+stream in micro-batches. Per sequence it runs the paper's §4.2–§4.4
+join rule — score against every cluster PST, join the best cluster
+when the similarity clears the threshold, absorb the best-scoring
+segment — exactly as ``assign_and_absorb`` does for one-off use.
+Non-joiners accumulate in a bounded :class:`~repro.stream.pool.OutlierPool`
+that the periodic maintenance pass mines for *new* clusters via the
+paper's §4.1 min-max seeding, so the clustering keeps growing with the
+stream instead of being frozen at fit time.
+
+Periodic maintenance (all on deterministic batch-counter schedules):
+
+* **decay** — rescale every cluster PST's counts per the
+  :class:`~repro.stream.decay.DecayPolicy`, so models track concept
+  drift instead of fossilizing;
+* **re-seed** — spawn up to ``reseed_k`` clusters from the outlier
+  pool (§4.1 min-max selection), then rescue remaining pool members
+  that now clear the threshold against the new models;
+* **threshold adjustment** — §4.6's valley rule over a rolling window
+  of recent log-similarities;
+* **consolidation** — §4.5 dismissal of covered clusters;
+* **checkpoint** — durable snapshot (see below).
+
+Durability: with a ``state_dir`` every ingested batch is first
+appended to a write-ahead :mod:`journal <repro.stream.journal>` and
+the engine periodically writes atomic
+:mod:`checkpoints <repro.stream.checkpoint>`.
+:meth:`StreamingCluseq.recover` loads the newest checkpoint and
+replays the journal suffix; because every decision here is a
+deterministic function of (state, batch sequence) — maintenance fires
+on batch counters, and the re-seed RNG is derived from
+``(seed, batch counter)`` — recovery reproduces the pre-crash state
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Union
+
+import numpy as np
+
+from ..core.cluseq import CluseqParams, ClusteringResult
+from ..core.cluster import Cluster, Membership
+from ..core.consolidation import consolidate
+from ..core.persistence import result_from_dict, result_to_dict
+from ..core.seeding import build_seed_pst, select_seeds
+from ..core.similarity import SimilarityResult, similarity
+from ..core.smoothing import default_p_min
+from ..core.threshold import VALLEY_METHODS
+from ..obs import get_logger, get_registry, span
+from ..sequences.alphabet import Alphabet
+from ..typing import PSTFactory
+from .checkpoint import (
+    checkpoint_path,
+    journal_path,
+    read_checkpoint,
+    write_checkpoint,
+)
+from .decay import DecayPolicy
+from .journal import StreamJournal, journal_batches_after
+from .pool import OutlierPool
+
+_logger = get_logger("stream.engine")
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Histogram resolution for the rolling-window valley estimate.
+_ADJUST_BUCKETS = 100
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Tunable parameters of a streaming run.
+
+    Every interval is measured in ingested micro-batches; ``0``
+    disables the corresponding maintenance phase. All schedules key
+    off the batch counter (never wall clock), which is what makes
+    crash-recovery replay deterministic.
+    """
+
+    batch_size: int = 32
+    pool_size: int = 512
+    reseed_every: int = 4
+    reseed_k: int = 2
+    reseed_min_pool: int = 8
+    sample_multiplier: int = 5
+    consolidate_every: int = 16
+    min_unique_members: int = 1
+    adjust_every: int = 0
+    score_window: int = 2048
+    valley_method: str = "regression"
+    decay: DecayPolicy = field(default_factory=DecayPolicy)
+    checkpoint_every: int = 0
+    journal_fsync: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        if self.pool_size < 1:
+            raise ValueError("pool_size must be at least 1")
+        if self.reseed_k < 1:
+            raise ValueError("reseed_k must be at least 1")
+        if self.reseed_min_pool < 1:
+            raise ValueError("reseed_min_pool must be at least 1")
+        if self.sample_multiplier < 1:
+            raise ValueError("sample_multiplier must be at least 1")
+        if self.min_unique_members < 0:
+            raise ValueError("min_unique_members must be non-negative")
+        if self.score_window < 2:
+            raise ValueError("score_window must be at least 2")
+        for name in ("reseed_every", "consolidate_every", "adjust_every",
+                     "checkpoint_every"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.valley_method not in VALLEY_METHODS:
+            raise ValueError(
+                f"valley_method must be one of {tuple(VALLEY_METHODS)}"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "batch_size": self.batch_size,
+            "pool_size": self.pool_size,
+            "reseed_every": self.reseed_every,
+            "reseed_k": self.reseed_k,
+            "reseed_min_pool": self.reseed_min_pool,
+            "sample_multiplier": self.sample_multiplier,
+            "consolidate_every": self.consolidate_every,
+            "min_unique_members": self.min_unique_members,
+            "adjust_every": self.adjust_every,
+            "score_window": self.score_window,
+            "valley_method": self.valley_method,
+            "decay": self.decay.to_dict(),
+            "checkpoint_every": self.checkpoint_every,
+            "journal_fsync": self.journal_fsync,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "StreamConfig":
+        payload = dict(data)
+        decay = payload.pop("decay", None)
+        policy = (
+            DecayPolicy.from_dict(decay)  # type: ignore[arg-type]
+            if decay is not None
+            else DecayPolicy()
+        )
+        return cls(decay=policy, **payload)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """A point-in-time summary of a streaming run."""
+
+    batches: int
+    sequences: int
+    absorbed: int
+    outliers: int
+    pool_size: int
+    pool_evicted: int
+    clusters: int
+    clusters_spawned: int
+    clusters_dismissed: int
+    decay_events: int
+    decay_pruned_nodes: int
+    checkpoints_written: int
+    log_threshold: float
+
+    @property
+    def absorb_rate(self) -> float:
+        """Fraction of ingested sequences that joined a cluster."""
+        if self.sequences == 0:
+            return 0.0
+        return self.absorbed / self.sequences
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "batches": self.batches,
+            "sequences": self.sequences,
+            "absorbed": self.absorbed,
+            "outliers": self.outliers,
+            "absorb_rate": self.absorb_rate,
+            "pool_size": self.pool_size,
+            "pool_evicted": self.pool_evicted,
+            "clusters": self.clusters,
+            "clusters_spawned": self.clusters_spawned,
+            "clusters_dismissed": self.clusters_dismissed,
+            "decay_events": self.decay_events,
+            "decay_pruned_nodes": self.decay_pruned_nodes,
+            "checkpoints_written": self.checkpoints_written,
+            "log_threshold": self.log_threshold,
+        }
+
+
+class StreamingCluseq:
+    """Online clustering engine over a wrapped ``ClusteringResult``.
+
+    Parameters
+    ----------
+    result:
+        The clustering to grow — a fitted §4 end state, or the empty
+        result produced by :meth:`cold_start`.
+    config:
+        Streaming knobs; defaults are sensible for exploratory use.
+    alphabet:
+        Optional training alphabet; embedded into checkpoints so a
+        resumed CLI run can encode raw text identically.
+    state_dir:
+        Directory for the write-ahead journal and checkpoints. ``None``
+        runs fully in-memory (no durability). A fresh directory gets an
+        initial batch-0 checkpoint immediately, so :meth:`recover`
+        always has a baseline to replay from.
+    """
+
+    def __init__(
+        self,
+        result: ClusteringResult,
+        config: StreamConfig | None = None,
+        alphabet: Alphabet | None = None,
+        state_dir: PathLike | None = None,
+    ) -> None:
+        self.result = result
+        self.config = config if config is not None else StreamConfig()
+        self.alphabet = alphabet
+        self.state_dir = os.fspath(state_dir) if state_dir is not None else None
+        self.log_threshold = result.final_log_threshold
+        self._pool = OutlierPool(self.config.pool_size)
+        self._pending: list[list[int]] = []
+        self._recent_scores: list[float] = []
+        self._batches = 0
+        self._sequences = 0
+        self._absorbed = 0
+        self._outliers = 0
+        self._clusters_spawned = 0
+        self._clusters_dismissed = 0
+        self._decay_events = 0
+        self._decay_pruned = 0
+        self._checkpoints = 0
+        self._replaying = False
+        self._next_index = result.next_sequence_index()
+        self._next_cluster_id = (
+            max((c.cluster_id for c in result.clusters), default=-1) + 1
+        )
+        params = result.params
+        alphabet_size = int(len(result.background))
+        p_min = (
+            params.p_min
+            if params.p_min is not None
+            else default_p_min(alphabet_size)
+        )
+        self._pst_factory: PSTFactory = partial(
+            build_seed_pst,
+            alphabet_size=alphabet_size,
+            max_depth=params.max_depth,
+            significance_threshold=params.significance_threshold,
+            p_min=p_min,
+            max_nodes=params.max_nodes,
+            prune_strategy=params.prune_strategy,
+        )
+        self._journal: StreamJournal | None = None
+        if self.state_dir is not None:
+            os.makedirs(self.state_dir, exist_ok=True)
+            self._journal = StreamJournal(
+                journal_path(self.state_dir), fsync=self.config.journal_fsync
+            )
+            if not os.path.exists(checkpoint_path(self.state_dir)):
+                self.checkpoint()
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def cold_start(
+        cls,
+        alphabet_size: int | None = None,
+        *,
+        alphabet: Alphabet | None = None,
+        significance_threshold: int = 3,
+        similarity_threshold: float = 1.2,
+        max_depth: int = 4,
+        p_min: float | None = None,
+        max_nodes: int | None = None,
+        prune_strategy: str = "paper",
+        config: StreamConfig | None = None,
+        state_dir: PathLike | None = None,
+    ) -> "StreamingCluseq":
+        """An engine with no clusters yet — everything grows from the
+        stream.
+
+        The background model starts uniform (no data has been seen);
+        the first clusters appear once the outlier pool is deep enough
+        for a re-seed pass.
+        """
+        if alphabet is not None:
+            alphabet_size = alphabet.size
+        if alphabet_size is None or alphabet_size <= 0:
+            raise ValueError("pass alphabet or a positive alphabet_size")
+        params = CluseqParams(
+            k=1,
+            significance_threshold=significance_threshold,
+            similarity_threshold=similarity_threshold,
+            max_depth=max_depth,
+            p_min=p_min,
+            max_nodes=max_nodes,
+            prune_strategy=prune_strategy,
+            adjust_threshold=False,
+        )
+        result = ClusteringResult(
+            clusters=[],
+            assignments={},
+            params=params,
+            background=np.full(
+                alphabet_size, 1.0 / alphabet_size, dtype=np.float64
+            ),
+            final_log_threshold=math.log(similarity_threshold),
+        )
+        return cls(result, config=config, alphabet=alphabet, state_dir=state_dir)
+
+    @classmethod
+    def recover(cls, state_dir: PathLike) -> "StreamingCluseq":
+        """Rebuild an engine from its state directory after a crash.
+
+        Loads the newest checkpoint, restores every piece of engine
+        state it captured, then replays the journal records the
+        checkpoint had not yet absorbed. The result is bit-identical
+        to the engine that wrote the journal — same clusters, PST
+        counts, pool, counters and threshold — provided the state
+        directory was produced by the same build.
+        """
+        state = read_checkpoint(checkpoint_path(state_dir))
+        config = StreamConfig.from_dict(state["config"])
+        result = result_from_dict(state["result"])
+        symbols = state["result"].get("alphabet")
+        alphabet = Alphabet(symbols) if symbols else None
+        engine = cls(result, config=config, alphabet=alphabet, state_dir=state_dir)
+        counters = state["counters"]
+        engine._pool = OutlierPool.from_list(
+            [(int(i), [int(s) for s in seq]) for i, seq in state["pool"]],
+            config.pool_size,
+            evicted=int(counters["pool_evicted"]),
+        )
+        engine._batches = int(counters["batches"])
+        engine._sequences = int(counters["sequences"])
+        engine._absorbed = int(counters["absorbed"])
+        engine._outliers = int(counters["outliers"])
+        engine._clusters_spawned = int(counters["clusters_spawned"])
+        engine._clusters_dismissed = int(counters["clusters_dismissed"])
+        engine._decay_events = int(counters["decay_events"])
+        engine._decay_pruned = int(counters["decay_pruned_nodes"])
+        engine._checkpoints = int(counters["checkpoints_written"])
+        engine._next_index = int(counters["next_index"])
+        engine._next_cluster_id = int(counters["next_cluster_id"])
+        engine.log_threshold = float(state["log_threshold"])
+        engine.result.final_log_threshold = engine.log_threshold
+        engine._recent_scores = [float(x) for x in state["recent_scores"]]
+        replayed = 0
+        records = journal_batches_after(
+            journal_path(state_dir), after=engine._batches
+        )
+        engine._replaying = True
+        try:
+            for record in records:
+                if record.ordinal != engine._batches:
+                    raise ValueError(
+                        f"journal gap: expected batch {engine._batches}, "
+                        f"found {record.ordinal}"
+                    )
+                engine._apply_batch(record.sequences)
+                replayed += 1
+        finally:
+            engine._replaying = False
+        _logger.info(
+            "recovered stream engine",
+            extra={
+                "state_dir": os.fspath(state_dir),
+                "checkpoint_batches": int(counters["batches"]),
+                "replayed_batches": replayed,
+            },
+        )
+        return engine
+
+    # -- ingestion ----------------------------------------------------------------
+
+    def ingest(self, encoded: Sequence[int]) -> None:
+        """Buffer one encoded sequence; processes a full micro-batch."""
+        if len(encoded) == 0:
+            return
+        self._pending.append(list(encoded))
+        if len(self._pending) >= self.config.batch_size:
+            batch, self._pending = self._pending, []
+            self.ingest_batch(batch)
+
+    def flush(self) -> None:
+        """Process any buffered partial batch."""
+        if self._pending:
+            batch, self._pending = self._pending, []
+            self.ingest_batch(batch)
+
+    def ingest_batch(
+        self, batch: Sequence[Sequence[int]]
+    ) -> list[int | None]:
+        """Journal and process one micro-batch immediately.
+
+        Returns the per-sequence cluster assignment (``None`` =
+        outlier, pooled). Empty sequences are dropped before
+        journaling so replay sees exactly what was applied.
+        """
+        cleaned = [list(seq) for seq in batch if len(seq) > 0]
+        if not cleaned:
+            return []
+        if self._journal is not None and not self._replaying:
+            self._journal.append_batch(self._batches, cleaned)
+        return self._apply_batch(cleaned)
+
+    def run(self, source: Iterable[Sequence[int]]) -> StreamStats:
+        """Consume *source* to exhaustion (micro-batching internally)."""
+        for encoded in source:
+            self.ingest(encoded)
+        self.flush()
+        return self.stats()
+
+    # -- batch processing ---------------------------------------------------------
+
+    def _apply_batch(self, batch: list[list[int]]) -> list[int | None]:
+        registry = get_registry()
+        assigned: list[int | None] = []
+        with span("stream.batch"):
+            with span("stream.score"):
+                for encoded in batch:
+                    index = self._next_index
+                    self._next_index += 1
+                    assigned.append(self._assign(index, encoded))
+            self._sequences += len(batch)
+            self._batches += 1
+            self._maintain()
+        joined = sum(1 for cid in assigned if cid is not None)
+        if registry.enabled:
+            registry.counter("stream.batches").inc()
+            registry.counter("stream.sequences").inc(len(batch))
+            registry.counter("stream.absorbed").inc(joined)
+            registry.counter("stream.pooled").inc(len(batch) - joined)
+            registry.gauge("stream.pool_size").set(len(self._pool))
+            registry.gauge("stream.clusters").set(len(self.result.clusters))
+            registry.gauge("stream.log_threshold").set(self.log_threshold)
+            registry.series("stream.batch.absorbed").append(joined)
+            registry.series("stream.batch.size").append(len(batch))
+        if _logger.isEnabledFor(10):  # logging.DEBUG
+            _logger.debug(
+                "batch %d: %d/%d absorbed",
+                self._batches - 1,
+                joined,
+                len(batch),
+                extra={
+                    "batch": self._batches - 1,
+                    "absorbed": joined,
+                    "size": len(batch),
+                    "pool": len(self._pool),
+                    "clusters": len(self.result.clusters),
+                },
+            )
+        return assigned
+
+    def _assign(self, index: int, encoded: list[int]) -> int | None:
+        """The §4.2–§4.4 join rule for one stream sequence."""
+        best: tuple[Cluster, SimilarityResult] | None = None
+        window = self.config.adjust_every > 0
+        for cluster in self.result.clusters:
+            scored = similarity(cluster.pst, encoded, self.result.background)
+            if window:
+                self._recent_scores.append(scored.log_similarity)
+            if best is None or scored.log_similarity > best[1].log_similarity:
+                best = (cluster, scored)
+        if window and len(self._recent_scores) > self.config.score_window:
+            del self._recent_scores[: -self.config.score_window]
+        if best is None or best[1].log_similarity < self.log_threshold:
+            self.result.assignments[index] = set()
+            self._outliers += 1
+            self._pool.add(index, encoded)
+            return None
+        cluster, scored = best
+        cluster.set_member(
+            Membership(
+                sequence_index=index,
+                log_similarity=scored.log_similarity,
+                best_start=scored.best_start,
+                best_end=scored.best_end,
+            )
+        )
+        cluster.absorb_segment(encoded[scored.best_start : scored.best_end])
+        self.result.assignments[index] = {cluster.cluster_id}
+        self._absorbed += 1
+        return cluster.cluster_id
+
+    # -- maintenance --------------------------------------------------------------
+
+    def _maintain(self) -> None:
+        config = self.config
+        batches = self._batches
+        if config.decay.due(batches):
+            with span("stream.decay"):
+                self._decay()
+        if (
+            config.reseed_every > 0
+            and batches % config.reseed_every == 0
+            and len(self._pool) >= config.reseed_min_pool
+        ):
+            with span("stream.reseed"):
+                self._reseed()
+        if config.adjust_every > 0 and batches % config.adjust_every == 0:
+            with span("stream.adjust_threshold"):
+                self._adjust_threshold()
+        if (
+            config.consolidate_every > 0
+            and batches % config.consolidate_every == 0
+        ):
+            with span("stream.consolidate"):
+                self._consolidate()
+        if (
+            config.checkpoint_every > 0
+            and batches % config.checkpoint_every == 0
+            and self.state_dir is not None
+            and not self._replaying
+        ):
+            with span("stream.checkpoint"):
+                self.checkpoint()
+
+    def _decay(self) -> None:
+        policy = self.config.decay
+        pruned = 0
+        for cluster in self.result.clusters:
+            pruned += cluster.pst.decay_counts(
+                policy.factor, min_count=policy.min_count
+            )
+        self._decay_events += 1
+        self._decay_pruned += pruned
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("stream.decay_events").inc()
+            registry.counter("stream.decay_pruned_nodes").inc(pruned)
+        if pruned and _logger.isEnabledFor(20):  # logging.INFO
+            _logger.info(
+                "decay pruned %d nodes",
+                pruned,
+                extra={"batch": self._batches, "pruned_nodes": pruned},
+            )
+
+    def _reseed(self) -> None:
+        """Spawn new clusters from the outlier pool (§4.1 seeding).
+
+        The RNG is derived from ``(config.seed, batch counter)`` so a
+        replayed run draws the identical sample regardless of where
+        the last checkpoint fell.
+        """
+        config = self.config
+        rng = np.random.default_rng([config.seed, self._batches])
+        candidates = self._pool.indices()
+        choices = select_seeds(
+            candidates=candidates,
+            encoded_lookup=self._pool.get,
+            existing_clusters=self.result.clusters,
+            background=self.result.background,
+            count=min(config.reseed_k, len(candidates)),
+            sample_multiplier=config.sample_multiplier,
+            rng=rng,
+            pst_factory=self._pst_factory,
+        )
+        spawned: list[Cluster] = []
+        for choice in choices:
+            encoded = self._pool.get(choice.sequence_index)
+            pst = self._pst_factory(encoded)
+            cluster = Cluster(
+                cluster_id=self._next_cluster_id,
+                pst=pst,
+                seed_index=choice.sequence_index,
+                created_at_iteration=self._batches,
+            )
+            self._next_cluster_id += 1
+            scored = similarity(pst, encoded, self.result.background)
+            cluster.set_member(
+                Membership(
+                    sequence_index=choice.sequence_index,
+                    log_similarity=scored.log_similarity,
+                    best_start=scored.best_start,
+                    best_end=scored.best_end,
+                )
+            )
+            self.result.clusters.append(cluster)
+            self.result.assignments[choice.sequence_index] = {
+                cluster.cluster_id
+            }
+            self._pool.remove(choice.sequence_index)
+            self._outliers -= 1
+            self._absorbed += 1
+            self._clusters_spawned += 1
+            spawned.append(cluster)
+        rescued = 0
+        if spawned:
+            # Rescue pass: pool members that clear the threshold against
+            # a freshly spawned model join it immediately, so one drift
+            # event does not need k separate re-seed rounds to drain.
+            for index, encoded in self._pool:
+                best: tuple[Cluster, SimilarityResult] | None = None
+                for cluster in spawned:
+                    scored = similarity(
+                        cluster.pst, encoded, self.result.background
+                    )
+                    if best is None or (
+                        scored.log_similarity > best[1].log_similarity
+                    ):
+                        best = (cluster, scored)
+                if best is None or best[1].log_similarity < self.log_threshold:
+                    continue
+                cluster, scored = best
+                cluster.set_member(
+                    Membership(
+                        sequence_index=index,
+                        log_similarity=scored.log_similarity,
+                        best_start=scored.best_start,
+                        best_end=scored.best_end,
+                    )
+                )
+                cluster.absorb_segment(
+                    encoded[scored.best_start : scored.best_end]
+                )
+                self.result.assignments[index] = {cluster.cluster_id}
+                self._pool.remove(index)
+                self._outliers -= 1
+                self._absorbed += 1
+                rescued += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("stream.reseed_passes").inc()
+            registry.counter("stream.clusters_spawned").inc(len(spawned))
+            registry.counter("stream.pool_rescued").inc(rescued)
+        if spawned and _logger.isEnabledFor(20):  # logging.INFO
+            _logger.info(
+                "re-seeded %d clusters (%d pool members rescued)",
+                len(spawned),
+                rescued,
+                extra={
+                    "batch": self._batches,
+                    "spawned": [c.cluster_id for c in spawned],
+                    "rescued": rescued,
+                },
+            )
+
+    def _adjust_threshold(self) -> None:
+        """§4.6 valley blend over the rolling score window."""
+        if len(self._recent_scores) < _ADJUST_BUCKETS:
+            return
+        finder = VALLEY_METHODS[self.config.valley_method]
+        valley = finder(self._recent_scores, buckets=_ADJUST_BUCKETS)
+        if valley is None:
+            return
+        blended = (self.log_threshold + valley.log_threshold) / 2.0
+        new_log_t = max(blended, 0.0)
+        if abs(new_log_t - self.log_threshold) < 1e-12:
+            return
+        self.log_threshold = new_log_t
+        self.result.final_log_threshold = new_log_t
+        registry = get_registry()
+        if registry.enabled:
+            registry.series("stream.threshold_path").append(new_log_t)
+
+    def _consolidate(self) -> None:
+        retained, removed = consolidate(
+            list(self.result.clusters), self.config.min_unique_members
+        )
+        if not removed:
+            return
+        removed_ids = {cluster.cluster_id for cluster in removed}
+        self.result.clusters = retained
+        for index, ids in self.result.assignments.items():
+            if ids & removed_ids:
+                self.result.assignments[index] = ids - removed_ids
+        self._clusters_dismissed += len(removed)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("stream.clusters_dismissed").inc(len(removed))
+
+    # -- durability ----------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Write an atomic checkpoint; returns its size in bytes."""
+        if self.state_dir is None:
+            raise RuntimeError("checkpoint() requires a state_dir")
+        # Count this checkpoint before serializing so a recovered
+        # engine's counter matches the uninterrupted run exactly.
+        self._checkpoints += 1
+        state = {
+            "journal_batches": self._batches,
+            "config": self.config.to_dict(),
+            "result": result_to_dict(self.result, self.alphabet),
+            "pool": self._pool.to_list(),
+            "recent_scores": list(self._recent_scores),
+            "log_threshold": self.log_threshold,
+            "counters": {
+                "batches": self._batches,
+                "sequences": self._sequences,
+                "absorbed": self._absorbed,
+                "outliers": self._outliers,
+                "pool_evicted": self._pool.evicted,
+                "clusters_spawned": self._clusters_spawned,
+                "clusters_dismissed": self._clusters_dismissed,
+                "decay_events": self._decay_events,
+                "decay_pruned_nodes": self._decay_pruned,
+                "checkpoints_written": self._checkpoints,
+                "next_index": self._next_index,
+                "next_cluster_id": self._next_cluster_id,
+            },
+        }
+        nbytes = write_checkpoint(checkpoint_path(self.state_dir), state)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("stream.checkpoints").inc()
+            registry.gauge("stream.checkpoint_bytes").set(nbytes)
+        if _logger.isEnabledFor(20):  # logging.INFO
+            _logger.info(
+                "checkpoint written (%d bytes)",
+                nbytes,
+                extra={"batch": self._batches, "bytes": nbytes},
+            )
+        return nbytes
+
+    def close(self) -> None:
+        """Flush buffered sequences and close the journal."""
+        self.flush()
+        if self._journal is not None:
+            self._journal.close()
+
+    def __enter__(self) -> "StreamingCluseq":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def pool(self) -> OutlierPool:
+        return self._pool
+
+    @property
+    def batches_ingested(self) -> int:
+        return self._batches
+
+    @property
+    def sequences_ingested(self) -> int:
+        return self._sequences
+
+    def clusters_spawned_after(self, batch: int) -> list[Cluster]:
+        """Clusters created at or after micro-batch *batch* (drift probe)."""
+        return [
+            cluster
+            for cluster in self.result.clusters
+            if cluster.created_at_iteration >= batch
+        ]
+
+    def stats(self) -> StreamStats:
+        return StreamStats(
+            batches=self._batches,
+            sequences=self._sequences,
+            absorbed=self._absorbed,
+            outliers=self._outliers,
+            pool_size=len(self._pool),
+            pool_evicted=self._pool.evicted,
+            clusters=len(self.result.clusters),
+            clusters_spawned=self._clusters_spawned,
+            clusters_dismissed=self._clusters_dismissed,
+            decay_events=self._decay_events,
+            decay_pruned_nodes=self._decay_pruned,
+            checkpoints_written=self._checkpoints,
+            log_threshold=self.log_threshold,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingCluseq(batches={self._batches}, "
+            f"sequences={self._sequences}, "
+            f"clusters={len(self.result.clusters)}, "
+            f"pool={len(self._pool)})"
+        )

@@ -1,0 +1,95 @@
+"""Bounded outlier pool for the streaming engine.
+
+Sequences that clear no cluster's similarity threshold are not thrown
+away: the paper's §4.1 seeding procedure mines exactly this population
+for new clusters. The pool keeps the most recent non-joiners (bounded,
+FIFO eviction) in deterministic insertion order so the periodic
+re-seeding pass — and crash-recovery replay — see an identical
+candidate list every time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator
+
+
+class OutlierPool:
+    """A bounded FIFO pool of ``(sequence_index, encoded)`` non-joiners.
+
+    Parameters
+    ----------
+    max_size:
+        Capacity; adding beyond it evicts the oldest entry. Evicted
+        sequences stay recorded as outliers in the engine's assignment
+        map — the pool only bounds *seed candidacy*, not bookkeeping.
+    """
+
+    def __init__(self, max_size: int) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be at least 1")
+        self.max_size = max_size
+        self._entries: "OrderedDict[int, list[int]]" = OrderedDict()
+        self._evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._entries
+
+    def __iter__(self) -> Iterator[tuple[int, list[int]]]:
+        """Iterate ``(index, encoded)`` oldest-first (insertion order)."""
+        return iter(list(self._entries.items()))
+
+    @property
+    def evicted(self) -> int:
+        """How many entries capacity pressure has pushed out so far."""
+        return self._evicted
+
+    def indices(self) -> list[int]:
+        """Pooled sequence indices, oldest first."""
+        return list(self._entries.keys())
+
+    def get(self, index: int) -> list[int]:
+        """The encoded sequence stored under *index* (KeyError if absent)."""
+        return self._entries[index]
+
+    def add(self, index: int, encoded: list[int]) -> int | None:
+        """Add a non-joiner; returns the evicted index, if any."""
+        if index in self._entries:
+            raise ValueError(f"sequence index {index} already pooled")
+        evicted: int | None = None
+        if len(self._entries) >= self.max_size:
+            evicted, _ = self._entries.popitem(last=False)
+            self._evicted += 1
+        self._entries[index] = list(encoded)
+        return evicted
+
+    def remove(self, index: int) -> None:
+        """Drop *index* from the pool (no-op when absent)."""
+        self._entries.pop(index, None)
+
+    def to_list(self) -> list[tuple[int, list[int]]]:
+        """JSON-friendly snapshot: ``[(index, encoded), ...]`` in order."""
+        return [(index, list(seq)) for index, seq in self._entries.items()]
+
+    @classmethod
+    def from_list(
+        cls,
+        entries: list[tuple[int, list[int]]],
+        max_size: int,
+        evicted: int = 0,
+    ) -> "OutlierPool":
+        """Rebuild a pool from :meth:`to_list` output (checkpoint load)."""
+        pool = cls(max_size)
+        for index, seq in entries:
+            pool._entries[int(index)] = [int(s) for s in seq]
+        pool._evicted = evicted
+        return pool
+
+    def __repr__(self) -> str:
+        return (
+            f"OutlierPool(size={len(self)}/{self.max_size}, "
+            f"evicted={self._evicted})"
+        )

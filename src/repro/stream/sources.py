@@ -1,0 +1,130 @@
+"""Stream sources: turning external data into encoded micro-batches.
+
+Two producers feed :class:`~repro.stream.engine.StreamingCluseq`:
+
+* :func:`read_encoded_lines` — newline-delimited symbol sequences from
+  a file or stdin, encoded against a fixed alphabet (the CLI path).
+* :func:`drifting_markov_stream` — a synthetic stream whose generating
+  process *switches regime* partway through (two random Markov
+  sources), the workload the drift benchmarks and tests use: before
+  the drift point sequences come from regime A, after it from
+  regime B, so an adaptive engine must spawn at least one new cluster
+  post-drift.
+
+Plus :func:`batched`, the micro-batch chunker.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sequences.alphabet import Alphabet, AlphabetError
+from ..sequences.markov import random_markov_source
+
+
+def batched(
+    sequences: Iterable[list[int]], batch_size: int
+) -> Iterator[list[list[int]]]:
+    """Chunk *sequences* into micro-batches of *batch_size*.
+
+    The final batch may be smaller; empty input yields nothing.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    batch: list[list[int]] = []
+    for seq in sequences:
+        batch.append(seq)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def read_encoded_lines(
+    lines: Iterable[str],
+    alphabet: Alphabet,
+    on_unknown: str = "skip",
+) -> Iterator[list[int]]:
+    """Encode newline-delimited sequences against *alphabet*.
+
+    Each non-empty line is one sequence of single-character symbols;
+    a ``label<TAB>sequence`` prefix (the labelled-text format) is
+    tolerated and the label discarded. *on_unknown* picks the policy
+    for symbols outside the alphabet: ``"skip"`` drops the line,
+    ``"error"`` raises :class:`~repro.sequences.alphabet.AlphabetError`.
+    """
+    if on_unknown not in ("skip", "error"):
+        raise ValueError("on_unknown must be 'skip' or 'error'")
+    for raw in lines:
+        line = raw.rstrip("\n").rstrip("\r")
+        if not line:
+            continue
+        if "\t" in line:
+            line = line.split("\t", 1)[1]
+        if not line:
+            continue
+        try:
+            yield alphabet.encode(tuple(line))
+        except AlphabetError:
+            if on_unknown == "error":
+                raise
+            continue
+
+
+@dataclass(frozen=True)
+class DriftingStream:
+    """A two-regime synthetic stream and where its drift happens."""
+
+    sequences: list[list[int]]
+    #: Index of the first sequence drawn from regime B.
+    drift_at: int
+    alphabet_size: int
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+
+def drifting_markov_stream(
+    num_sequences: int,
+    drift_at: int,
+    alphabet_size: int = 8,
+    mean_length: int = 60,
+    order: int = 1,
+    concentration: float = 0.05,
+    length_jitter: float = 0.15,
+    seed: int = 0,
+) -> DriftingStream:
+    """Generate a stream that switches Markov regime at *drift_at*.
+
+    Sequences ``0 .. drift_at-1`` are sampled from one random Markov
+    source, the rest from an independently drawn second source (§6.4's
+    embedded-cluster generator, replayed over time instead of over a
+    database). Small *concentration* values make the regimes strongly
+    characteristic, i.e. clearly separable clusters.
+
+    Fully deterministic in *seed*.
+    """
+    if not 0 < drift_at <= num_sequences:
+        raise ValueError("drift_at must be within (0, num_sequences]")
+    if mean_length < 2:
+        raise ValueError("mean_length must be at least 2")
+    rng = np.random.default_rng(seed)
+    regime_a = random_markov_source(
+        alphabet_size, order=order, rng=rng, concentration=concentration
+    )
+    regime_b = random_markov_source(
+        alphabet_size, order=order, rng=rng, concentration=concentration
+    )
+    sigma = max(length_jitter, 0.0) * mean_length
+    sequences: list[list[int]] = []
+    for i in range(num_sequences):
+        source = regime_a if i < drift_at else regime_b
+        length = max(2, int(round(float(rng.normal(mean_length, sigma)))))
+        sequences.append(source.sample(length, rng))
+    return DriftingStream(
+        sequences=sequences, drift_at=drift_at, alphabet_size=alphabet_size
+    )

@@ -148,6 +148,65 @@ class TestImportLayering:
         )
         assert violations == []
 
+    def test_core_importing_stream_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "from repro.stream import StreamingCluseq\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_core_relative_import_of_stream_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "from ..stream.engine import StreamingCluseq\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_stream_importing_cli_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/stream/bad.py",
+            "from repro.cli import main\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_stream_relative_import_of_evaluation_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/stream/bad.py",
+            "from ..evaluation.metrics import evaluate_clustering\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_stream_importing_experiments_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/stream/bad.py",
+            "import repro.experiments.common\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_stream_allowed_layers_are_fine(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/stream/good.py",
+            "from ..core.cluseq import ClusteringResult\n"
+            "from ..sequences.alphabet import Alphabet\n"
+            "from ..obs import get_registry\n"
+            "from ..typing import PSTFactory\n"
+            "from .pool import OutlierPool\n"
+            "import numpy as np\nimport json\n",
+            "CLQ001",
+        )
+        assert violations == []
+
     def test_suppression_comment_silences(self, tmp_path):
         violations = check_source(
             tmp_path,

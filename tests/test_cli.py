@@ -135,6 +135,172 @@ class TestModelPersistenceFlow:
         assert "alphabet" in capsys.readouterr().out
 
 
+class TestClassifyAbsorb:
+    def test_absorb_grows_member_counts(self, toy_text_file, tmp_path, capsys):
+        from repro.core.persistence import load_result
+
+        model_path = tmp_path / "model.json"
+        main(
+            [
+                "cluster", toy_text_file,
+                "-k", "2", "-c", "2", "--min-unique", "3",
+                "--max-iterations", "10",
+                "--save-model", str(model_path),
+            ]
+        )
+        absorbed_path = tmp_path / "absorbed.json"
+        capsys.readouterr()
+        code = main(
+            [
+                "classify", str(model_path), toy_text_file,
+                "--absorb", "--save-model", str(absorbed_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out.strip().split("\n")
+        assert len(out) == 30
+        before = load_result(model_path)
+        after = load_result(absorbed_path)
+        joined = sum(1 for line in out if "cluster" in line)
+        assert joined > 0
+        members_before = sum(c.size for c in before.clusters)
+        members_after = sum(c.size for c in after.clusters)
+        assert members_after == members_before + joined
+        # Absorbed joiners must live at fresh indices, never overwrite.
+        assert len(after.assignments) == len(before.assignments) + 30
+
+    def test_without_absorb_model_is_untouched(
+        self, toy_text_file, tmp_path, capsys
+    ):
+        from repro.core.persistence import load_result
+
+        model_path = tmp_path / "model.json"
+        main(
+            [
+                "cluster", toy_text_file,
+                "-k", "2", "-c", "2", "--min-unique", "3",
+                "--max-iterations", "10",
+                "--save-model", str(model_path),
+            ]
+        )
+        resaved = tmp_path / "resaved.json"
+        capsys.readouterr()
+        code = main(
+            [
+                "classify", str(model_path), toy_text_file,
+                "--save-model", str(resaved),
+            ]
+        )
+        assert code == 0
+        before = load_result(model_path)
+        after = load_result(resaved)
+        assert len(after.assignments) == len(before.assignments)
+        assert [c.size for c in after.clusters] == [
+            c.size for c in before.clusters
+        ]
+
+
+class TestStreamCommand:
+    @pytest.fixture
+    def stream_file(self, tmp_path):
+        from repro.stream import drifting_markov_stream
+
+        stream = drifting_markov_stream(
+            120, 60, alphabet_size=6, concentration=0.05, seed=7
+        )
+        symbols = "abcdef"
+        path = tmp_path / "stream.txt"
+        path.write_text(
+            "\n".join(
+                "".join(symbols[s] for s in seq) for seq in stream.sequences
+            )
+            + "\n"
+        )
+        return str(path)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["stream", "-"])
+        assert args.input == "-"
+        assert args.batch_size == 32
+        assert args.checkpoint_every == 16
+        assert not args.resume
+
+    def test_model_and_alphabet_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["stream", "x.txt", "--model", "m.json", "--alphabet", "ab"]
+            )
+
+    def test_cold_start_requires_alphabet_or_model(self, stream_file, capsys):
+        code = main(["stream", stream_file])
+        assert code == 2
+        assert "--model" in capsys.readouterr().err
+
+    def test_resume_requires_state_dir(self, stream_file, capsys):
+        code = main(["stream", stream_file, "--resume"])
+        assert code == 2
+        assert "--state-dir" in capsys.readouterr().err
+
+    def test_cold_start_stream_run(self, stream_file, tmp_path, capsys):
+        model_path = tmp_path / "streamed.json"
+        code = main(
+            [
+                "stream", stream_file,
+                "--alphabet", "abcdef",
+                "--batch-size", "16",
+                "-t", "10", "-c", "3", "--max-depth", "4",
+                "--reseed-every", "2",
+                "--save-model", str(model_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sequences" in out
+        assert "120" in out
+        assert model_path.exists()
+
+    def test_durable_run_then_resume(self, stream_file, tmp_path, capsys):
+        state_dir = tmp_path / "state"
+        args = [
+            "stream", stream_file,
+            "--alphabet", "abcdef",
+            "--state-dir", str(state_dir),
+            "--batch-size", "16",
+            "-t", "10", "-c", "3", "--max-depth", "4",
+        ]
+        assert main(args) == 0
+        assert (state_dir / "checkpoint.json").exists()
+        assert (state_dir / "journal.jsonl").exists()
+        capsys.readouterr()
+        code = main(
+            [
+                "stream", stream_file,
+                "--state-dir", str(state_dir),
+                "--resume",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "240" in out  # both passes counted
+
+    def test_stream_from_stdin(self, stream_file, capsys, monkeypatch):
+        import io
+        import sys as _sys
+
+        text = open(stream_file, encoding="utf-8").read()
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(text))
+        code = main(
+            [
+                "stream", "-",
+                "--alphabet", "abcdef",
+                "--batch-size", "16",
+                "-t", "10", "-c", "3", "--max-depth", "4",
+            ]
+        )
+        assert code == 0
+        assert "sequences" in capsys.readouterr().out
+
+
 class TestGenerateCommand:
     def test_generate_roundtrip(self, tmp_path, capsys):
         out_path = tmp_path / "synth.txt"

@@ -80,6 +80,83 @@ class TestRoundtrip:
             assert cloned.pst.node_count == cluster.pst.node_count
 
 
+class TestAbsorbAfterRoundtrip:
+    """Regression: ``assign_and_absorb`` after save -> load must pick a
+    sequence index that collides with nothing already in the model."""
+
+    def test_absorb_after_roundtrip_uses_fresh_index(self, fitted, tmp_path):
+        db, result = fitted
+        path = tmp_path / "model.json"
+        save_result(result, path)
+        clone = load_result(path)
+        before = dict(clone.assignments)
+        encoded = db.encoded(0)
+        assigned = clone.assign_and_absorb(encoded)
+        new_keys = set(clone.assignments) - set(before)
+        assert len(new_keys) == 1
+        new_index = new_keys.pop()
+        assert new_index not in before
+        # Every pre-existing assignment is untouched.
+        for index, ids in before.items():
+            assert clone.assignments[index] == ids
+        if assigned is not None:
+            member = clone.cluster_by_id(assigned).membership_of(new_index)
+            assert member is not None
+
+    def test_absorb_with_trimmed_assignments_no_collision(self, fitted):
+        # A model whose assignment map was stripped (e.g. shipped for
+        # inference only) used to hand out index 0 — colliding with the
+        # clusters' member records and silently rewriting member 0.
+        db, result = fitted
+        payload = result_to_dict(result)
+        payload["assignments"] = {}
+        clone = result_from_dict(payload)
+        memberships_before = {
+            cluster.cluster_id: {
+                index: cluster.membership_of(index)
+                for index in cluster.members
+            }
+            for cluster in clone.clusters
+        }
+        encoded = db.encoded(0)
+        new_index = clone.next_sequence_index()
+        assert all(
+            new_index not in cluster.members for cluster in clone.clusters
+        )
+        clone.assign_and_absorb(encoded)
+        for cluster in clone.clusters:
+            before = memberships_before[cluster.cluster_id]
+            for index, membership in before.items():
+                assert cluster.membership_of(index) == membership
+
+    def test_predict_and_score_still_work_after_absorb(self, fitted, tmp_path):
+        db, result = fitted
+        clone = result_from_dict(result_to_dict(result))
+        clone.assign_and_absorb(db.encoded(1))
+        encoded = db.encoded(2)
+        assert clone.predict(encoded) in (
+            {c.cluster_id for c in clone.clusters} | {None}
+        )
+        scores = clone.score_sequence(encoded)
+        assert set(scores) == {c.cluster_id for c in clone.clusters}
+
+    def test_next_sequence_index_tops_members_and_assignments(self, fitted):
+        _, result = fitted
+        clone = result_from_dict(result_to_dict(result))
+        top = max(
+            max(clone.assignments, default=-1),
+            max(
+                (
+                    max(cluster.members, default=-1)
+                    for cluster in clone.clusters
+                ),
+                default=-1,
+            ),
+            max((c.seed_index for c in clone.clusters), default=-1),
+        )
+        assert clone.next_sequence_index() == top + 1
+
+
 class TestFormat:
     def test_json_serializable(self, fitted):
         _, result = fitted

@@ -17,10 +17,26 @@ from collections.abc import Iterator
 from ..engine import FileContext, Rule, Violation, register
 
 #: Packages the core layer must never depend on.
-CORE_FORBIDDEN = ("repro.experiments", "repro.cli", "repro.evaluation")
+CORE_FORBIDDEN = (
+    "repro.experiments",
+    "repro.cli",
+    "repro.evaluation",
+    "repro.stream",
+)
 
 #: Top-level modules the obs layer may import besides the stdlib.
 OBS_ALLOWED_PREFIX = "repro.obs"
+
+#: ``repro.*`` prefixes the stream layer may depend on — the batch
+#: engine and everything below it, never the CLI/experiments/evaluation
+#: stack above.
+STREAM_ALLOWED_PREFIXES = (
+    "repro.stream",
+    "repro.core",
+    "repro.sequences",
+    "repro.obs",
+    "repro.typing",
+)
 
 if sys.version_info >= (3, 10):
     _STDLIB = frozenset(sys.stdlib_module_names)
@@ -72,14 +88,15 @@ def _absolute_targets(
 class ImportLayeringRule(Rule):
     rule_id = "CLQ001"
     summary = (
-        "core must not import experiments/cli/evaluation; "
-        "obs must import stdlib only"
+        "core must not import experiments/cli/evaluation/stream; "
+        "stream only core/sequences/obs; obs stdlib only"
     )
 
     def check(self, context: FileContext) -> Iterator[Violation]:
         in_core = context.in_package("repro.core")
         in_obs = context.in_package("repro.obs")
-        if not (in_core or in_obs):
+        in_stream = context.in_package("repro.stream")
+        if not (in_core or in_obs or in_stream):
             return
         for node in ast.walk(context.tree):
             if not isinstance(node, (ast.Import, ast.ImportFrom)):
@@ -94,6 +111,18 @@ class ImportLayeringRule(Rule):
                                 f"repro.core must not import {target} "
                                 "(layering: core -> obs/sequences only)",
                             )
+                if in_stream:
+                    top = target.split(".", 1)[0]
+                    if top == "repro" and not any(
+                        target == prefix or target.startswith(prefix + ".")
+                        for prefix in STREAM_ALLOWED_PREFIXES
+                    ):
+                        yield self.violation(
+                            context,
+                            stmt,
+                            f"repro.stream must not import {target} "
+                            "(layering: stream -> core/sequences/obs only)",
+                        )
                 if in_obs:
                     top = target.split(".", 1)[0]
                     if top != "repro" and top not in _STDLIB:
