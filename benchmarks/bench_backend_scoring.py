@@ -1,0 +1,180 @@
+"""Backend scoring benchmark — reference vs vectorized (PR 5).
+
+Measures the frozen-model (cluster × sequence) scoring matrix of the
+fig6 scalability workload — the §4.2 re-examination shape — under each
+backend, and writes ``BENCH_PR5.json`` (schema ``repro.bench/v1``)
+with sequences/second, pairs/second and the speedup over the reference
+per configuration.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_backend_scoring.py [--smoke] [--out PATH]
+
+``--smoke`` shrinks the workload for CI and exits non-zero if the
+vectorized backend is slower than the reference — the regression gate
+for the perf-smoke job. The full workload is the one the PR's ≥3×
+speedup claim is measured on.
+
+Also usable under pytest-benchmark (``pytest benchmarks/ -k backend``),
+where the shape assertion is the same not-slower gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.backends import PstBatchScorer, ScoringPool
+from repro.core.pst import ProbabilisticSuffixTree
+from repro.core.similarity import similarity
+
+SCHEMA = "repro.bench/v1"
+
+#: The fig6-representative workload: alphabet 12, depth 6, c=4, ten
+#: cluster models, 150 sequences of ~100 symbols.
+FULL = {"alphabet": 12, "depth": 6, "significance": 4, "clusters": 10,
+        "sequences": 150, "length": 100, "repeats": 3}
+SMOKE = {"alphabet": 12, "depth": 6, "significance": 4, "clusters": 4,
+         "sequences": 40, "length": 60, "repeats": 2}
+
+
+def build_workload(spec: dict) -> tuple[list, list, np.ndarray]:
+    """Frozen cluster PSTs, encoded sequences, and the background."""
+    rng = np.random.default_rng(13)
+    alphabet = spec["alphabet"]
+    psts = []
+    for _ in range(spec["clusters"]):
+        pst = ProbabilisticSuffixTree(
+            alphabet_size=alphabet,
+            max_depth=spec["depth"],
+            significance_threshold=spec["significance"],
+        )
+        weights = rng.random(alphabet) ** 2 + 1e-3
+        weights /= weights.sum()
+        for _ in range(12):
+            pst.add_sequence(
+                [int(s) for s in rng.choice(alphabet, spec["length"], p=weights)]
+            )
+        psts.append(pst)
+    sequences = [
+        [int(s) for s in rng.integers(0, alphabet, spec["length"])]
+        for _ in range(spec["sequences"])
+    ]
+    background = np.full(alphabet, 1.0 / alphabet)
+    return psts, sequences, background
+
+
+def time_reference(psts, sequences, background, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for pst in psts:
+            for seq in sequences:
+                similarity(pst, seq, background)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def time_vectorized(psts, sequences, background, repeats: int,
+                    workers: int) -> float:
+    scorer = PstBatchScorer(background)
+    pool = ScoringPool(workers) if workers > 0 else None
+    try:
+        if pool is not None:
+            # Spawn + warm the workers outside the timed region, as the
+            # fit loop does (the pool lives across iterations).
+            scorer.prescore_matrix(psts, sequences[:1], pool=pool)
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            scorer.prescore_matrix(psts, sequences, pool=pool)
+            best = min(best, time.perf_counter() - started)
+        return best
+    finally:
+        if pool is not None:
+            pool.close()
+
+
+def run_bench(spec: dict) -> dict:
+    psts, sequences, background = build_workload(spec)
+    pairs = len(psts) * len(sequences)
+    configs = [("reference", 0), ("vectorized", 0), ("vectorized", 2)]
+    results = []
+    reference_seconds = None
+    for backend, workers in configs:
+        if backend == "reference":
+            seconds = time_reference(psts, sequences, background,
+                                     spec["repeats"])
+            reference_seconds = seconds
+        else:
+            seconds = time_vectorized(psts, sequences, background,
+                                      spec["repeats"], workers)
+        assert reference_seconds is not None
+        results.append({
+            "backend": backend,
+            "workers": workers,
+            "seconds": seconds,
+            "pairs_per_second": pairs / seconds,
+            "seqs_per_second": len(sequences) / seconds,
+            "speedup": reference_seconds / seconds,
+        })
+    return {
+        "schema": SCHEMA,
+        "bench": "backend_scoring",
+        "workload": {key: spec[key] for key in
+                     ("alphabet", "depth", "significance", "clusters",
+                      "sequences", "length")},
+        "pairs": pairs,
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workload; fail if vectorized is slower")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="output JSON path (default: BENCH_PR5.json at "
+                        "the repo root)")
+    args = parser.parse_args(argv)
+    spec = SMOKE if args.smoke else FULL
+    document = run_bench(spec)
+    out = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+    )
+    out.write_text(json.dumps(document, indent=2) + "\n")
+    for row in document["results"]:
+        print(
+            f"{row['backend']:>10s} workers={row['workers']}: "
+            f"{row['seconds']:.3f}s  "
+            f"{row['pairs_per_second']:9.0f} pairs/s  "
+            f"{row['seqs_per_second']:7.0f} seq/s  "
+            f"{row['speedup']:5.2f}x"
+        )
+    print(f"written to {out}")
+    vectorized = next(r for r in document["results"]
+                      if r["backend"] == "vectorized" and r["workers"] == 0)
+    if args.smoke and vectorized["speedup"] < 1.0:
+        print("FAIL: vectorized slower than reference on the smoke workload",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def test_vectorized_not_slower(benchmark):
+    """Perf-smoke shape assertion for the pytest-benchmark run."""
+    document = benchmark.pedantic(
+        run_bench, args=(SMOKE,), rounds=1, iterations=1
+    )
+    vectorized = next(r for r in document["results"]
+                      if r["backend"] == "vectorized" and r["workers"] == 0)
+    assert vectorized["speedup"] >= 1.0, document["results"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ import os
 import sys
 
 from . import __version__
+from .core.backends import BACKENDS
 from .core.cluseq import CLUSEQ, CluseqParams
 from .evaluation.metrics import evaluate_clustering
 from .evaluation.reporting import percent, print_table, write_metrics_json
@@ -114,6 +115,21 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--max-iterations", type=int, default=25)
     cluster.add_argument("--min-unique", type=int, default=None)
     cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="auto",
+        help="scoring backend; both give bit-identical results "
+        "(see docs/PERFORMANCE.md)",
+    )
+    cluster.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="prescore the re-examination matrix on N worker processes "
+        "(vectorized backend only; 0 = in-process)",
+    )
     cluster.add_argument(
         "--show-members", action="store_true", help="list member ids per cluster"
     )
@@ -206,6 +222,12 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--max-depth", type=int, default=6)
     stream.add_argument("--seed", type=int, default=0)
     stream.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="auto",
+        help="scoring backend for the join/absorb path (bit-identical)",
+    )
+    stream.add_argument(
         "--no-fsync",
         action="store_true",
         help="skip per-batch journal fsync (faster, weaker durability)",
@@ -257,6 +279,8 @@ def _command_cluster(args: argparse.Namespace) -> int:
         max_iterations=args.max_iterations,
         min_unique_members=args.min_unique,
         seed=args.seed,
+        backend=args.backend,
+        workers=args.workers,
     )
     result = CLUSEQ(params).fit(db)
     print(result.summary())
@@ -341,6 +365,7 @@ def _command_stream(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         journal_fsync=not args.no_fsync,
         seed=args.seed,
+        backend=args.backend,
     )
     if args.resume:
         if not args.state_dir:

@@ -1,6 +1,14 @@
 """CLUSEQ core: the probabilistic suffix tree, the similarity measure
 and the clustering algorithm itself."""
 
+from .backends import (
+    BACKENDS,
+    FlattenedPST,
+    PstBatchScorer,
+    ScoringPool,
+    flatten_pst,
+    resolve_backend,
+)
 from .cluster import Cluster, Membership
 from .cluseq import (
     CLUSEQ,
@@ -49,6 +57,12 @@ from .threshold import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "FlattenedPST",
+    "PstBatchScorer",
+    "ScoringPool",
+    "flatten_pst",
+    "resolve_backend",
     "Cluster",
     "Membership",
     "CLUSEQ",

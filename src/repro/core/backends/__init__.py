@@ -1,0 +1,38 @@
+"""Scoring backends: flattened-array batch kernels for the SIM measure.
+
+See docs/PERFORMANCE.md for the architecture. The ``reference``
+backend (``repro.core.similarity``) is the normative transcription of
+the paper; the ``vectorized`` backend here reproduces it bit-for-bit
+from flattened PST arrays, batched over many (sequence, tree) pairs,
+with an optional multiprocessing fan-out for the re-examination
+scoring matrix.
+"""
+
+from .dispatch import BACKENDS, PstBatchScorer, resolve_backend
+from .flatten import FlattenedPST, flatten_pst
+from .parallel import ScoringPool
+from .vectorized import (
+    KADANE_NUMPY_MIN_ROWS,
+    KadaneBatchResult,
+    StackedFlats,
+    kadane_rows,
+    pad_sequences,
+    stack_flats,
+    walk_states,
+)
+
+__all__ = [
+    "BACKENDS",
+    "KADANE_NUMPY_MIN_ROWS",
+    "FlattenedPST",
+    "KadaneBatchResult",
+    "PstBatchScorer",
+    "ScoringPool",
+    "StackedFlats",
+    "flatten_pst",
+    "kadane_rows",
+    "pad_sequences",
+    "resolve_backend",
+    "stack_flats",
+    "walk_states",
+]

@@ -1,0 +1,257 @@
+"""Backend selection and the caching batch scorer.
+
+Two scoring backends exist:
+
+* ``reference`` — the normative per-pair implementation in
+  :mod:`repro.core.similarity`, a direct transcription of the paper.
+* ``vectorized`` — the flattened-array batch kernel of
+  :mod:`repro.core.backends.vectorized`, bit-identical to the reference
+  (same floats, same segment bounds), just restructured for throughput.
+
+``auto`` resolves to ``vectorized``: because the backends agree
+bit-for-bit, the faster one is always safe to prefer. ``reference``
+remains selectable both as the ground truth for differential tests and
+as the fallback if a deployment ever needs to rule the array path out.
+
+:class:`PstBatchScorer` is the working interface: it owns the
+background log vector, caches each tree's flattened export keyed by the
+tree's mutation version, caches the stacked table set for repeated
+one-vs-many calls against the same tree group, and emits per-backend
+counters/timers through the active metrics registry.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+from ...obs import get_registry
+from ..pst import ProbabilisticSuffixTree
+from ..similarity import SimilarityResult
+from .flatten import FlattenedPST
+from .parallel import ScoringPool, raw_to_result
+from .vectorized import (
+    KadaneBatchResult,
+    StackedFlats,
+    gather_log_ratios,
+    kadane_rows,
+    log_background,
+    pad_sequences,
+    results_from_batch,
+    stack_flats,
+    walk_states,
+)
+
+#: Recognized backend names (CLI / params / stream config).
+BACKENDS = ("auto", "reference", "vectorized")
+
+
+def resolve_backend(name: str) -> str:
+    """Map a requested backend name to a concrete one.
+
+    Both backends implement the paper's SIM measure (§2/§4.3) exactly.
+
+    ``auto`` picks ``vectorized``; the two backends are bit-identical,
+    so auto-selection can never change results, only speed.
+    """
+    if name not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {name!r}")
+    if name == "auto":
+        return "vectorized"
+    return name
+
+
+class PstBatchScorer:
+    """Batch scorer over flattened PSTs, result-identical to reference.
+
+    One instance per (background, run): the scorer validates every
+    cached flat against its tree's current mutation version on each
+    call, so interleaving scoring with ``add_sequence`` /
+    ``decay_counts`` / pruning is safe — a mutated tree is transparently
+    re-flattened, never scored stale.
+    """
+
+    def __init__(self, background: npt.NDArray[np.float64]) -> None:
+        self._background = np.asarray(background, dtype=np.float64)
+        self._log_bg = log_background(self._background)
+        # Stack cache: the trees are held by strong reference and
+        # revalidated by identity + version, never by id() alone — an
+        # id can be reused by a new tree once the old one is collected.
+        self._stack_psts: tuple[ProbabilisticSuffixTree, ...] = ()
+        self._stack_versions: tuple[int, ...] = ()
+        self._stack: StackedFlats | None = None
+
+    @property
+    def background(self) -> npt.NDArray[np.float64]:
+        return self._background
+
+    @property
+    def log_bg(self) -> npt.NDArray[np.float64]:
+        """Background log vector (reference ``math.log`` convention)."""
+        return self._log_bg
+
+    def _check_alphabet(self, pst: ProbabilisticSuffixTree) -> None:
+        if self._background.shape != (pst.alphabet_size,):
+            raise ValueError(
+                f"background must have length {pst.alphabet_size}, "
+                f"got shape {self._background.shape}"
+            )
+
+    def flat_for(self, pst: ProbabilisticSuffixTree) -> FlattenedPST:
+        """Current flat export of *pst* (cached on the tree per version)."""
+        self._check_alphabet(pst)
+        if pst._flat_cache is None:
+            started = time.perf_counter()
+            flat = pst.flattened()
+            registry = get_registry()
+            if registry.enabled:
+                registry.timer("backend.flatten_seconds").record(
+                    time.perf_counter() - started
+                )
+            return flat
+        return pst.flattened()
+
+    def _stack_for(
+        self, psts: Sequence[ProbabilisticSuffixTree]
+    ) -> StackedFlats:
+        flats = [self.flat_for(pst) for pst in psts]
+        versions = tuple(flat.version for flat in flats)
+        fresh = (
+            self._stack is None
+            or len(psts) != len(self._stack_psts)
+            or versions != self._stack_versions
+            or any(a is not b for a, b in zip(psts, self._stack_psts))
+        )
+        if fresh:
+            self._stack = stack_flats(flats)
+            self._stack_psts = tuple(psts)
+            self._stack_versions = versions
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("backend.stack_rebuilds").inc()
+        assert self._stack is not None
+        return self._stack
+
+    def _score_rows(
+        self,
+        stacked: StackedFlats,
+        sequences: Sequence[Sequence[int]],
+        row_flats: npt.NDArray[np.intp],
+    ) -> list[SimilarityResult]:
+        started = time.perf_counter()
+        padded, lengths = pad_sequences(sequences)
+        states = walk_states(stacked, padded, row_flats)
+        ratios = gather_log_ratios(stacked, self._log_bg, padded, states)
+        batch: KadaneBatchResult = kadane_rows(ratios, lengths)
+        results = results_from_batch(batch)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("backend.batch_calls").inc()
+            registry.counter("backend.batch_rows").inc(len(results))
+            registry.timer("backend.score_seconds").record(
+                time.perf_counter() - started
+            )
+            # Parity with the reference scorer's per-call counters so
+            # observability consumers see one coherent trace whichever
+            # backend ran (see docs/OBSERVABILITY.md).
+            registry.counter("similarity.calls").inc(len(results))
+            registry.counter("similarity.dp_cells").inc(int(lengths.sum()))
+            segment_lengths = registry.histogram("similarity.segment_length")
+            for result in results:
+                segment_lengths.observe(result.best_end - result.best_start)
+        return results
+
+    def score_one_vs_many(
+        self,
+        psts: Sequence[ProbabilisticSuffixTree],
+        encoded: Sequence[int],
+    ) -> list[SimilarityResult]:
+        """Score one sequence against several trees (re-examination row)."""
+        if len(encoded) == 0:
+            raise ValueError("cannot score an empty sequence")
+        if not psts:
+            return []
+        stacked = self._stack_for(psts)
+        row_flats = np.arange(len(psts), dtype=np.intp)
+        return self._score_rows(stacked, [encoded] * len(psts), row_flats)
+
+    def score_many_vs_one(
+        self,
+        pst: ProbabilisticSuffixTree,
+        sequences: Sequence[Sequence[int]],
+    ) -> list[SimilarityResult]:
+        """Score many sequences against one tree (calibration column)."""
+        if not sequences:
+            return []
+        stacked = stack_flats([self.flat_for(pst)])
+        row_flats = np.zeros(len(sequences), dtype=np.intp)
+        return self._score_rows(stacked, sequences, row_flats)
+
+    def score_matrix(
+        self,
+        psts: Sequence[ProbabilisticSuffixTree],
+        sequences: Sequence[Sequence[int]],
+    ) -> list[list[SimilarityResult]]:
+        """Full (tree × sequence) score matrix in one batched call."""
+        if not psts or not sequences:
+            return [[] for _ in psts]
+        stacked = self._stack_for(psts)
+        rows: list[Sequence[int]] = []
+        row_flats = np.empty(len(psts) * len(sequences), dtype=np.intp)
+        cursor = 0
+        for tree_index in range(len(psts)):
+            for seq in sequences:
+                rows.append(seq)
+                row_flats[cursor] = tree_index
+                cursor += 1
+        flat_results = self._score_rows(stacked, rows, row_flats)
+        width = len(sequences)
+        return [
+            flat_results[tree_index * width : (tree_index + 1) * width]
+            for tree_index in range(len(psts))
+        ]
+
+    def prescore_matrix(
+        self,
+        psts: Sequence[ProbabilisticSuffixTree],
+        sequences: Sequence[Sequence[int]],
+        pool: "ScoringPool | None" = None,
+    ) -> list[list[SimilarityResult]]:
+        """Score a (tree × sequence) chunk, optionally on a worker pool.
+
+        With *pool* the flats are shipped to worker processes; without,
+        this is :meth:`score_matrix`. Either way the caller must treat
+        the result as a *snapshot*: pairs against a tree that mutates
+        afterwards must be rescored before being committed.
+        """
+        if pool is None:
+            return self.score_matrix(psts, sequences)
+        if not psts or not sequences:
+            return [[] for _ in psts]
+        flats = [self.flat_for(pst) for pst in psts]
+        raw_matrix = pool.prescore_matrix(flats, sequences, self._log_bg)
+        results = [
+            [raw_to_result(raw) for raw in row] for row in raw_matrix
+        ]
+        registry = get_registry()
+        if registry.enabled:
+            pairs = len(psts) * len(sequences)
+            cells = sum(len(seq) for seq in sequences) * len(psts)
+            registry.counter("backend.parallel_chunks").inc()
+            registry.counter("backend.batch_rows").inc(pairs)
+            registry.counter("similarity.calls").inc(pairs)
+            registry.counter("similarity.dp_cells").inc(cells)
+            segment_lengths = registry.histogram("similarity.segment_length")
+            for row in results:
+                for result in row:
+                    segment_lengths.observe(result.best_end - result.best_start)
+        return results
+
+    def forget(self) -> None:
+        """Drop the stack cache (releases references to cached trees)."""
+        self._stack_psts = ()
+        self._stack_versions = ()
+        self._stack = None

@@ -1,0 +1,152 @@
+"""Multiprocessing fan-out for the (sequence × cluster) scoring matrix.
+
+The re-examination phase (§4.2) scores every sequence against every
+cluster. With ``--workers N`` the vectorized backend chunks that matrix
+by sequence block and prescores chunks on a ``ProcessPoolExecutor``;
+the driving loop then *commits* the prescored pairs sequentially,
+falling back to an in-process rescore for any pair whose cluster model
+absorbed a segment after the prescore snapshot (see
+``CLUSEQ._recluster_vectorized``). Results are therefore identical to
+single-process runs — workers only change where the arithmetic happens.
+
+Workers never receive ``PSTNode`` trees: the pickled payload is the
+self-contained :class:`~repro.core.backends.flatten.FlattenedPST`
+arrays plus the encoded sequence chunk, so IPC cost is a few dense
+arrays per chunk, not a pointer graph.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from collections.abc import Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+from ..similarity import SimilarityResult, _safe_exp
+from .flatten import FlattenedPST
+from .vectorized import (
+    gather_log_ratios,
+    kadane_rows,
+    pad_sequences,
+    stack_flats,
+    walk_states,
+)
+
+#: (log_similarity, best_start, best_end, whole_sequence_log) — the raw
+#: wire form of one scored pair, cheap to pickle back from a worker.
+RawScore = tuple[float, int, int, float]
+
+
+def score_matrix_raw(
+    flats: Sequence[FlattenedPST],
+    sequences: Sequence[Sequence[int]],
+    log_bg: npt.NDArray[np.float64],
+) -> list[list[RawScore]]:
+    """Tree-major raw §4.2 score matrix; runs inside worker processes."""
+    if not flats or not sequences:
+        return [[] for _ in flats]
+    stacked = stack_flats(list(flats))
+    rows: list[Sequence[int]] = []
+    row_flats = np.empty(len(flats) * len(sequences), dtype=np.intp)
+    cursor = 0
+    for tree_index in range(len(flats)):
+        for seq in sequences:
+            rows.append(seq)
+            row_flats[cursor] = tree_index
+            cursor += 1
+    padded, lengths = pad_sequences(rows)
+    states = walk_states(stacked, padded, row_flats)
+    ratios = gather_log_ratios(stacked, log_bg, padded, states)
+    batch = kadane_rows(ratios, lengths)
+    width = len(sequences)
+    out: list[list[RawScore]] = []
+    for tree_index in range(len(flats)):
+        row_scores: list[RawScore] = []
+        for column in range(width):
+            row = tree_index * width + column
+            row_scores.append(
+                (
+                    float(batch.log_z[row]),
+                    int(batch.best_start[row]),
+                    int(batch.best_end[row]),
+                    float(batch.whole[row]),
+                )
+            )
+        out.append(row_scores)
+    return out
+
+
+def raw_to_result(raw: RawScore) -> SimilarityResult:
+    """Inflate a wire-form score back into the paper's
+    :class:`SimilarityResult` (§4.3)."""
+    log_z, best_start, best_end, whole = raw
+    return SimilarityResult(
+        similarity=_safe_exp(log_z),
+        log_similarity=log_z,
+        best_start=best_start,
+        best_end=best_end,
+        whole_sequence_log=whole,
+    )
+
+
+class ScoringPool:
+    """A lazy process pool prescoring matrix chunks.
+
+    The executor spawns on first use and must be released with
+    :meth:`close` (the CLUSEQ fit loop does so in a ``finally``).
+    ``workers`` ≤ 0 is rejected — callers decide between pool and
+    in-process scoring before constructing one.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1 for a ScoringPool")
+        self.workers = workers
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def prescore_matrix(
+        self,
+        flats: Sequence[FlattenedPST],
+        sequences: Sequence[Sequence[int]],
+        log_bg: npt.NDArray[np.float64],
+    ) -> list[list[RawScore]]:
+        """Tree-major raw matrix of *sequences* against *flats*.
+
+        Sequence blocks are distributed across the pool; the caller is
+        responsible for validating every pair against current model
+        versions before trusting it (models may mutate after the
+        snapshot the flats represent).
+        """
+        if not flats or not sequences:
+            return [[] for _ in flats]
+        block = max(1, -(-len(sequences) // self.workers))
+        futures: list[Future[list[list[RawScore]]]] = []
+        pool = self._pool()
+        for start in range(0, len(sequences), block):
+            chunk = list(sequences[start : start + block])
+            futures.append(
+                pool.submit(score_matrix_raw, list(flats), chunk, log_bg)
+            )
+        out: list[list[RawScore]] = [[] for _ in flats]
+        for future in futures:
+            partial = future.result()
+            for tree_index, scores in enumerate(partial):
+                out[tree_index].extend(scores)
+        return out
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "ScoringPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,286 @@
+"""Vectorized batch SIM kernel over flattened PSTs.
+
+Scores many (sequence, tree) pairs at once in three stages, each
+bit-identical to the reference implementation in
+``repro.core.similarity``:
+
+1. **Context walk** (:func:`walk_states`) — for every position of every
+   row, the paper's longest-significant-suffix lookup, run as at most
+   ``max_depth`` *depth steps*: step ``d`` advances every still-walking
+   position along its ``d``-th preceding symbol through the dense
+   transition table. Integer gathers only, so exact trivially.
+2. **Ratio gather** — per-position ``log X_i = log P_S(s_i|ctx) −
+   log p(s_i)`` read from the flat tree's precomputed log-ratio table.
+   The table entries are ``math.log``-exact (see
+   :mod:`repro.core.backends.flatten`), and the subtraction is the same
+   single IEEE op the reference performs.
+3. **X/Y/Z scan** (:func:`kadane_rows`) — the log-domain Kadane DP with
+   the reference's exact update and tie rules. Two interchangeable
+   implementations: a per-row Python loop (cheapest for a handful of
+   rows) and a masked numpy scan over all rows at once (cheapest from a
+   few dozen rows up). Both perform, per row, the identical sequence of
+   float64 additions and comparisons as the reference loop, so the
+   choice never affects results — only wall clock.
+
+Rows are independent (no barrier between stages per row), and rows may
+point at *different* trees: stack the flats' tables with
+:func:`stack_flats` and hand each row its root offset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+import numpy.typing as npt
+
+from ..similarity import _LOG_ZERO, SimilarityResult, _safe_exp
+from .flatten import FlattenedPST
+
+#: Row count from which the masked numpy X/Y/Z scan beats the per-row
+#: Python loop. The scan costs a fixed ~8 numpy calls per position
+#: regardless of row count; the Python loop costs ~8 scalar ops per
+#: position per row. Crossover measured on the fig6 workload shapes.
+KADANE_NUMPY_MIN_ROWS = 24
+
+
+def log_background(
+    background: npt.NDArray[np.float64],
+) -> npt.NDArray[np.float64]:
+    """Background log vector ``log P^r`` (§2's ratio denominator).
+
+    ``math.log`` per entry (not ``np.log`` — one-ulp differences would
+    break bit-parity with the reference), ``_LOG_ZERO`` for zero mass.
+    """
+    values = [
+        math.log(p) if p > 0 else _LOG_ZERO for p in background.tolist()
+    ]
+    return np.asarray(values, dtype=np.float64)
+
+
+def pad_sequences(
+    sequences: Sequence[Sequence[int]],
+) -> tuple[npt.NDArray[np.int32], npt.NDArray[np.int32]]:
+    """Pack variable-length sequences into the −1-padded matrix the
+    batched §4.3 scan consumes."""
+    lengths = np.asarray([len(seq) for seq in sequences], dtype=np.int32)
+    if lengths.size and int(lengths.min()) == 0:
+        raise ValueError("cannot score an empty sequence")
+    width = int(lengths.max()) if lengths.size else 0
+    padded = np.full((len(sequences), width), -1, dtype=np.int32)
+    for row, seq in enumerate(sequences):
+        padded[row, : len(seq)] = np.asarray(seq, dtype=np.int32)
+    return padded, lengths
+
+
+@dataclass(frozen=True)
+class StackedFlats:
+    """Several flats' tables concatenated row-wise for one batch call.
+
+    ``transitions`` child rows are rebased so each flat's rows index
+    into the stacked tables; ``roots`` holds each flat's root row.
+    """
+
+    transitions: npt.NDArray[np.int32]
+    log_probs: npt.NDArray[np.float64]
+    roots: npt.NDArray[np.int32]
+    max_depths: npt.NDArray[np.int32]
+    alphabet_size: int
+
+
+def stack_flats(flats: Sequence[FlattenedPST]) -> StackedFlats:
+    """Concatenate flats into one table set (see :class:`StackedFlats`)
+    so one batch call can score rows against different cluster PSTs —
+    the shape of the paper's §4.2 re-examination matrix."""
+    if not flats:
+        raise ValueError("need at least one flattened tree to stack")
+    alphabet_size = flats[0].alphabet_size
+    for flat in flats:
+        if flat.alphabet_size != alphabet_size:
+            raise ValueError("all stacked trees must share one alphabet")
+    if len(flats) == 1:
+        flat = flats[0]
+        return StackedFlats(
+            transitions=flat.transitions,
+            log_probs=flat.log_probs,
+            roots=np.zeros(1, dtype=np.int32),
+            max_depths=np.asarray([flat.max_depth], dtype=np.int32),
+            alphabet_size=alphabet_size,
+        )
+    roots = np.zeros(len(flats), dtype=np.int32)
+    rebased: list[npt.NDArray[np.int32]] = []
+    offset = 0
+    for index, flat in enumerate(flats):
+        roots[index] = offset
+        table = flat.transitions
+        rebased.append(
+            np.where(table >= 0, table + np.int32(offset), np.int32(-1))
+        )
+        offset += flat.node_count
+    return StackedFlats(
+        transitions=np.concatenate(rebased, axis=0),
+        log_probs=np.concatenate([flat.log_probs for flat in flats], axis=0),
+        roots=roots,
+        max_depths=np.asarray(
+            [flat.max_depth for flat in flats], dtype=np.int32
+        ),
+        alphabet_size=alphabet_size,
+    )
+
+
+def walk_states(
+    stacked: StackedFlats,
+    padded: npt.NDArray[np.int32],
+    row_flats: npt.NDArray[np.intp],
+) -> npt.NDArray[np.int32]:
+    """Prediction-node row per (row, position) — the paper's walk, batched.
+
+    ``row_flats[r]`` names which stacked flat row ``r`` scores against.
+    Positions beyond a row's length keep that row's root (their ratios
+    are masked out downstream).
+    """
+    batch, width = padded.shape
+    roots = stacked.roots[row_flats]
+    states = np.broadcast_to(roots[:, None], (batch, width)).astype(np.int32)
+    if width == 0:
+        return states
+    depth_caps = stacked.max_depths[row_flats]
+    max_depth = int(depth_caps.max())
+    transitions = stacked.transitions
+    walking_base = padded >= 0
+    walking = walking_base.copy()
+    for depth in range(1, min(max_depth, width) + 1):
+        # The d-th preceding symbol of every position: the sequence
+        # shifted right by d, −1 where no such symbol exists.
+        context = np.full((batch, width), -1, dtype=np.int32)
+        context[:, depth:] = padded[:, : width - depth]
+        candidates = walking & (context >= 0) & (depth <= depth_caps)[:, None]
+        next_states = transitions[states, np.maximum(context, 0)]
+        step = candidates & (next_states >= 0)
+        states = np.where(step, next_states, states)
+        walking = step
+        if not walking.any():
+            break
+    return states
+
+
+def gather_log_ratios(
+    stacked: StackedFlats,
+    log_bg: npt.NDArray[np.float64],
+    padded: npt.NDArray[np.int32],
+    states: npt.NDArray[np.int32],
+) -> npt.NDArray[np.float64]:
+    """Per-position ``log X_i`` (the §4.3 per-symbol factors) for every
+    row; entries beyond a row's length are garbage and must be masked
+    by the caller."""
+    symbols = np.maximum(padded, 0)
+    log_probs = stacked.log_probs[states, symbols]
+    ratios: npt.NDArray[np.float64] = log_probs - log_bg[symbols]
+    return ratios
+
+
+@dataclass(frozen=True)
+class KadaneBatchResult:
+    """Per-row outcome of the batched X/Y/Z scan."""
+
+    log_z: npt.NDArray[np.float64]
+    best_start: npt.NDArray[np.int64]
+    best_end: npt.NDArray[np.int64]
+    whole: npt.NDArray[np.float64]
+
+
+def _kadane_rows_python(
+    ratios: npt.NDArray[np.float64], lengths: npt.NDArray[np.int32]
+) -> KadaneBatchResult:
+    batch = ratios.shape[0]
+    out_z = np.empty(batch, dtype=np.float64)
+    out_start = np.empty(batch, dtype=np.int64)
+    out_end = np.empty(batch, dtype=np.int64)
+    out_whole = np.empty(batch, dtype=np.float64)
+    for row in range(batch):
+        values = ratios[row, : int(lengths[row])].tolist()
+        log_y = values[0]
+        y_start = 0
+        log_z = log_y
+        best_start, best_end = 0, 1
+        whole = values[0]
+        for i in range(1, len(values)):
+            x = values[i]
+            whole += x
+            if log_y + x >= x:
+                log_y += x
+            else:
+                log_y = x
+                y_start = i
+            if log_y > log_z:
+                log_z = log_y
+                best_start, best_end = y_start, i + 1
+        out_z[row] = log_z
+        out_start[row] = best_start
+        out_end[row] = best_end
+        out_whole[row] = whole
+    return KadaneBatchResult(out_z, out_start, out_end, out_whole)
+
+
+def _kadane_rows_numpy(
+    ratios: npt.NDArray[np.float64], lengths: npt.NDArray[np.int32]
+) -> KadaneBatchResult:
+    batch, width = ratios.shape
+    x0 = ratios[:, 0].copy()
+    log_y = x0.copy()
+    y_start = np.zeros(batch, dtype=np.int64)
+    log_z = x0.copy()
+    best_start = np.zeros(batch, dtype=np.int64)
+    best_end = np.ones(batch, dtype=np.int64)
+    whole = x0.copy()
+    for i in range(1, width):
+        active = i < lengths
+        if not active.any():
+            break
+        x = ratios[:, i]
+        extended = log_y + x
+        whole = np.where(active, whole + x, whole)
+        keep = extended >= x
+        log_y = np.where(active, np.where(keep, extended, x), log_y)
+        y_start = np.where(active & ~keep, i, y_start)
+        improved = active & (log_y > log_z)
+        log_z = np.where(improved, log_y, log_z)
+        best_start = np.where(improved, y_start, best_start)
+        best_end = np.where(improved, i + 1, best_end)
+    return KadaneBatchResult(log_z, best_start, best_end, whole)
+
+
+def kadane_rows(
+    ratios: npt.NDArray[np.float64], lengths: npt.NDArray[np.int32]
+) -> KadaneBatchResult:
+    """The §4.3 X/Y/Z scan over every row of *ratios*.
+
+    Per row, both implementations execute the identical float64
+    operation sequence as ``similarity()`` — update rule
+    ``Y ← Y·X if log Y + log X ≥ log X else X`` (ties extend) and
+    strict-improvement Z tracking — so results are bit-identical to the
+    reference, whichever implementation the row count selects.
+    """
+    if ratios.shape[0] >= KADANE_NUMPY_MIN_ROWS:
+        return _kadane_rows_numpy(ratios, lengths)
+    return _kadane_rows_python(ratios, lengths)
+
+
+def results_from_batch(batch: KadaneBatchResult) -> list[SimilarityResult]:
+    """Materialize the §4.3 :class:`SimilarityResult` objects from a
+    batch scan."""
+    out: list[SimilarityResult] = []
+    for row in range(batch.log_z.shape[0]):
+        log_z = float(batch.log_z[row])
+        out.append(
+            SimilarityResult(
+                similarity=_safe_exp(log_z),
+                log_similarity=log_z,
+                best_start=int(batch.best_start[row]),
+                best_end=int(batch.best_end[row]),
+                whole_sequence_log=float(batch.whole[row]),
+            )
+        )
+    return out

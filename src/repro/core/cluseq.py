@@ -43,6 +43,7 @@ import numpy.typing as npt
 from ..obs import MetricsRegistry, get_logger, get_registry, span, use_registry
 from ..sequences.database import SequenceDatabase
 from ..typing import PSTFactory
+from .backends import BACKENDS, PstBatchScorer, ScoringPool, resolve_backend
 from .cluster import Cluster, Membership
 from .consolidation import consolidate
 from .seeding import build_seed_pst, select_seeds
@@ -52,6 +53,16 @@ from .threshold import VALLEY_METHODS
 
 #: Valid sequence-examination orders for the reclustering phase (§6.3).
 ORDERINGS = ("fixed", "random", "cluster")
+
+#: Sequences prescored per chunk by the vectorized reclustering path.
+PRESCORE_CHUNK = 32
+
+#: When more than this fraction of a prescored chunk had to be rescored
+#: (its cluster absorbed a segment after the snapshot), the iteration is
+#: absorb-heavy and batch prescoring wastes work — the rest of the
+#: iteration falls back to serial scoring. Deterministic: the decision
+#: depends only on join counts, never on wall clock.
+STALE_SWITCH_FRACTION = 0.35
 
 _logger = get_logger("core.cluseq")
 
@@ -85,6 +96,14 @@ class CluseqParams:
     valley_method: str = "regression"
     calibration_method: str = "max"
     seed: int = 0
+    #: Scoring backend: ``reference`` (normative per-pair loops),
+    #: ``vectorized`` (flattened-array batch kernel, bit-identical
+    #: results) or ``auto`` (currently the vectorized backend).
+    backend: str = "auto"
+    #: Worker processes for prescoring the re-examination scoring
+    #: matrix (vectorized backend only); 0 keeps everything in-process.
+    #: Results are identical for any worker count.
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -113,6 +132,10 @@ class CluseqParams:
                 "calibration_method must be 'max' or one of "
                 f"{tuple(VALLEY_METHODS)}"
             )
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
 
     def resolved_min_unique(self) -> int:
         """The consolidation threshold (defaults to ``c``, per the paper)."""
@@ -437,6 +460,17 @@ class CLUSEQ:
         background = db.background_probabilities()
         encoded = [db.encoded(i) for i in range(len(db))]
 
+        # Backend selection. The vectorized scorer is bit-identical to
+        # the reference loops, so this choice can never change the
+        # clustering — only how fast scores are produced.
+        backend = resolve_backend(params.backend)
+        scorer = PstBatchScorer(background) if backend == "vectorized" else None
+        pool = (
+            ScoringPool(params.workers)
+            if scorer is not None and params.workers > 0
+            else None
+        )
+
         pst_factory = partial(
             build_seed_pst,
             alphabet_size=alphabet_size,
@@ -466,216 +500,219 @@ class CLUSEQ:
         ) = None
         run_start = time.perf_counter()
 
-        for iteration in range(params.max_iterations):
-            iter_start = time.perf_counter()
+        try:
+            for iteration in range(params.max_iterations):
+                iter_start = time.perf_counter()
 
-            # -- phase 1: new cluster generation ---------------------------------
-            with span("seed"):
-                unclustered = [i for i, ids in assignments.items() if not ids]
-                # While the similarity threshold is still being adjusted,
-                # keep seeds flowing from the unclustered pool: sequences
-                # ejected by a rising t must be able to found new clusters,
-                # otherwise an early over-merge is irreversible. The floor
-                # scales with the pool because greedy min-max selection
-                # favours outliers (they are maximally dissimilar), so with
-                # a large pool a single seed per iteration is usually
-                # wasted on noise.
-                requested = k_n
-                if requested == 0 and unclustered and not threshold_converged:
-                    requested = max(1, len(unclustered) // 20)
-                # Prefer recently-ejected sequences as seed candidates; a
-                # sequence unclustered for many consecutive iterations is
-                # most likely a genuine outlier, not an undiscovered
-                # cluster. Fall back to the full pool when the filter would
-                # empty it (e.g. the first iterations).
-                fresh = [i for i in unclustered if unclustered_streak[i] <= 3]
-                candidates = fresh if fresh else unclustered
-                seeds = select_seeds(
-                    candidates=candidates,
-                    encoded_lookup=lambda i: encoded[i],
-                    existing_clusters=clusters,
-                    background=background,
-                    count=min(requested, len(unclustered)),
-                    sample_multiplier=params.sample_multiplier,
-                    rng=rng,
-                    pst_factory=pst_factory,
-                )
-                for choice in seeds:
-                    clusters.append(
-                        Cluster(
-                            cluster_id=next_cluster_id,
-                            pst=pst_factory(encoded[choice.sequence_index]),
-                            seed_index=choice.sequence_index,
-                            created_at_iteration=iteration,
-                        )
+                # -- phase 1: new cluster generation ---------------------------------
+                with span("seed"):
+                    unclustered = [i for i, ids in assignments.items() if not ids]
+                    # While the similarity threshold is still being adjusted,
+                    # keep seeds flowing from the unclustered pool: sequences
+                    # ejected by a rising t must be able to found new clusters,
+                    # otherwise an early over-merge is irreversible. The floor
+                    # scales with the pool because greedy min-max selection
+                    # favours outliers (they are maximally dissimilar), so with
+                    # a large pool a single seed per iteration is usually
+                    # wasted on noise.
+                    requested = k_n
+                    if requested == 0 and unclustered and not threshold_converged:
+                        requested = max(1, len(unclustered) // 20)
+                    # Prefer recently-ejected sequences as seed candidates; a
+                    # sequence unclustered for many consecutive iterations is
+                    # most likely a genuine outlier, not an undiscovered
+                    # cluster. Fall back to the full pool when the filter would
+                    # empty it (e.g. the first iterations).
+                    fresh = [i for i in unclustered if unclustered_streak[i] <= 3]
+                    candidates = fresh if fresh else unclustered
+                    seeds = select_seeds(
+                        candidates=candidates,
+                        encoded_lookup=lambda i: encoded[i],
+                        existing_clusters=clusters,
+                        background=background,
+                        count=min(requested, len(unclustered)),
+                        sample_multiplier=params.sample_multiplier,
+                        rng=rng,
+                        pst_factory=pst_factory,
                     )
-                    next_cluster_id += 1
-                n_new = len(seeds)
-
-            # -- iteration-0 threshold calibration ---------------------------------
-            # Committing memberships with a grossly under-set initial t
-            # merges everything into one irreversible mixture cluster
-            # before the paper's end-of-iteration adjustment can react.
-            # A dry scoring pass against the fresh seed models lets the
-            # valley heuristic pick the starting t; Table 6 shows the
-            # final t should not depend on the initial one anyway.
-            if (
-                iteration == 0
-                and params.adjust_threshold
-                and params.calibrate_threshold
-                and clusters
-            ):
-                with span("calibrate"):
-                    calibrated = self._calibrate_initial_threshold(
-                        db, clusters, encoded, background, pst_factory, rng
-                    )
-                if calibrated is not None:
-                    log_t = calibrated
-                    # Permanent floor: separation between a cluster and
-                    # foreign sequences only improves as models mature,
-                    # so any later valley estimate *below* the one seen
-                    # against the pristine single-seed models is an
-                    # artefact (half-grown patchwork models compress
-                    # the similarity scale). Following it down is the
-                    # irreversible everything-merges failure mode.
-                    log_t_floor = log_t
-
-            # -- phase 2: sequence reclustering ------------------------------------
-            with span("recluster"):
-                order = self._examination_order(len(db), clusters, assignments, rng)
-                all_log_sims: list[float] = []
-                membership_changes = 0
-                reclustering_work = 0
-                for index in order:
-                    seq = encoded[index]
-                    joined: list[tuple[Cluster, SimilarityResult]] = []
-                    for cluster in clusters:
-                        result = similarity(cluster.pst, seq, background)
-                        reclustering_work += len(seq)
-                        all_log_sims.append(result.log_similarity)
-                        if result.log_similarity >= log_t:
-                            joined.append((cluster, result))
-                    new_ids = {cluster.cluster_id for cluster, _ in joined}
-                    if new_ids != assignments[index]:
-                        membership_changes += 1
-                    for cluster, result in joined:
-                        cluster.set_member(
-                            Membership(
-                                sequence_index=index,
-                                log_similarity=result.log_similarity,
-                                best_start=result.best_start,
-                                best_end=result.best_end,
+                    for choice in seeds:
+                        clusters.append(
+                            Cluster(
+                                cluster_id=next_cluster_id,
+                                pst=pst_factory(encoded[choice.sequence_index]),
+                                seed_index=choice.sequence_index,
+                                created_at_iteration=iteration,
                             )
                         )
-                        # §4.2: *each* join — including a re-join on a later
-                        # iteration — feeds the current best-scoring segment
-                        # into the cluster's PST. Re-absorption is what lets
-                        # a young model mature: as it improves, a member's
-                        # best segment extends towards the whole sequence.
-                        cluster.absorb_segment(
-                            seq[result.best_start : result.best_end]
+                        next_cluster_id += 1
+                    n_new = len(seeds)
+
+                # -- iteration-0 threshold calibration ---------------------------------
+                # Committing memberships with a grossly under-set initial t
+                # merges everything into one irreversible mixture cluster
+                # before the paper's end-of-iteration adjustment can react.
+                # A dry scoring pass against the fresh seed models lets the
+                # valley heuristic pick the starting t; Table 6 shows the
+                # final t should not depend on the initial one anyway.
+                if (
+                    iteration == 0
+                    and params.adjust_threshold
+                    and params.calibrate_threshold
+                    and clusters
+                ):
+                    with span("calibrate"):
+                        calibrated = self._calibrate_initial_threshold(
+                            db, clusters, encoded, background, pst_factory, rng,
+                            scorer,
                         )
-                    for cluster in clusters:
-                        if cluster.cluster_id not in new_ids:
-                            cluster.drop_member(index)
-                    assignments[index] = new_ids
-                    if new_ids:
-                        unclustered_streak[index] = 0
+                    if calibrated is not None:
+                        log_t = calibrated
+                        # Permanent floor: separation between a cluster and
+                        # foreign sequences only improves as models mature,
+                        # so any later valley estimate *below* the one seen
+                        # against the pristine single-seed models is an
+                        # artefact (half-grown patchwork models compress
+                        # the similarity scale). Following it down is the
+                        # irreversible everything-merges failure mode.
+                        log_t_floor = log_t
+
+                # -- phase 2: sequence reclustering ------------------------------------
+                with span("recluster"):
+                    order = self._examination_order(len(db), clusters, assignments, rng)
+                    all_log_sims: list[float] = []
+                    membership_changes = 0
+                    reclustering_work = 0
+                    if scorer is not None:
+                        membership_changes, reclustering_work = (
+                            self._recluster_vectorized(
+                                order,
+                                encoded,
+                                clusters,
+                                assignments,
+                                unclustered_streak,
+                                background,
+                                log_t,
+                                all_log_sims,
+                                scorer,
+                                pool,
+                            )
+                        )
                     else:
-                        unclustered_streak[index] += 1
+                        for index in order:
+                            seq = encoded[index]
+                            results = [
+                                similarity(cluster.pst, seq, background)
+                                for cluster in clusters
+                            ]
+                            reclustering_work += len(seq) * len(clusters)
+                            if self._commit_examination(
+                                index,
+                                seq,
+                                clusters,
+                                results,
+                                log_t,
+                                assignments,
+                                unclustered_streak,
+                                all_log_sims,
+                            ):
+                                membership_changes += 1
 
-            # -- phase 3: consolidation ----------------------------------------------
-            with span("consolidate"):
-                before = len(clusters)
-                clusters, removed = consolidate(
-                    clusters,
-                    params.resolved_min_unique(),
-                    dissolve_covered=params.dissolve_covered,
-                )
-                if removed:
-                    removed_ids = {cluster.cluster_id for cluster in removed}
-                    for index, ids in assignments.items():
-                        if ids & removed_ids:
-                            assignments[index] = ids - removed_ids
-                n_removed = len(removed)
-
-            if params.rebuild_each_iteration:
-                with span("rebuild"):
-                    self._rebuild_cluster_models(clusters, encoded, pst_factory)
-
-            # -- phase 4: threshold adjustment ------------------------------------------
-            valley_linear: float | None = None
-            threshold_moved = False
-            if params.adjust_threshold and not threshold_converged:
-                with span("adjust_threshold"):
-                    valley = valley_finder(
-                        all_log_sims, buckets=params.histogram_buckets
+                # -- phase 3: consolidation ----------------------------------------------
+                with span("consolidate"):
+                    before = len(clusters)
+                    clusters, removed = consolidate(
+                        clusters,
+                        params.resolved_min_unique(),
+                        dissolve_covered=params.dissolve_covered,
                     )
-                if valley is not None:
-                    valley_linear = valley.threshold
-                    if abs(log_t - valley.log_threshold) < 0.01:
-                        threshold_converged = True
-                    else:
-                        # Blend in log scale (geometric mean). Clamp at
-                        # max(1, calibration floor): t ≥ 1 is the
-                        # paper's lower bound, and the calibration floor
-                        # guards against artefact valleys from immature
-                        # models (see the calibration comment above).
-                        blended = (log_t + valley.log_threshold) / 2.0
-                        new_log_t = max(blended, log_t_floor, 0.0)
-                        threshold_moved = abs(new_log_t - log_t) > 1e-12
-                        log_t = new_log_t
+                    if removed:
+                        removed_ids = {cluster.cluster_id for cluster in removed}
+                        for index, ids in assignments.items():
+                            if ids & removed_ids:
+                                assignments[index] = ids - removed_ids
+                    n_removed = len(removed)
 
-            # -- growth factor & termination ---------------------------------------------
-            if n_new > 0:
-                growth = max(n_new - n_removed, 0) / n_new
-            else:
-                growth = 0.0
-            k_n = int(round(len(clusters) * growth))
+                if params.rebuild_each_iteration:
+                    with span("rebuild"):
+                        self._rebuild_cluster_models(clusters, encoded, pst_factory)
 
-            # The paper terminates when "the clustering produced by the
-            # current iteration remains the same as that of the previous
-            # iteration" — compared *after* consolidation, so a seed
-            # cluster that was immediately dismissed does not count as a
-            # change. While t is still converging the run continues even
-            # if memberships momentarily repeat.
-            snapshot = (
-                tuple(sorted(cluster.cluster_id for cluster in clusters)),
-                tuple(
-                    tuple(sorted(assignments[i])) for i in range(len(db))
-                ),
-            )
-            stable = (
-                prev_snapshot is not None
-                and snapshot == prev_snapshot
-                and not threshold_moved
-            )
-            prev_snapshot = snapshot
+                # -- phase 4: threshold adjustment ------------------------------------------
+                valley_linear: float | None = None
+                threshold_moved = False
+                if params.adjust_threshold and not threshold_converged:
+                    with span("adjust_threshold"):
+                        valley = valley_finder(
+                            all_log_sims, buckets=params.histogram_buckets
+                        )
+                    if valley is not None:
+                        valley_linear = valley.threshold
+                        if abs(log_t - valley.log_threshold) < 0.01:
+                            threshold_converged = True
+                        else:
+                            # Blend in log scale (geometric mean). Clamp at
+                            # max(1, calibration floor): t ≥ 1 is the
+                            # paper's lower bound, and the calibration floor
+                            # guards against artefact valleys from immature
+                            # models (see the calibration comment above).
+                            blended = (log_t + valley.log_threshold) / 2.0
+                            new_log_t = max(blended, log_t_floor, 0.0)
+                            threshold_moved = abs(new_log_t - log_t) > 1e-12
+                            log_t = new_log_t
 
-            # History is appended *after* the termination logic so the
-            # final iteration — on either exit path (stability here,
-            # max_iterations via loop exhaustion) — records its full
-            # elapsed time, its membership-change count and whether it
-            # was the stable one.
-            stats = IterationStats(
-                iteration=iteration,
-                new_clusters=n_new,
-                clusters_before_consolidation=before,
-                clusters_removed=n_removed,
-                clusters_after=len(clusters),
-                unclustered=sum(1 for ids in assignments.values() if not ids),
-                membership_changes=membership_changes,
-                threshold=math.exp(log_t) if log_t < 709 else math.inf,
-                log_threshold=log_t,
-                valley=valley_linear,
-                elapsed_seconds=time.perf_counter() - iter_start,
-                reclustering_work=reclustering_work,
-                stable=stable,
-            )
-            history.append(stats)
-            self._observe_iteration(stats, clusters, log_t)
-            if stable:
-                break
+                # -- growth factor & termination ---------------------------------------------
+                if n_new > 0:
+                    growth = max(n_new - n_removed, 0) / n_new
+                else:
+                    growth = 0.0
+                k_n = int(round(len(clusters) * growth))
+
+                # The paper terminates when "the clustering produced by the
+                # current iteration remains the same as that of the previous
+                # iteration" — compared *after* consolidation, so a seed
+                # cluster that was immediately dismissed does not count as a
+                # change. While t is still converging the run continues even
+                # if memberships momentarily repeat.
+                snapshot = (
+                    tuple(sorted(cluster.cluster_id for cluster in clusters)),
+                    tuple(
+                        tuple(sorted(assignments[i])) for i in range(len(db))
+                    ),
+                )
+                stable = (
+                    prev_snapshot is not None
+                    and snapshot == prev_snapshot
+                    and not threshold_moved
+                )
+                prev_snapshot = snapshot
+
+                # History is appended *after* the termination logic so the
+                # final iteration — on either exit path (stability here,
+                # max_iterations via loop exhaustion) — records its full
+                # elapsed time, its membership-change count and whether it
+                # was the stable one.
+                stats = IterationStats(
+                    iteration=iteration,
+                    new_clusters=n_new,
+                    clusters_before_consolidation=before,
+                    clusters_removed=n_removed,
+                    clusters_after=len(clusters),
+                    unclustered=sum(1 for ids in assignments.values() if not ids),
+                    membership_changes=membership_changes,
+                    threshold=math.exp(log_t) if log_t < 709 else math.inf,
+                    log_threshold=log_t,
+                    valley=valley_linear,
+                    elapsed_seconds=time.perf_counter() - iter_start,
+                    reclustering_work=reclustering_work,
+                    stable=stable,
+                )
+                history.append(stats)
+                self._observe_iteration(stats, clusters, log_t)
+                if stable:
+                    break
+
+        finally:
+            if pool is not None:
+                pool.close()
 
         converged = bool(history) and history[-1].stable
         registry = get_registry()
@@ -776,6 +813,155 @@ class CLUSEQ:
             for hook in self.hooks:
                 hook(snapshot)
 
+    @staticmethod
+    def _commit_examination(
+        index: int,
+        seq: list[int],
+        clusters: list[Cluster],
+        results: Sequence[SimilarityResult],
+        log_t: float,
+        assignments: dict[int, set[int]],
+        unclustered_streak: dict[int, int],
+        all_log_sims: list[float],
+    ) -> bool:
+        """Apply one sequence's §4.2–§4.4 examination outcome.
+
+        *results* holds the sequence's score against each cluster, in
+        cluster order. Shared by the reference and vectorized paths —
+        the join rule, the segment absorption and the bookkeeping are
+        the semantics both backends must agree on. Returns whether the
+        sequence's membership set changed.
+        """
+        joined: list[tuple[Cluster, SimilarityResult]] = []
+        for cluster, result in zip(clusters, results):
+            all_log_sims.append(result.log_similarity)
+            if result.log_similarity >= log_t:
+                joined.append((cluster, result))
+        new_ids = {cluster.cluster_id for cluster, _ in joined}
+        changed = new_ids != assignments[index]
+        for cluster, result in joined:
+            cluster.set_member(
+                Membership(
+                    sequence_index=index,
+                    log_similarity=result.log_similarity,
+                    best_start=result.best_start,
+                    best_end=result.best_end,
+                )
+            )
+            # §4.2: *each* join — including a re-join on a later
+            # iteration — feeds the current best-scoring segment
+            # into the cluster's PST. Re-absorption is what lets
+            # a young model mature: as it improves, a member's
+            # best segment extends towards the whole sequence.
+            cluster.absorb_segment(seq[result.best_start : result.best_end])
+        for cluster in clusters:
+            if cluster.cluster_id not in new_ids:
+                cluster.drop_member(index)
+        assignments[index] = new_ids
+        if new_ids:
+            unclustered_streak[index] = 0
+        else:
+            unclustered_streak[index] += 1
+        return changed
+
+    def _recluster_vectorized(
+        self,
+        order: list[int],
+        encoded: list[list[int]],
+        clusters: list[Cluster],
+        assignments: dict[int, set[int]],
+        unclustered_streak: dict[int, int],
+        background: npt.NDArray[np.float64],
+        log_t: float,
+        all_log_sims: list[float],
+        scorer: PstBatchScorer,
+        pool: ScoringPool | None,
+    ) -> tuple[int, int]:
+        """Phase 2 on the vectorized backend: prescore, validate, commit.
+
+        Sequences are prescored in chunks of :data:`PRESCORE_CHUNK`
+        against a snapshot of every cluster model (optionally fanned out
+        to *pool* workers), then committed **sequentially** in
+        examination order. A prescored pair is trusted only while its
+        cluster's PST version still matches the snapshot; a cluster that
+        absorbed a segment mid-chunk gets the affected pairs rescored
+        in-process against its current model. The committed scores are
+        therefore exactly the reference path's, join for join and
+        segment for segment.
+
+        When a chunk's stale fraction exceeds
+        :data:`STALE_SWITCH_FRACTION`, prescoring is wasting its work
+        (every join invalidates a column) and the remainder of the
+        iteration switches to serial scoring — a deterministic,
+        results-neutral speed decision.
+        """
+        membership_changes = 0
+        reclustering_work = 0
+        batch_mode = True
+        registry = get_registry()
+        position = 0
+        while position < len(order):
+            block = order[position : position + PRESCORE_CHUNK]
+            position += len(block)
+            if not clusters or not batch_mode:
+                for index in block:
+                    seq = encoded[index]
+                    results = [
+                        similarity(cluster.pst, seq, background)
+                        for cluster in clusters
+                    ]
+                    reclustering_work += len(seq) * len(clusters)
+                    if self._commit_examination(
+                        index,
+                        seq,
+                        clusters,
+                        results,
+                        log_t,
+                        assignments,
+                        unclustered_streak,
+                        all_log_sims,
+                    ):
+                        membership_changes += 1
+                continue
+            psts = [cluster.pst for cluster in clusters]
+            versions = [pst.version for pst in psts]
+            block_seqs = [encoded[index] for index in block]
+            matrix = scorer.prescore_matrix(psts, block_seqs, pool=pool)
+            stale = 0
+            for offset, index in enumerate(block):
+                seq = encoded[index]
+                results = []
+                for position_c, cluster in enumerate(clusters):
+                    if (
+                        cluster.pst is psts[position_c]
+                        and cluster.pst.version == versions[position_c]
+                    ):
+                        results.append(matrix[position_c][offset])
+                    else:
+                        stale += 1
+                        results.append(
+                            similarity(cluster.pst, seq, background)
+                        )
+                reclustering_work += len(seq) * len(clusters)
+                if self._commit_examination(
+                    index,
+                    seq,
+                    clusters,
+                    results,
+                    log_t,
+                    assignments,
+                    unclustered_streak,
+                    all_log_sims,
+                ):
+                    membership_changes += 1
+            if registry.enabled and stale:
+                registry.counter("backend.prescore_stale_pairs").inc(stale)
+            if stale > STALE_SWITCH_FRACTION * (len(block) * len(clusters)):
+                batch_mode = False
+                if registry.enabled:
+                    registry.counter("backend.prescore_fallbacks").inc()
+        return membership_changes, reclustering_work
+
     def _calibrate_initial_threshold(
         self,
         db: SequenceDatabase,
@@ -784,6 +970,7 @@ class CLUSEQ:
         background: npt.NDArray[np.float64],
         pst_factory: PSTFactory,
         rng: np.random.Generator,
+        scorer: PstBatchScorer | None = None,
     ) -> float | None:
         """Iteration-0 dry scoring pass picking the starting ``log t``.
 
@@ -831,9 +1018,18 @@ class CLUSEQ:
             finders = [VALLEY_METHODS[params.calibration_method]]
         found: list[float] = []
         for pst in reference_psts:
-            reference_sims = [
-                similarity(pst, seq, background).log_similarity for seq in encoded
-            ]
+            if scorer is not None:
+                # Read-only column of the scoring matrix: the batch
+                # kernel's natural shape (no absorbs can invalidate it).
+                reference_sims = [
+                    result.log_similarity
+                    for result in scorer.score_many_vs_one(pst, encoded)
+                ]
+            else:
+                reference_sims = [
+                    similarity(pst, seq, background).log_similarity
+                    for seq in encoded
+                ]
             for finder in finders:
                 estimate = finder(reference_sims, buckets=params.histogram_buckets)
                 if estimate is not None:

@@ -31,13 +31,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Iterator, Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 import numpy.typing as npt
 
 from ..obs import get_registry
 from .smoothing import adjust_probability, validate_p_min
+
+if TYPE_CHECKING:
+    from .backends.flatten import FlattenedPST
 
 #: Rough per-node memory footprint used to translate the paper's
 #: megabyte budgets into node budgets (children dict + counters).
@@ -171,6 +174,10 @@ class ProbabilisticSuffixTree:
         self.root = PSTNode()
         self._node_count = 1
         self._sequences_added = 0
+        # Monotone mutation counter; the flattened array export (and any
+        # cache keyed on it) is valid only while the version is unchanged.
+        self._version = 0
+        self._flat_cache: "FlattenedPST | None" = None
 
     # -- construction ------------------------------------------------------------
 
@@ -241,6 +248,7 @@ class ProbabilisticSuffixTree:
             j -= 1
 
         self._sequences_added += 1
+        self._invalidate()
         if self.max_nodes is not None and self._node_count > self.max_nodes:
             from .pruning import prune_to
 
@@ -338,6 +346,37 @@ class ProbabilisticSuffixTree:
         if self.p_min > 0.0:
             vec = (1.0 - self.alphabet_size * self.p_min) * vec + self.p_min
         return vec
+
+    # -- flattened export --------------------------------------------------------------
+
+    def _invalidate(self) -> None:
+        """Record a mutation: bump the version, drop the flat export."""
+        self._version += 1
+        self._flat_cache = None
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; increments on every change to the tree.
+
+        Anything derived from tree state (most importantly the
+        :meth:`flattened` array export) is valid exactly as long as the
+        version it was built from still matches.
+        """
+        return self._version
+
+    def flattened(self) -> "FlattenedPST":
+        """The array-form export of this tree (cached per version).
+
+        Built lazily by :func:`repro.core.backends.flatten.flatten_pst`
+        and invalidated automatically by ``add_sequence``,
+        ``decay_counts`` and pruning. The vectorized scoring backend
+        consumes this instead of walking ``PSTNode`` objects.
+        """
+        if self._flat_cache is None or self._flat_cache.version != self._version:
+            from .backends.flatten import flatten_pst
+
+            self._flat_cache = flatten_pst(self)
+        return self._flat_cache
 
     # -- traversal / stats -----------------------------------------------------------
 
@@ -460,6 +499,7 @@ class ProbabilisticSuffixTree:
             raise ValueError("min_count must be at least 1")
         if factor >= 1.0:
             return 0
+        self._invalidate()
 
         def scale(value: int) -> int:
             return int(value * factor)
@@ -500,6 +540,7 @@ class ProbabilisticSuffixTree:
         child = parent.children.pop(symbol, None)
         if child is None:
             return 0
+        self._invalidate()
         removed = child.subtree_size()
         self._node_count -= removed
         return removed
@@ -587,4 +628,5 @@ class ProbabilisticSuffixTree:
         pst.root = decode(data["root"])
         pst._sequences_added = data.get("sequences_added", 0)
         pst.recount_nodes()
+        pst._invalidate()
         return pst

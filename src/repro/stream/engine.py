@@ -47,6 +47,7 @@ from typing import Union
 
 import numpy as np
 
+from ..core.backends import BACKENDS, PstBatchScorer, resolve_backend
 from ..core.cluseq import CluseqParams, ClusteringResult
 from ..core.cluster import Cluster, Membership
 from ..core.consolidation import consolidate
@@ -101,6 +102,11 @@ class StreamConfig:
     checkpoint_every: int = 0
     journal_fsync: bool = True
     seed: int = 0
+    #: Scoring backend for the join/absorb path (``auto`` | ``reference``
+    #: | ``vectorized``). Both backends are bit-identical, so replay and
+    #: recovery stay deterministic whichever one a run (or a resumed
+    #: run) selects.
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -125,6 +131,8 @@ class StreamConfig:
             raise ValueError(
                 f"valley_method must be one of {tuple(VALLEY_METHODS)}"
             )
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -143,6 +151,7 @@ class StreamConfig:
             "checkpoint_every": self.checkpoint_every,
             "journal_fsync": self.journal_fsync,
             "seed": self.seed,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -265,6 +274,14 @@ class StreamingCluseq:
             p_min=p_min,
             max_nodes=params.max_nodes,
             prune_strategy=params.prune_strategy,
+        )
+        # Both backends produce bit-identical scores, so the choice can
+        # never perturb join decisions — recovery replay stays exact
+        # even if a resumed run picks a different backend.
+        self._scorer: PstBatchScorer | None = (
+            PstBatchScorer(result.background)
+            if resolve_backend(self.config.backend) == "vectorized"
+            else None
         )
         self._journal: StreamJournal | None = None
         if self.state_dir is not None:
@@ -468,12 +485,30 @@ class StreamingCluseq:
             )
         return assigned
 
+    def _score_against(
+        self, clusters: Sequence[Cluster], encoded: list[int]
+    ) -> list[SimilarityResult]:
+        """Scores of *encoded* against each cluster, in cluster order."""
+        if self._scorer is not None and clusters:
+            return self._scorer.score_one_vs_many(
+                [cluster.pst for cluster in clusters], encoded
+            )
+        return [
+            similarity(cluster.pst, encoded, self.result.background)
+            for cluster in clusters
+        ]
+
     def _assign(self, index: int, encoded: list[int]) -> int | None:
         """The §4.2–§4.4 join rule for one stream sequence."""
         best: tuple[Cluster, SimilarityResult] | None = None
         window = self.config.adjust_every > 0
-        for cluster in self.result.clusters:
-            scored = similarity(cluster.pst, encoded, self.result.background)
+        clusters = self.result.clusters
+        # One sequence against every cluster model: a natural batch row.
+        # Models only mutate *after* this sequence's scores are all in
+        # (the absorb below), matching the reference loop's ordering, so
+        # the batched scores commit identically.
+        scores = self._score_against(clusters, encoded)
+        for cluster, scored in zip(clusters, scores):
             if window:
                 self._recent_scores.append(scored.log_similarity)
             if best is None or scored.log_similarity > best[1].log_similarity:
@@ -608,10 +643,9 @@ class StreamingCluseq:
             # event does not need k separate re-seed rounds to drain.
             for index, encoded in self._pool:
                 best: tuple[Cluster, SimilarityResult] | None = None
-                for cluster in spawned:
-                    scored = similarity(
-                        cluster.pst, encoded, self.result.background
-                    )
+                for cluster, scored in zip(
+                    spawned, self._score_against(spawned, encoded)
+                ):
                     if best is None or (
                         scored.log_similarity > best[1].log_similarity
                     ):

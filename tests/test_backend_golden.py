@@ -1,0 +1,129 @@
+"""Golden end-to-end regression: backend choice never changes clustering.
+
+A seeded CLUSEQ run over synthetic two-family Markov data, checked
+against the committed fixture ``tests/golden/backend_clustering.json``
+— and parametrized over every backend/worker combination, all of which
+must reproduce the fixture *exactly* (assignments, threshold, history
+and recall). This pins two things at once:
+
+* the clustering output itself (an algorithm regression trips it), and
+* backend neutrality — the vectorized kernel and the multiprocessing
+  prescore path commit bit-identical decisions to the reference loop.
+
+Regenerate after an *intentional* algorithm change with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_backend_golden.py -k reference-0
+
+and commit the diff alongside the change that explains it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.cluseq import CLUSEQ, CluseqParams
+from repro.evaluation.metrics import evaluate_clustering
+from repro.sequences.database import SequenceDatabase
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "backend_clustering.json"
+
+ALPHABET = "abcdefgh"
+N_SEQUENCES = 80
+LENGTH = 60
+SEED = 20260806
+
+
+def _two_family_database() -> tuple[SequenceDatabase, list[str]]:
+    """Synthetic two-family first-order Markov data, fully seeded."""
+    size = len(ALPHABET)
+
+    def transition_matrix(seed: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        matrix = rng.random((size, size)) ** 6
+        return matrix / matrix.sum(axis=1, keepdims=True)
+
+    families = [transition_matrix(SEED + 1), transition_matrix(SEED + 2)]
+    rng = np.random.default_rng(SEED)
+    strings: list[str] = []
+    labels: list[str] = []
+    for i in range(N_SEQUENCES):
+        family = i % 2
+        chain = families[family]
+        state = int(rng.integers(size))
+        symbols = [state]
+        for _ in range(LENGTH - 1):
+            state = int(rng.choice(size, p=chain[state]))
+            symbols.append(state)
+        strings.append("".join(ALPHABET[s] for s in symbols))
+        labels.append(f"family{family}")
+    return SequenceDatabase.from_strings(strings), labels
+
+
+def _run(backend: str, workers: int) -> dict[str, object]:
+    db, truth = _two_family_database()
+    params = CluseqParams(
+        k=4,
+        significance_threshold=2,
+        similarity_threshold=1.2,
+        max_depth=4,
+        max_iterations=6,
+        seed=7,
+        backend=backend,
+        workers=workers,
+    )
+    result = CLUSEQ(params).fit(db)
+    report = evaluate_clustering(truth, result.labels())
+    return {
+        "assignments": {
+            str(index): sorted(ids)
+            for index, ids in sorted(result.assignments.items())
+        },
+        "final_log_threshold": result.final_log_threshold,
+        "clusters": [
+            [cluster.cluster_id, len(cluster.members)]
+            for cluster in result.clusters
+        ],
+        "history": [
+            [entry.iteration, entry.new_clusters, entry.membership_changes]
+            for entry in result.history
+        ],
+        "macro_recall": report.macro_recall,
+        "accuracy": report.accuracy,
+    }
+
+
+@pytest.mark.parametrize(
+    ("backend", "workers"),
+    [("reference", 0), ("vectorized", 0), ("vectorized", 2)],
+    ids=["reference-0", "vectorized-0", "vectorized-2"],
+)
+def test_clustering_matches_golden_fixture(backend: str, workers: int) -> None:
+    observed = _run(backend, workers)
+    if os.environ.get("REGEN_GOLDEN") and backend == "reference":
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(observed, indent=2) + "\n")
+    expected = json.loads(GOLDEN_PATH.read_text())
+    assert observed["assignments"] == expected["assignments"]
+    assert observed["clusters"] == expected["clusters"]
+    assert observed["history"] == expected["history"]
+    assert math.isclose(
+        observed["final_log_threshold"],
+        expected["final_log_threshold"],
+        rel_tol=0.0,
+        abs_tol=0.0,
+    ), "threshold must be bit-identical across backends"
+    assert observed["macro_recall"] == expected["macro_recall"]
+    assert observed["accuracy"] == expected["accuracy"]
+
+
+def test_fixture_represents_a_meaningful_clustering() -> None:
+    """Guard against silently committing a degenerate fixture."""
+    expected = json.loads(GOLDEN_PATH.read_text())
+    assert expected["macro_recall"] >= 0.9
+    assert len(expected["clusters"]) >= 2

@@ -207,6 +207,39 @@ class TestImportLayering:
         )
         assert violations == []
 
+    def test_backends_importing_sequences_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/backends/bad.py",
+            "from ...sequences.database import SequenceDatabase\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_backends_importing_stream_fires(self, tmp_path):
+        # Fires twice: once as core->stream, once as backends->stream.
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/backends/bad.py",
+            "import repro.stream.engine\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001", "CLQ001"]
+
+    def test_backends_allowed_layers_are_fine(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/backends/good.py",
+            "from ..pst import ProbabilisticSuffixTree\n"
+            "from ..similarity import SimilarityResult\n"
+            "from ...obs import get_registry\n"
+            "from ...typing import PSTFactory\n"
+            "from .flatten import FlattenedPST\n"
+            "import numpy as np\nimport math\n",
+            "CLQ001",
+        )
+        assert violations == []
+
     def test_suppression_comment_silences(self, tmp_path):
         violations = check_source(
             tmp_path,

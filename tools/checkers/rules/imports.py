@@ -27,6 +27,17 @@ CORE_FORBIDDEN = (
 #: Top-level modules the obs layer may import besides the stdlib.
 OBS_ALLOWED_PREFIX = "repro.obs"
 
+#: ``repro.*`` prefixes the scoring-backend subpackage may depend on —
+#: the core layer it accelerates, the shared typing aliases, and obs
+#: for counters. Backends are a *leaf* of core: letting them reach
+#: into sequences/stream/evaluation would quietly invert the layering
+#: the rest of this rule protects.
+BACKENDS_ALLOWED_PREFIXES = (
+    "repro.core",
+    "repro.typing",
+    "repro.obs",
+)
+
 #: ``repro.*`` prefixes the stream layer may depend on — the batch
 #: engine and everything below it, never the CLI/experiments/evaluation
 #: stack above.
@@ -89,6 +100,7 @@ class ImportLayeringRule(Rule):
     rule_id = "CLQ001"
     summary = (
         "core must not import experiments/cli/evaluation/stream; "
+        "core.backends only core/typing/obs; "
         "stream only core/sequences/obs; obs stdlib only"
     )
 
@@ -96,6 +108,7 @@ class ImportLayeringRule(Rule):
         in_core = context.in_package("repro.core")
         in_obs = context.in_package("repro.obs")
         in_stream = context.in_package("repro.stream")
+        in_backends = context.in_package("repro.core.backends")
         if not (in_core or in_obs or in_stream):
             return
         for node in ast.walk(context.tree):
@@ -111,6 +124,18 @@ class ImportLayeringRule(Rule):
                                 f"repro.core must not import {target} "
                                 "(layering: core -> obs/sequences only)",
                             )
+                if in_backends:
+                    top = target.split(".", 1)[0]
+                    if top == "repro" and not any(
+                        target == prefix or target.startswith(prefix + ".")
+                        for prefix in BACKENDS_ALLOWED_PREFIXES
+                    ):
+                        yield self.violation(
+                            context,
+                            stmt,
+                            f"repro.core.backends must not import {target} "
+                            "(layering: backends -> core/typing/obs only)",
+                        )
                 if in_stream:
                     top = target.split(".", 1)[0]
                     if top == "repro" and not any(
