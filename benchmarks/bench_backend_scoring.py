@@ -22,16 +22,20 @@ where the shape assertion is the same not-slower gate.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
 
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
 from repro.core.backends import PstBatchScorer, ScoringPool
 from repro.core.pst import ProbabilisticSuffixTree
 from repro.core.similarity import similarity
+from tools.benchtrack.schema import write_bench_document
 
 SCHEMA = "repro.bench/v1"
 
@@ -144,10 +148,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     spec = SMOKE if args.smoke else FULL
     document = run_bench(spec)
-    out = Path(args.out) if args.out else (
-        Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
-    )
-    out.write_text(json.dumps(document, indent=2) + "\n")
+    out = Path(args.out) if args.out else (REPO_ROOT / "BENCH_PR5.json")
+    # Validates the repro.bench/v1 shape and stamps git SHA + timestamp
+    # so the file is directly ingestable by `python -m tools.benchtrack`.
+    write_bench_document(out, document)
     for row in document["results"]:
         print(
             f"{row['backend']:>10s} workers={row['workers']}: "

@@ -1,0 +1,173 @@
+"""Telemetry zero-overhead bench — the disabled-path cost bound.
+
+The Telemetry v2 instrumentation threads ``prof.enabled`` /
+``registry.enabled`` guards through the scoring hot path
+(``PstBatchScorer._score_rows``, the stack/flat caches). This bench
+verifies the contract that motivated those guards: with telemetry
+fully disabled (the default), the instrumented scorer must run within
+``OVERHEAD_BOUND`` (2%) of a hand-inlined, guard-free transcription of
+the same kernel sequence — i.e. the pre-instrumentation timing.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+
+Exits non-zero when the bound is violated after ``ATTEMPTS`` retries
+(timing on shared CI machines is noisy; a bound this tight needs
+best-of-N on both sides and a couple of attempts). Also runs under
+pytest as the perf-smoke assertion.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from repro.core.backends import PstBatchScorer
+from repro.core.backends.vectorized import (
+    gather_log_ratios,
+    kadane_rows,
+    pad_sequences,
+    results_from_batch,
+    stack_flats,
+    walk_states,
+)
+from repro.core.pst import ProbabilisticSuffixTree
+from repro.obs import NULL_PROFILER, NULL_REGISTRY, get_profiler, get_registry
+
+#: Disabled telemetry may cost at most this fraction over the bare kernels.
+OVERHEAD_BOUND = 0.02
+#: Timing attempts before declaring the bound violated.
+ATTEMPTS = 3
+#: Repeats per attempt; both sides take the best (min) timing.
+REPEATS = 30
+
+WORKLOAD = {"alphabet": 12, "depth": 5, "significance": 3, "clusters": 6,
+            "sequences": 60, "length": 80}
+
+
+def build_workload():
+    rng = np.random.default_rng(23)
+    alphabet = WORKLOAD["alphabet"]
+    psts = []
+    for _ in range(WORKLOAD["clusters"]):
+        pst = ProbabilisticSuffixTree(
+            alphabet_size=alphabet,
+            max_depth=WORKLOAD["depth"],
+            significance_threshold=WORKLOAD["significance"],
+        )
+        for _ in range(10):
+            pst.add_sequence(
+                [int(s) for s in rng.integers(0, alphabet, WORKLOAD["length"])]
+            )
+        psts.append(pst)
+    sequences = [
+        [int(s) for s in rng.integers(0, alphabet, WORKLOAD["length"])]
+        for _ in range(WORKLOAD["sequences"])
+    ]
+    background = np.full(alphabet, 1.0 / alphabet)
+    return psts, sequences, background
+
+
+def make_bare_runner(scorer, psts, sequences, log_bg):
+    """The same kernel sequence with zero instrumentation.
+
+    A transcription of ``score_matrix`` + ``_score_rows`` with every
+    telemetry guard deleted — the pre-instrumentation hot path.
+    """
+    stacked = stack_flats([pst.flattened() for pst in psts])
+
+    def bare() -> None:
+        rows = []
+        row_flats = np.empty(len(psts) * len(sequences), dtype=np.intp)
+        cursor = 0
+        for tree_index in range(len(psts)):
+            for seq in sequences:
+                rows.append(seq)
+                row_flats[cursor] = tree_index
+                cursor += 1
+        padded, lengths = pad_sequences(rows)
+        states = walk_states(stacked, padded, row_flats)
+        ratios = gather_log_ratios(stacked, log_bg, padded, states)
+        batch = kadane_rows(ratios, lengths)
+        flat_results = results_from_batch(batch)
+        width = len(sequences)
+        _ = [
+            flat_results[tree_index * width : (tree_index + 1) * width]
+            for tree_index in range(len(psts))
+        ]
+
+    return bare
+
+
+def measure_overhead() -> tuple[float, float, float]:
+    """(bare_seconds, instrumented_seconds, overhead_fraction).
+
+    The two variants are timed *interleaved* (bare, instrumented, bare,
+    instrumented, …) taking the min of each: back-to-back blocks pick
+    up systematic drift (frequency scaling, cache state) that dwarfs
+    the per-call guard cost this bench is trying to measure.
+    """
+    assert not get_registry().enabled and not get_profiler().enabled, (
+        "this bench must run with telemetry disabled"
+    )
+    psts, sequences, background = build_workload()
+    scorer = PstBatchScorer(background)
+    scorer.score_matrix(psts, sequences)  # warm flats, stack and caches
+    bare_runner = make_bare_runner(scorer, psts, sequences, scorer.log_bg)
+    bare_runner()
+    bare = instrumented = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        bare_runner()
+        bare = min(bare, time.perf_counter() - started)
+        started = time.perf_counter()
+        scorer.score_matrix(psts, sequences)
+        instrumented = min(instrumented, time.perf_counter() - started)
+    return bare, instrumented, instrumented / bare - 1.0
+
+
+def run(report=print) -> bool:
+    assert get_registry() is NULL_REGISTRY or not get_registry().enabled
+    assert get_profiler() is NULL_PROFILER or not get_profiler().enabled
+    worst = None
+    for attempt in range(1, ATTEMPTS + 1):
+        bare, instrumented, overhead = measure_overhead()
+        report(
+            f"attempt {attempt}: bare {bare * 1e3:.3f} ms, "
+            f"instrumented(disabled) {instrumented * 1e3:.3f} ms, "
+            f"overhead {overhead * 100:+.2f}% (bound {OVERHEAD_BOUND:.0%})"
+        )
+        if overhead <= OVERHEAD_BOUND:
+            return True
+        worst = overhead
+    report(
+        f"FAIL: disabled-telemetry overhead {worst * 100:+.2f}% exceeds "
+        f"{OVERHEAD_BOUND:.0%} after {ATTEMPTS} attempts",
+    )
+    return False
+
+
+def test_disabled_telemetry_overhead_bounded():
+    """Perf-smoke gate: telemetry off must cost ≤2% on the score path."""
+    from repro.obs import use_registry
+
+    # conftest's bench_telemetry fixture installs a live registry for
+    # every bench; this one specifically measures the disabled path.
+    with use_registry(None):
+        assert run()
+
+
+def main() -> int:
+    return 0 if run() else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

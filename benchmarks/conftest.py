@@ -16,15 +16,33 @@ perf trajectory be compared across PRs, next to the printed tables.
 """
 
 import os
+import sys
 from pathlib import Path
 
 import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
 
 from repro.datasets.languages import make_language_database
 from repro.datasets.protein import make_protein_database
 from repro.evaluation.reporting import write_metrics_json
 from repro.obs import MetricsRegistry, use_registry
 from repro.sequences.generators import generate_clustered_database
+from tools.benchtrack.schema import write_bench_document  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_document_writer():
+    """The validating/stamping writer for ``repro.bench/v1`` JSONs.
+
+    Benches that emit machine-readable result documents write them
+    through this (it validates the schema and stamps git SHA +
+    timestamp) so every produced file is ingestable by
+    ``tools.benchtrack``.
+    """
+    return write_bench_document
 
 
 def pytest_configure(config):

@@ -14,6 +14,9 @@ Subcommands
     or stdin through the micro-batch streaming engine, optionally with
     a durable state directory (journal + checkpoints) that ``--resume``
     recovers from after a crash.
+``telemetry``
+    Inspect a telemetry JSON snapshot (v1 or v2): summarize it as a
+    table, or convert it to Prometheus text exposition.
 
 Global observability flags (before the subcommand):
 
@@ -25,6 +28,12 @@ Global observability flags (before the subcommand):
 ``--metrics-out PATH``
     Collect metrics for the whole invocation and write the telemetry
     JSON document to PATH on exit.
+
+``cluster`` and ``stream`` additionally accept Telemetry v2 flags:
+``--telemetry-dir DIR`` (enable metrics + hot-path profiler, write a
+``repro.telemetry/v2`` snapshot and a ``.prom`` exposition into DIR)
+and ``--trace-out PATH`` (export spans as ``repro.trace/v1`` JSONL).
+See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -139,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the fitted clustering (JSON) for later `classify` runs",
     )
+    _add_telemetry_flags(cluster)
 
     classify = subparsers.add_parser(
         "classify", help="assign new sequences with a saved model"
@@ -238,6 +248,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the final clustering as a `classify`-compatible model",
     )
+    _add_telemetry_flags(stream)
+
+    telemetry = subparsers.add_parser(
+        "telemetry", help="inspect or convert a telemetry JSON snapshot"
+    )
+    telemetry.add_argument(
+        "path", help="telemetry JSON written by --metrics-out/--telemetry-dir"
+    )
+    telemetry.add_argument(
+        "--format",
+        choices=("table", "prom", "json"),
+        default="table",
+        help="table summary (default), Prometheus text, or normalized JSON",
+    )
 
     generate = subparsers.add_parser(
         "generate", help="write a synthetic clustered database"
@@ -256,6 +280,23 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
 
     return parser
+
+
+def _add_telemetry_flags(subparser: argparse.ArgumentParser) -> None:
+    """Telemetry v2 flags shared by the long-running subcommands."""
+    subparser.add_argument(
+        "--telemetry-dir",
+        metavar="DIR",
+        default=None,
+        help="enable metrics + hot-path profiling and write telemetry.json "
+        "(repro.telemetry/v2) and metrics.prom into DIR on exit",
+    )
+    subparser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="export spans as repro.trace/v1 JSON lines to PATH",
+    )
 
 
 def _load_database(path: str, file_format: str) -> SequenceDatabase:
@@ -458,6 +499,46 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_telemetry(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import prometheus_from_snapshot
+
+    try:
+        with open(args.path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+    if not isinstance(doc, dict) or not isinstance(doc.get("metrics"), dict):
+        print(
+            f"error: {args.path} is not a telemetry document "
+            "(expected a JSON object with a 'metrics' mapping)",
+            file=sys.stderr,
+        )
+        return 1
+    metrics = doc["metrics"]
+    if args.format == "json":
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    if args.format == "prom":
+        sys.stdout.write(prometheus_from_snapshot(metrics))
+        return 0
+    print(f"schema: {doc.get('schema', '?')}")
+    rows = []
+    for name in sorted(metrics):
+        entry = metrics[name]
+        if not isinstance(entry, dict):
+            continue
+        kind = str(entry.get("type", "?"))
+        value = entry.get("value")
+        if value is None:
+            value = entry.get("count", "")
+        rows.append([name, kind, str(value)])
+    print_table(["metric", "type", "value"], rows)
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "cluster":
         return _command_cluster(args)
@@ -465,6 +546,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_classify(args)
     if args.command == "stream":
         return _command_stream(args)
+    if args.command == "telemetry":
+        return _command_telemetry(args)
     if args.command == "generate":
         return _command_generate(args)
     if args.command == "experiment":
@@ -472,30 +555,62 @@ def _dispatch(args: argparse.Namespace) -> int:
     return 2  # pragma: no cover - argparse enforces the choices
 
 
+def _check_out_dir(parser: argparse.ArgumentParser, flag: str, path: str) -> None:
+    # Fail fast on an unwritable telemetry path rather than discovering
+    # it after minutes of clustering work.
+    out_dir = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(out_dir):
+        parser.error(f"{flag}: directory does not exist: {out_dir}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    import contextlib
+
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.log_level or args.log_json:
         configure_logging(
             level=args.log_level or "INFO", json_lines=args.log_json
         )
-    if not args.metrics_out:
+    telemetry_dir = getattr(args, "telemetry_dir", None)
+    trace_out = getattr(args, "trace_out", None)
+    if not (args.metrics_out or telemetry_dir or trace_out):
         return _dispatch(args)
-    # Fail fast on an unwritable telemetry path rather than discovering
-    # it after minutes of clustering work.
-    out_dir = os.path.dirname(os.path.abspath(args.metrics_out))
-    if not os.path.isdir(out_dir):
-        parser.error(f"--metrics-out: directory does not exist: {out_dir}")
-    registry = MetricsRegistry()
-    with use_registry(registry):
+
+    from .obs import JsonlSpanExporter, Profiler, use_profiler, use_span_exporter
+
+    if args.metrics_out:
+        _check_out_dir(parser, "--metrics-out", args.metrics_out)
+    if trace_out:
+        _check_out_dir(parser, "--trace-out", trace_out)
+
+    registry: MetricsRegistry | None = None
+    with contextlib.ExitStack() as stack:
+        if args.metrics_out or telemetry_dir:
+            registry = MetricsRegistry()
+            stack.enter_context(use_registry(registry))
+        if telemetry_dir:
+            stack.enter_context(use_profiler(Profiler()))
+        if trace_out:
+            exporter = stack.enter_context(JsonlSpanExporter(trace_out))
+            stack.enter_context(use_span_exporter(exporter))
         code = _dispatch(args)
-    write_metrics_json(
-        args.metrics_out,
-        registry,
-        extra={"argv": list(argv) if argv is not None else sys.argv[1:]},
-    )
-    print(f"telemetry written to {args.metrics_out}", file=sys.stderr)
+    context = {"argv": list(argv) if argv is not None else sys.argv[1:]}
+    if args.metrics_out and registry is not None:
+        write_metrics_json(args.metrics_out, registry, extra=context)
+        print(f"telemetry written to {args.metrics_out}", file=sys.stderr)
+    if telemetry_dir and registry is not None:
+        from .obs import write_prometheus_text, write_telemetry_json
+
+        target = os.path.join(telemetry_dir, "telemetry.json")
+        write_telemetry_json(target, registry, context=context)
+        write_prometheus_text(
+            os.path.join(telemetry_dir, "metrics.prom"), registry
+        )
+        print(f"telemetry v2 written to {telemetry_dir}", file=sys.stderr)
+    if trace_out:
+        print(f"trace written to {trace_out}", file=sys.stderr)
     return code
 
 

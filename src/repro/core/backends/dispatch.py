@@ -28,7 +28,7 @@ from collections.abc import Sequence
 import numpy as np
 import numpy.typing as npt
 
-from ...obs import get_registry
+from ...obs import current_trace_context, get_profiler, get_registry
 from ..pst import ProbabilisticSuffixTree
 from ..similarity import SimilarityResult
 from .flatten import FlattenedPST
@@ -125,13 +125,18 @@ class PstBatchScorer:
             or versions != self._stack_versions
             or any(a is not b for a, b in zip(psts, self._stack_psts))
         )
+        prof = get_profiler()
         if fresh:
+            if prof.enabled:
+                prof.cache_miss("stack")
             self._stack = stack_flats(flats)
             self._stack_psts = tuple(psts)
             self._stack_versions = versions
             registry = get_registry()
             if registry.enabled:
                 registry.counter("backend.stack_rebuilds").inc()
+        elif prof.enabled:
+            prof.cache_hit("stack")
         assert self._stack is not None
         return self._stack
 
@@ -142,10 +147,24 @@ class PstBatchScorer:
         row_flats: npt.NDArray[np.intp],
     ) -> list[SimilarityResult]:
         started = time.perf_counter()
-        padded, lengths = pad_sequences(sequences)
-        states = walk_states(stacked, padded, row_flats)
-        ratios = gather_log_ratios(stacked, self._log_bg, padded, states)
-        batch: KadaneBatchResult = kadane_rows(ratios, lengths)
+        prof = get_profiler()
+        if prof.enabled:
+            # Per-kernel timings for the profiler; the untimed branch
+            # below is the hot default and stays call-for-call
+            # identical to the pre-profiler code.
+            with prof.kernel("pad"):
+                padded, lengths = pad_sequences(sequences)
+            with prof.kernel("walk"):
+                states = walk_states(stacked, padded, row_flats)
+            with prof.kernel("gather"):
+                ratios = gather_log_ratios(stacked, self._log_bg, padded, states)
+            with prof.kernel("kadane"):
+                batch: KadaneBatchResult = kadane_rows(ratios, lengths)
+        else:
+            padded, lengths = pad_sequences(sequences)
+            states = walk_states(stacked, padded, row_flats)
+            ratios = gather_log_ratios(stacked, self._log_bg, padded, states)
+            batch = kadane_rows(ratios, lengths)
         results = results_from_batch(batch)
         registry = get_registry()
         if registry.enabled:
@@ -232,7 +251,9 @@ class PstBatchScorer:
         if not psts or not sequences:
             return [[] for _ in psts]
         flats = [self.flat_for(pst) for pst in psts]
-        raw_matrix = pool.prescore_matrix(flats, sequences, self._log_bg)
+        raw_matrix = pool.prescore_matrix(
+            flats, sequences, self._log_bg, trace=current_trace_context()
+        )
         results = [
             [raw_to_result(raw) for raw in row] for row in raw_matrix
         ]

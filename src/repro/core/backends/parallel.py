@@ -17,12 +17,14 @@ arrays per chunk, not a pointer graph.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from collections.abc import Sequence
 
 import numpy as np
 import numpy.typing as npt
 
+from ...obs import record_foreign_span
 from ..similarity import SimilarityResult, _safe_exp
 from .flatten import FlattenedPST
 from .vectorized import (
@@ -77,6 +79,28 @@ def score_matrix_raw(
     return out
 
 
+def _score_chunk_timed(
+    flats: Sequence[FlattenedPST],
+    sequences: Sequence[Sequence[int]],
+    log_bg: npt.NDArray[np.float64],
+) -> tuple[list[list[RawScore]], float, float]:
+    """Worker entry point: the raw matrix plus its wall/CPU seconds.
+
+    The timing is measured inside the worker process (the only place
+    that can see it) and shipped home with the scores so the parent can
+    stitch a ``backend.worker_chunk`` span onto the live trace when one
+    is being exported; see §4.2 for the re-examination fan-out itself.
+    """
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    raw = score_matrix_raw(flats, sequences, log_bg)
+    return (
+        raw,
+        time.perf_counter() - wall_start,
+        time.process_time() - cpu_start,
+    )
+
+
 def raw_to_result(raw: RawScore) -> SimilarityResult:
     """Inflate a wire-form score back into the paper's
     :class:`SimilarityResult` (§4.3)."""
@@ -115,6 +139,7 @@ class ScoringPool:
         flats: Sequence[FlattenedPST],
         sequences: Sequence[Sequence[int]],
         log_bg: npt.NDArray[np.float64],
+        trace: tuple[str, str] | None = None,
     ) -> list[list[RawScore]]:
         """Tree-major raw matrix of *sequences* against *flats*.
 
@@ -122,20 +147,40 @@ class ScoringPool:
         responsible for validating every pair against current model
         versions before trusting it (models may mutate after the
         snapshot the flats represent).
+
+        *trace* is an optional ``(trace_id, parent_span_id)`` pair (from
+        :func:`repro.obs.current_trace_context`): when given, each
+        worker chunk's timing is stitched onto that trace as a finished
+        ``backend.worker_chunk`` span when its result is committed.
         """
         if not flats or not sequences:
             return [[] for _ in flats]
         block = max(1, -(-len(sequences) // self.workers))
-        futures: list[Future[list[list[RawScore]]]] = []
+        futures: list[Future[tuple[list[list[RawScore]], float, float]]] = []
+        chunk_rows: list[int] = []
         pool = self._pool()
         for start in range(0, len(sequences), block):
             chunk = list(sequences[start : start + block])
+            chunk_rows.append(len(chunk))
             futures.append(
-                pool.submit(score_matrix_raw, list(flats), chunk, log_bg)
+                pool.submit(_score_chunk_timed, list(flats), chunk, log_bg)
             )
         out: list[list[RawScore]] = [[] for _ in flats]
-        for future in futures:
-            partial = future.result()
+        for index, future in enumerate(futures):
+            partial, wall_seconds, cpu_seconds = future.result()
+            if trace is not None:
+                record_foreign_span(
+                    "backend.worker_chunk",
+                    wall_seconds,
+                    cpu_seconds,
+                    trace_id=trace[0],
+                    parent_id=trace[1],
+                    attrs={
+                        "chunk": index,
+                        "rows": chunk_rows[index],
+                        "trees": len(flats),
+                    },
+                )
             for tree_index, scores in enumerate(partial):
                 out[tree_index].extend(scores)
         return out

@@ -40,11 +40,19 @@ from typing import Any
 import numpy as np
 import numpy.typing as npt
 
-from ..obs import MetricsRegistry, get_logger, get_registry, span, use_registry
+from ..obs import (
+    MetricsRegistry,
+    get_logger,
+    get_profiler,
+    get_registry,
+    span,
+    use_registry,
+)
 from ..sequences.database import SequenceDatabase
 from ..typing import PSTFactory
 from .backends import BACKENDS, PstBatchScorer, ScoringPool, resolve_backend
 from .cluster import Cluster, Membership
+from .pst import APPROX_BYTES_PER_NODE
 from .consolidation import consolidate
 from .seeding import build_seed_pst, select_seeds
 from .similarity import SimilarityResult, similarity
@@ -764,11 +772,23 @@ class CLUSEQ:
         the trajectory the threshold/cluster-count plots need.
         """
         registry = get_registry()
+        prof = get_profiler()
         want_snapshot = bool(self.hooks)
-        if registry.enabled or want_snapshot:
+        if registry.enabled or prof.enabled or want_snapshot:
             pst_nodes = {
                 cluster.cluster_id: cluster.pst.node_count for cluster in clusters
             }
+        if prof.enabled:
+            # Per-iteration model-size and process-memory trajectory
+            # (§6's scalability story needs both axes: time *and* space).
+            total_nodes = sum(pst_nodes.values())
+            prof.gauge("model.clusters", stats.clusters_after)
+            prof.gauge("model.pst_nodes", total_nodes)
+            prof.gauge("model.approx_bytes", total_nodes * APPROX_BYTES_PER_NODE)
+            prof.series("iteration.pst_nodes", total_nodes)
+            peak_rss = prof.sample_memory()
+            if peak_rss is not None:
+                prof.series("iteration.peak_rss_bytes", peak_rss)
         if registry.enabled:
             registry.series("cluseq.iteration.clusters").append(stats.clusters_after)
             registry.series("cluseq.iteration.unclustered").append(stats.unclustered)

@@ -1,11 +1,11 @@
-"""Observability: metrics, structured logging and tracing.
+"""Observability: metrics, structured logging, tracing and profiling.
 
 The instrumentation layer for the CLUSEQ pipeline, dependency-free by
 design and **zero-overhead by default** — until an application opts
 in, the active metrics registry is a no-op and every log call is
 level-gated away under a ``NullHandler``.
 
-Three pieces:
+Five pieces:
 
 * :mod:`repro.obs.metrics` — counters, gauges, histograms, timers and
   series in a :class:`MetricsRegistry`; activate one with
@@ -14,11 +14,30 @@ Three pieces:
   :func:`configure_logging` and a JSON-lines formatter. The root
   logger is never touched.
 * :mod:`repro.obs.tracing` — nested :func:`span` context managers
-  measuring wall/CPU time per pipeline phase.
+  measuring wall/CPU time per pipeline phase, with optional trace
+  export (span/trace ids) via :func:`set_span_exporter`.
+* :mod:`repro.obs.profile` — the opt-in hot-path profiler: per-kernel
+  timers, cache hit/miss counters, I/O latency histograms and memory
+  gauges under the ``profile.*`` namespace.
+* :mod:`repro.obs.export` — Prometheus text exposition,
+  ``repro.telemetry/v2`` JSON snapshots and the ``repro.trace/v1``
+  JSONL span exporter.
 
 See ``docs/OBSERVABILITY.md`` for the metric catalogue and usage.
 """
 
+from .export import (
+    TELEMETRY_SCHEMA_V2,
+    TRACE_SCHEMA,
+    JsonlSpanExporter,
+    prometheus_from_snapshot,
+    read_trace,
+    telemetry_document,
+    to_prometheus_text,
+    use_span_exporter,
+    write_prometheus_text,
+    write_telemetry_json,
+)
 from .logging import (
     LOGGER_NAME,
     JsonLinesFormatter,
@@ -39,7 +58,25 @@ from .metrics import (
     set_registry,
     use_registry,
 )
-from .tracing import Span, current_span, iter_tree, span
+from .profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    get_profiler,
+    set_profiler,
+    use_profiler,
+)
+from .tracing import (
+    Span,
+    current_span,
+    current_trace_context,
+    get_span_exporter,
+    iter_tree,
+    new_trace_id,
+    record_foreign_span,
+    set_span_exporter,
+    span,
+)
 
 __all__ = [
     "LOGGER_NAME",
@@ -61,5 +98,26 @@ __all__ = [
     "Span",
     "span",
     "current_span",
+    "current_trace_context",
+    "new_trace_id",
+    "record_foreign_span",
+    "set_span_exporter",
+    "get_span_exporter",
     "iter_tree",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "get_profiler",
+    "set_profiler",
+    "use_profiler",
+    "TELEMETRY_SCHEMA_V2",
+    "TRACE_SCHEMA",
+    "JsonlSpanExporter",
+    "use_span_exporter",
+    "telemetry_document",
+    "write_telemetry_json",
+    "to_prometheus_text",
+    "prometheus_from_snapshot",
+    "write_prometheus_text",
+    "read_trace",
 ]

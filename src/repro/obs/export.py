@@ -1,0 +1,407 @@
+"""Metrics and trace exporters (Telemetry v2).
+
+Three output formats, all derived from the same
+:class:`~repro.obs.metrics.MetricsRegistry` snapshot or live span
+stream:
+
+* **Prometheus text exposition** — :func:`to_prometheus_text` renders
+  every instrument into the ``text/plain; version=0.0.4`` format so a
+  scrape endpoint (or a pushed ``.prom`` file) needs no extra code.
+* **Versioned JSON snapshots** — :func:`telemetry_document` builds a
+  ``repro.telemetry/v2`` document: the raw metric snapshot plus a
+  derived ``profile`` view (kernels / caches / latency / gauges) so
+  consumers don't have to re-group ``profile.*`` names themselves.
+* **JSONL trace spans** — :class:`JsonlSpanExporter` writes finished
+  spans as ``repro.trace/v1`` JSON lines (one header record, then one
+  record per span with trace/span/parent ids), the wire format the
+  ``ScoringPool`` fan-out and streaming micro-batches stitch into.
+
+Stdlib-only, like the rest of ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+import time
+from collections.abc import Mapping
+from pathlib import Path
+from typing import IO, Optional, Union
+
+from .metrics import MetricsRegistry, _sanitize
+from .tracing import Span, SpanExporter, set_span_exporter
+
+__all__ = [
+    "TELEMETRY_SCHEMA_V2",
+    "TRACE_SCHEMA",
+    "telemetry_document",
+    "write_telemetry_json",
+    "to_prometheus_text",
+    "prometheus_from_snapshot",
+    "write_prometheus_text",
+    "JsonlSpanExporter",
+    "use_span_exporter",
+    "read_trace",
+]
+
+#: Version tag stamped on every exported telemetry snapshot. v2 adds
+#: the creation timestamp, run context, and the derived profile view
+#: on top of v1's bare ``{"schema", "metrics"}`` shape.
+TELEMETRY_SCHEMA_V2 = "repro.telemetry/v2"
+
+#: Version tag on the JSONL trace stream's header record.
+TRACE_SCHEMA = "repro.trace/v1"
+
+#: One instrument's serialized state, as produced by ``snapshot()``.
+SnapshotEntry = Mapping[str, object]
+Snapshot = Mapping[str, SnapshotEntry]
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+# -- telemetry/v2 JSON snapshots ------------------------------------------------
+
+
+def _base_name(rendered: str) -> str:
+    """Instrument family name with any inlined labels stripped."""
+    return rendered.split("{", 1)[0]
+
+
+def _profile_view(snapshot: Snapshot) -> dict[str, object]:
+    """Group ``profile.*`` instruments into a consumer-friendly view.
+
+    Labeled instrument variants are left to the raw ``metrics`` section;
+    this view indexes by base name only.
+    """
+    kernels: dict[str, object] = {}
+    caches: dict[str, dict[str, float]] = {}
+    latency: dict[str, object] = {}
+    gauges: dict[str, object] = {}
+    series: dict[str, object] = {}
+    for rendered, entry in snapshot.items():
+        name = _base_name(rendered)
+        if not name.startswith("profile.") or name != rendered:
+            continue
+        kind = entry.get("type")
+        if name.startswith("profile.kernel.") and kind == "timer":
+            count = entry.get("count")
+            total = entry.get("total_seconds")
+            mean: float | None = None
+            if isinstance(total, (int, float)) and isinstance(count, int) and count:
+                mean = total / count
+            kernels[name[len("profile.kernel."):]] = {
+                "calls": count,
+                "total_seconds": total,
+                "mean_seconds": mean,
+                "max_seconds": entry.get("max_seconds"),
+            }
+        elif name.startswith("profile.cache.") and kind == "counter":
+            rest = name[len("profile.cache."):]
+            cache, _, outcome = rest.rpartition(".")
+            if cache and outcome in ("hits", "misses"):
+                value = entry.get("value")
+                if isinstance(value, (int, float)):
+                    caches.setdefault(cache, {})[outcome] = float(value)
+        elif name.startswith("profile.latency.") and kind == "histogram":
+            count = entry.get("count")
+            total = entry.get("sum")
+            mean = None
+            if isinstance(total, (int, float)) and isinstance(count, int) and count:
+                mean = total / count
+            latency[name[len("profile.latency."):]] = {
+                "count": count,
+                "sum_seconds": total,
+                "mean_seconds": mean,
+                "max_seconds": entry.get("max"),
+            }
+        elif kind == "gauge":
+            gauges[name[len("profile."):]] = entry.get("value")
+        elif kind == "series":
+            series[name[len("profile."):]] = entry.get("values")
+    for stats in caches.values():
+        hits = stats.get("hits", 0.0)
+        misses = stats.get("misses", 0.0)
+        stats["hit_rate"] = hits / (hits + misses) if hits + misses else 0.0
+    return {
+        "kernels": kernels,
+        "caches": caches,
+        "latency": latency,
+        "gauges": gauges,
+        "series": series,
+    }
+
+
+def telemetry_document(
+    registry: MetricsRegistry,
+    context: Mapping[str, object] | None = None,
+) -> dict[str, object]:
+    """A ``repro.telemetry/v2`` document for *registry*'s current state."""
+    snapshot = registry.snapshot()
+    return {
+        "schema": TELEMETRY_SCHEMA_V2,
+        "created_unix": time.time(),
+        "context": dict(context) if context else {},
+        "profile": _sanitize(_profile_view(snapshot)),
+        "metrics": _sanitize(snapshot),
+    }
+
+
+def write_telemetry_json(
+    path: Union[str, Path],
+    registry: MetricsRegistry,
+    context: Mapping[str, object] | None = None,
+) -> Path:
+    """Write a ``repro.telemetry/v2`` snapshot; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    document = telemetry_document(registry, context=context)
+    target.write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return target
+
+
+# -- Prometheus text exposition -------------------------------------------------
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    flat = _PROM_NAME_RE.sub("_", name)
+    return f"{namespace}_{flat}" if namespace else flat
+
+
+def _prom_labels(labels: Mapping[str, object] | None) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key, value in sorted((str(k), str(v)) for k, v in labels.items()):
+        escaped = value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+        parts.append(f'{_PROM_NAME_RE.sub("_", key)}="{escaped}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_number(value: object) -> str:
+    if not isinstance(value, (int, float)):
+        return "NaN"
+    number = float(value)
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    return repr(number) if isinstance(value, float) else str(value)
+
+
+def prometheus_from_snapshot(snapshot: Snapshot, namespace: str = "repro") -> str:
+    """Render a registry snapshot in Prometheus text exposition format.
+
+    Counters gain the conventional ``_total`` suffix, timers become
+    summary-style ``_seconds_sum``/``_seconds_count`` pairs, histograms
+    get cumulative ``_bucket{le=...}`` lines, and a series is exposed
+    as its last value plus a point count (Prometheus has no trajectory
+    type; the full series lives in the JSON snapshot).
+    """
+    families: dict[str, list[str]] = {}
+    types: dict[str, str] = {}
+
+    def emit(family: str, prom_type: str, line: str) -> None:
+        types.setdefault(family, prom_type)
+        families.setdefault(family, []).append(line)
+
+    for rendered, entry in snapshot.items():
+        base = _base_name(rendered)
+        raw_labels = entry.get("labels")
+        label_dict: dict[str, object] = (
+            dict(raw_labels) if isinstance(raw_labels, dict) else {}
+        )
+        labels = _prom_labels(label_dict)
+        kind = entry.get("type")
+        if kind == "counter":
+            family = _prom_name(base, namespace) + "_total"
+            emit(family, "counter", f"{family}{labels} {_prom_number(entry.get('value'))}")
+        elif kind == "gauge":
+            family = _prom_name(base, namespace)
+            emit(family, "gauge", f"{family}{labels} {_prom_number(entry.get('value'))}")
+        elif kind == "histogram":
+            family = _prom_name(base, namespace)
+            buckets = entry.get("buckets")
+            cumulative = 0
+            if isinstance(buckets, dict):
+                bounded = sorted(
+                    (float(key[len("le_"):]), count)
+                    for key, count in buckets.items()
+                    if key.startswith("le_") and isinstance(count, int)
+                )
+                for bound, count in bounded:
+                    cumulative += count
+                    le = _prom_labels({**label_dict, "le": f"{bound:g}"})
+                    emit(family, "histogram", f"{family}_bucket{le} {cumulative}")
+                overflow = buckets.get("inf")
+                if isinstance(overflow, int):
+                    cumulative += overflow
+                inf_labels = _prom_labels({**label_dict, "le": "+Inf"})
+                emit(family, "histogram", f"{family}_bucket{inf_labels} {cumulative}")
+            emit(family, "histogram", f"{family}_sum{labels} {_prom_number(entry.get('sum'))}")
+            emit(family, "histogram", f"{family}_count{labels} {_prom_number(entry.get('count'))}")
+        elif kind == "timer":
+            family = _prom_name(base, namespace) + "_seconds"
+            emit(
+                family,
+                "summary",
+                f"{family}_sum{labels} {_prom_number(entry.get('total_seconds'))}",
+            )
+            emit(
+                family,
+                "summary",
+                f"{family}_count{labels} {_prom_number(entry.get('count'))}",
+            )
+        elif kind == "series":
+            family = _prom_name(base, namespace)
+            values = entry.get("values")
+            last = values[-1] if isinstance(values, list) and values else math.nan
+            points = len(values) if isinstance(values, list) else 0
+            emit(family, "gauge", f"{family}{labels} {_prom_number(last)}")
+            emit(
+                f"{family}_points",
+                "gauge",
+                f"{family}_points{labels} {points}",
+            )
+    lines: list[str] = []
+    for family in sorted(families):
+        lines.append(f"# TYPE {family} {types[family]}")
+        lines.extend(families[family])
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_prometheus_text(registry: MetricsRegistry, namespace: str = "repro") -> str:
+    """Prometheus text exposition of *registry*'s current state."""
+    return prometheus_from_snapshot(registry.snapshot(), namespace=namespace)
+
+
+def write_prometheus_text(
+    path: Union[str, Path], registry: MetricsRegistry, namespace: str = "repro"
+) -> Path:
+    """Write a ``.prom`` exposition file; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(to_prometheus_text(registry, namespace), encoding="utf-8")
+    return target
+
+
+# -- repro.trace/v1 JSONL spans -------------------------------------------------
+
+
+class JsonlSpanExporter:
+    """Writes finished spans as ``repro.trace/v1`` JSON lines.
+
+    The first line is a header record carrying the schema tag; every
+    subsequent line is one span::
+
+        {"type": "header", "schema": "repro.trace/v1", ...}
+        {"type": "span", "trace": "t-…", "span": "s-…", "parent": null, ...}
+
+    Thread-safe: spans from worker threads interleave whole lines.
+    Install for a block of code with :class:`use_span_exporter`.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._file: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+        self.exported = 0
+        self._write(
+            {
+                "type": "header",
+                "schema": TRACE_SCHEMA,
+                "created_unix": time.time(),
+            }
+        )
+
+    def _write(self, record: Mapping[str, object]) -> None:
+        with self._lock:
+            if self._file is None:
+                return
+            self._file.write(json.dumps(_sanitize(record)) + "\n")
+            self._file.flush()
+
+    def export(self, span: Span) -> None:
+        record: dict[str, object] = {
+            "type": "span",
+            "trace": span.trace_id,
+            "span": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "path": span.path,
+            "depth": span.depth,
+            "start_unix": span.start_unix,
+            "wall_seconds": span.wall_seconds,
+            "cpu_seconds": span.cpu_seconds,
+        }
+        if span.attrs:
+            record["attrs"] = dict(span.attrs)
+        self._write(record)
+        self.exported += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "JsonlSpanExporter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class use_span_exporter:
+    """Context manager: install a span exporter for a block, restore after.
+
+    Does not close the exporter — pair with the exporter's own context
+    manager when writing to a file::
+
+        with JsonlSpanExporter(path) as exporter, use_span_exporter(exporter):
+            run()
+    """
+
+    def __init__(self, exporter: SpanExporter | None) -> None:
+        self.exporter = exporter
+        self._previous: SpanExporter | None = None
+
+    def __enter__(self) -> SpanExporter | None:
+        self._previous = set_span_exporter(self.exporter)
+        return self.exporter
+
+    def __exit__(self, *exc_info: object) -> None:
+        set_span_exporter(self._previous)
+
+
+def read_trace(path: Union[str, Path]) -> tuple[dict[str, object], list[dict[str, object]]]:
+    """Parse a ``repro.trace/v1`` file into ``(header, span_records)``.
+
+    Raises ``ValueError`` on a missing/foreign header; blank lines are
+    skipped so a partially flushed tail doesn't break readers.
+    """
+    header: dict[str, object] | None = None
+    spans: list[dict[str, object]] = []
+    with Path(path).open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError(f"malformed trace record in {path}")
+            if header is None:
+                if record.get("type") != "header" or record.get("schema") != TRACE_SCHEMA:
+                    raise ValueError(
+                        f"{path} is not a {TRACE_SCHEMA} trace (bad header)"
+                    )
+                header = record
+            elif record.get("type") == "span":
+                spans.append(record)
+    if header is None:
+        raise ValueError(f"{path} is empty (no trace header)")
+    return header, spans

@@ -1,0 +1,282 @@
+"""Opt-in hot-path profiler (Telemetry v2).
+
+The CLUSEQ paper's pitch is *efficiency* (§6's scalability study), so
+the reproduction needs to see where its own time goes: how long each
+vectorized kernel runs (flatten / context walk / Kadane scan), how
+often the :class:`FlattenedPST` flat/stack caches hit, what WAL fsyncs
+and checkpoints cost, and how model size and process memory evolve per
+iteration. This module is that instrument panel.
+
+It follows the same *zero-overhead by default* contract as
+:mod:`repro.obs.metrics`: the module-level active profiler starts as
+:data:`NULL_PROFILER` (``enabled = False``), whose methods do nothing
+and allocate nothing — ``kernel()`` returns one shared no-op context
+manager, counters and gauges never touch a registry. Hot paths guard
+with ``prof.enabled`` so the disabled cost is a single attribute read
+per call site.
+
+A real :class:`Profiler` records into a metrics registry under the
+``profile.*`` namespace:
+
+* ``profile.kernel.<name>`` — :class:`~repro.obs.metrics.Timer` per
+  kernel (``flatten``, ``walk``, ``gather``, ``kadane``, …).
+* ``profile.cache.<cache>.hits`` / ``.misses`` — cache effectiveness
+  counters (``flat``, ``stack``).
+* ``profile.latency.<name>`` — latency histograms on I/O edges
+  (``wal_append``, ``wal_fsync``, ``checkpoint_write``,
+  ``checkpoint_fsync``) with microsecond-scale buckets.
+* ``profile.<name>`` — gauges/series for per-iteration model size and
+  memory readings (``profile.memory.peak_rss_bytes``, …).
+
+By default the profiler records into whatever registry is active at
+record time (:func:`repro.obs.metrics.get_registry`), so one
+``use_registry`` block captures both plain metrics and profile data::
+
+    from repro.obs import MetricsRegistry, Profiler, use_profiler, use_registry
+
+    registry = MetricsRegistry()
+    with use_registry(registry), use_profiler(Profiler()):
+        CLUSEQ(params).fit(db)
+    print(registry.snapshot()["profile.kernel.kadane"])
+
+Stdlib-only, like the rest of ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import tracemalloc
+
+from .metrics import MetricsRegistry, Timer, get_registry
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "KernelTimer",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "get_profiler",
+    "set_profiler",
+    "use_profiler",
+]
+
+#: Latency histogram bucket upper bounds: powers of two from 1 µs up to
+#: ~16.8 s. Wide enough for an fsync on spinning rust, fine enough to
+#: separate a page-cache flush from a durable one.
+LATENCY_BUCKETS: tuple[float, ...] = tuple(1e-6 * 2**i for i in range(25))
+
+
+def _peak_rss_bytes() -> float | None:
+    """Peak resident set size of this process in bytes.
+
+    Returns ``None`` on platforms without the :mod:`resource` module.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return peak if sys.platform == "darwin" else peak * 1024.0
+
+
+class KernelTimer:
+    """Context manager timing one kernel invocation (wall clock only).
+
+    Deliberately skips the CPU clock: kernels are microsecond-scale and
+    ``time.process_time()`` is a syscall on some platforms.
+    """
+
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "KernelTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timer.record(time.perf_counter() - self._start)
+
+
+class _NullKernelTimer(KernelTimer):
+    """The shared do-nothing kernel timer handed out when disabled."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        pass
+
+    def __enter__(self) -> "KernelTimer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_KERNEL_TIMER = _NullKernelTimer()
+
+
+class Profiler:
+    """Hot-path profiler recording into a metrics registry.
+
+    Parameters
+    ----------
+    registry:
+        Registry to record into. ``None`` (the default) means *the
+        active registry at record time*, so ``use_registry`` +
+        ``use_profiler`` compose; note that with the default and no
+        active registry, records go to the no-op registry.
+    """
+
+    #: Instrumented code branches on this to skip collection work.
+    enabled = True
+
+    __slots__ = ("_registry",)
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._registry = registry
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry records go to (bound or currently active)."""
+        return self._registry if self._registry is not None else get_registry()
+
+    # -- kernels -------------------------------------------------------------
+
+    def kernel(self, name: str) -> KernelTimer:
+        """Context manager timing one ``profile.kernel.<name>`` call."""
+        return KernelTimer(self.registry.timer(f"profile.kernel.{name}"))
+
+    def record_kernel(self, name: str, wall_seconds: float) -> None:
+        """Record an externally measured kernel duration."""
+        self.registry.timer(f"profile.kernel.{name}").record(wall_seconds)
+
+    # -- caches --------------------------------------------------------------
+
+    def cache_hit(self, cache: str) -> None:
+        self.registry.counter(f"profile.cache.{cache}.hits").inc()
+
+    def cache_miss(self, cache: str) -> None:
+        self.registry.counter(f"profile.cache.{cache}.misses").inc()
+
+    # -- latency histograms --------------------------------------------------
+
+    def latency(self, name: str, seconds: float) -> None:
+        """Observe one I/O-edge latency into ``profile.latency.<name>``."""
+        self.registry.histogram(
+            f"profile.latency.{name}", buckets=LATENCY_BUCKETS
+        ).observe(seconds)
+
+    # -- gauges / series -----------------------------------------------------
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the ``profile.<name>`` gauge."""
+        self.registry.gauge(f"profile.{name}").set(value)
+
+    def series(self, name: str, value: float) -> None:
+        """Append to the ``profile.<name>`` trajectory."""
+        self.registry.series(f"profile.{name}").append(value)
+
+    def sample_memory(self) -> float | None:
+        """Record process memory gauges; returns peak RSS in bytes.
+
+        Sets ``profile.memory.peak_rss_bytes`` (from ``getrusage``) and,
+        when :mod:`tracemalloc` is tracing, the currently traced Python
+        heap in ``profile.memory.traced_bytes``.
+        """
+        peak = _peak_rss_bytes()
+        if peak is not None:
+            self.registry.gauge("profile.memory.peak_rss_bytes").set(peak)
+        if tracemalloc.is_tracing():
+            current, _ = tracemalloc.get_traced_memory()
+            self.registry.gauge("profile.memory.traced_bytes").set(float(current))
+        return peak
+
+
+class NullProfiler(Profiler):
+    """The disabled profiler: every method is a no-op.
+
+    ``enabled`` is ``False`` so hot paths skip even the method call;
+    code that calls through anyway records nothing and allocates
+    nothing (``kernel()`` hands back one shared context manager).
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(None)
+
+    def kernel(self, name: str) -> KernelTimer:
+        return _NULL_KERNEL_TIMER
+
+    def record_kernel(self, name: str, wall_seconds: float) -> None:
+        pass
+
+    def cache_hit(self, cache: str) -> None:
+        pass
+
+    def cache_miss(self, cache: str) -> None:
+        pass
+
+    def latency(self, name: str, seconds: float) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def series(self, name: str, value: float) -> None:
+        pass
+
+    def sample_memory(self) -> float | None:
+        return None
+
+
+#: The process-wide disabled profiler (also the default active one).
+NULL_PROFILER = NullProfiler()
+
+_active: Profiler = NULL_PROFILER
+
+
+def get_profiler() -> Profiler:
+    """The currently active profiler (the no-op one unless enabled)."""
+    return _active
+
+
+def set_profiler(profiler: Profiler | None) -> Profiler:
+    """Install *profiler* as the active one; ``None`` disables profiling.
+
+    Returns the previously active profiler so callers can restore it.
+    """
+    global _active
+    previous = _active
+    _active = profiler if profiler is not None else NULL_PROFILER
+    return previous
+
+
+class use_profiler:
+    """Context manager: activate a profiler for a block, then restore.
+
+    >>> from repro.obs import MetricsRegistry, use_registry
+    >>> registry = MetricsRegistry()
+    >>> with use_registry(registry), use_profiler(Profiler()):
+    ...     get_profiler().cache_hit("flat")
+    >>> registry.get("profile.cache.flat.hits").value
+    1
+    """
+
+    def __init__(self, profiler: Profiler | None) -> None:
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self._previous: Profiler | None = None
+
+    def __enter__(self) -> Profiler:
+        self._previous = set_profiler(self.profiler)
+        return self.profiler
+
+    def __exit__(self, *exc_info: object) -> None:
+        set_profiler(self._previous)

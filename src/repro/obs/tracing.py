@@ -22,20 +22,44 @@ cost of a span is two clock reads and a list append — nothing is
 retained. Finished child spans stay reachable through
 ``parent.children`` for callers that want the tree itself.
 
+**Exported traces (Telemetry v2).** Installing a span exporter with
+:func:`set_span_exporter` (or :class:`repro.obs.export.use_span_exporter`)
+upgrades spans into trace records: each span gets a process-unique
+``span_id``, inherits (or starts) a ``trace_id``, remembers its
+parent's id, and is handed to the exporter on exit. Root spans start a
+new trace unless given an explicit ``trace_id`` — that is how the
+streaming engine keeps every micro-batch of one run on a single trace.
+Work measured in another process (``ScoringPool`` worker chunks) is
+stitched onto the live trace with :func:`record_foreign_span`.
+Without an exporter none of this machinery runs.
+
 The span stack is thread-local, so concurrent pipelines trace
 independently.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
 from collections.abc import Iterator
+from typing import Protocol
 
 from .logging import get_logger
 from .metrics import MetricsRegistry, get_registry
 
-__all__ = ["Span", "span", "current_span"]
+__all__ = [
+    "Span",
+    "span",
+    "current_span",
+    "current_trace_context",
+    "new_trace_id",
+    "record_foreign_span",
+    "set_span_exporter",
+    "get_span_exporter",
+    "SpanExporter",
+]
 
 _logger = get_logger("obs.trace")
 
@@ -50,6 +74,46 @@ def _stack() -> list["Span"]:
     return stack
 
 
+class SpanExporter(Protocol):
+    """Anything that can receive finished spans (duck-typed)."""
+
+    def export(self, span: "Span") -> None: ...
+
+
+_exporter: SpanExporter | None = None
+
+#: Process-scoped token keeping ids unique across concurrent runs that
+#: merge trace files; counters keep ids deterministic within a process.
+_RUN_TOKEN = f"{os.getpid():x}"
+_span_ids = itertools.count(1)
+_trace_ids = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh process-unique trace id (monotonic, not random)."""
+    return f"t-{_RUN_TOKEN}-{next(_trace_ids):06d}"
+
+
+def _new_span_id() -> str:
+    return f"s-{_RUN_TOKEN}-{next(_span_ids):08d}"
+
+
+def set_span_exporter(exporter: SpanExporter | None) -> SpanExporter | None:
+    """Install *exporter* to receive finished spans; ``None`` disables.
+
+    Returns the previously installed exporter so callers can restore it.
+    """
+    global _exporter
+    previous = _exporter
+    _exporter = exporter
+    return previous
+
+
+def get_span_exporter() -> SpanExporter | None:
+    """The currently installed span exporter, if any."""
+    return _exporter
+
+
 class Span:
     """One traced region; use via the :func:`span` context manager."""
 
@@ -60,6 +124,11 @@ class Span:
         "children",
         "wall_seconds",
         "cpu_seconds",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_unix",
+        "attrs",
         "_wall_start",
         "_cpu_start",
         "_registry",
@@ -74,6 +143,11 @@ class Span:
         self.children: list["Span"] = []
         self.wall_seconds: float | None = None
         self.cpu_seconds: float | None = None
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
+        self.start_unix: float | None = None
+        self.attrs: dict[str, object] | None = None
         self._wall_start = 0.0
         self._cpu_start = 0.0
         self._registry = registry
@@ -81,6 +155,12 @@ class Span:
     @property
     def finished(self) -> bool:
         return self.wall_seconds is not None
+
+    def set_attr(self, key: str, value: object) -> None:
+        """Attach one key/value to the span's exported record."""
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs[key] = value
 
     def __repr__(self) -> str:
         timing = (
@@ -99,18 +179,30 @@ class span:
     registry:
         Metrics registry to record into; defaults to the active one at
         entry time.
+    trace_id:
+        Explicit trace to continue when an exporter is installed.
+        Only meaningful for root spans: nested spans always inherit
+        their parent's trace. This is how long-lived engines keep
+        successive root spans (one per micro-batch) on a single trace.
 
     On exit the span records ``span.<path>`` into the registry (a
-    no-op when collection is disabled) and emits one DEBUG log line.
+    no-op when collection is disabled), hands itself to the installed
+    span exporter (if any), and emits one DEBUG log line.
     """
 
-    __slots__ = ("_name", "_registry", "_span")
+    __slots__ = ("_name", "_registry", "_trace_id", "_span")
 
-    def __init__(self, name: str, registry: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        registry: MetricsRegistry | None = None,
+        trace_id: str | None = None,
+    ) -> None:
         if not name:
             raise ValueError("span name must be non-empty")
         self._name = name
         self._registry = registry
+        self._trace_id = trace_id
         self._span: Span | None = None
 
     def __enter__(self) -> Span:
@@ -119,6 +211,19 @@ class span:
         parent_path = stack[-1].path if stack else ""
         path = f"{parent_path}.{self._name}" if parent_path else self._name
         current = Span(self._name, path, len(stack), registry)
+        if _exporter is not None:
+            current.span_id = _new_span_id()
+            if stack:
+                parent = stack[-1]
+                current.parent_id = parent.span_id
+                current.trace_id = (
+                    parent.trace_id if parent.trace_id is not None else new_trace_id()
+                )
+            else:
+                current.trace_id = (
+                    self._trace_id if self._trace_id is not None else new_trace_id()
+                )
+            current.start_unix = time.time()
         stack.append(current)
         self._span = current
         current._cpu_start = time.process_time()
@@ -129,6 +234,7 @@ class span:
         wall_end = time.perf_counter()
         cpu_end = time.process_time()
         current = self._span
+        assert current is not None  # __exit__ implies __enter__ ran
         stack = _stack()
         # Pop back to (and including) our span even if inner code
         # leaked unbalanced spans via exceptions.
@@ -145,6 +251,9 @@ class span:
             registry.timer(f"span.{current.path}").record(
                 current.wall_seconds, current.cpu_seconds
             )
+        exporter = _exporter
+        if exporter is not None and current.span_id is not None:
+            exporter.export(current)
         if _logger.isEnabledFor(10):  # logging.DEBUG
             _logger.debug(
                 "span %s finished",
@@ -162,6 +271,57 @@ def current_span() -> Span | None:
     """The innermost open span on this thread, or ``None``."""
     stack = _stack()
     return stack[-1] if stack else None
+
+
+def current_trace_context() -> tuple[str, str] | None:
+    """``(trace_id, span_id)`` of the innermost open span, or ``None``.
+
+    ``None`` also when no exporter is installed (spans then carry no
+    ids), so callers can use this as the "is tracing worth it" gate
+    before shipping context to workers.
+    """
+    stack = _stack()
+    if not stack:
+        return None
+    top = stack[-1]
+    if top.trace_id is None or top.span_id is None:
+        return None
+    return (top.trace_id, top.span_id)
+
+
+def record_foreign_span(
+    path: str,
+    wall_seconds: float,
+    cpu_seconds: float | None = None,
+    *,
+    trace_id: str | None = None,
+    parent_id: str | None = None,
+    attrs: dict[str, object] | None = None,
+    registry: MetricsRegistry | None = None,
+) -> Span:
+    """Record a span measured elsewhere (e.g. in a worker process).
+
+    ``ScoringPool`` workers cannot open spans on the parent's stack, so
+    they measure their chunk locally and ship the timing home; the
+    parent calls this on commit to stitch a finished child span onto
+    the live trace. The span records a ``span.<path>`` timer when a
+    registry is active and is exported when an exporter is installed.
+    """
+    target = registry if registry is not None else get_registry()
+    finished = Span(path.rpartition(".")[2] or path, path, 0, target)
+    finished.wall_seconds = wall_seconds
+    finished.cpu_seconds = cpu_seconds
+    finished.trace_id = trace_id
+    finished.parent_id = parent_id
+    if attrs:
+        finished.attrs = dict(attrs)
+    if target.enabled:
+        target.timer(f"span.{path}").record(wall_seconds, cpu_seconds)
+    exporter = _exporter
+    if exporter is not None:
+        finished.span_id = _new_span_id()
+        exporter.export(finished)
+    return finished
 
 
 def iter_tree(root: Span) -> Iterator[Span]:

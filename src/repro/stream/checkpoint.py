@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Any, Union
 
+from ..obs import get_profiler
 from .journal import STREAM_FORMAT
 
 PathLike = Union[str, "os.PathLike[str]"]
@@ -43,13 +45,22 @@ def write_checkpoint(path: PathLike, state: dict[str, Any]) -> int:
         raise CheckpointError("checkpoint state must record journal_batches")
     payload = {"format": STREAM_FORMAT, **state}
     target = os.fspath(path)
+    prof = get_profiler()
+    started = time.perf_counter() if prof.enabled else 0.0
     text = json.dumps(payload, separators=(",", ":"))
     tmp_path = target + ".tmp"
     with open(tmp_path, "w", encoding="utf-8") as handle:
         handle.write(text)
         handle.flush()
-        os.fsync(handle.fileno())
+        if prof.enabled:
+            fsync_started = time.perf_counter()
+            os.fsync(handle.fileno())
+            prof.latency("checkpoint_fsync", time.perf_counter() - fsync_started)
+        else:
+            os.fsync(handle.fileno())
     os.replace(tmp_path, target)
+    if prof.enabled:
+        prof.latency("checkpoint_write", time.perf_counter() - started)
     return len(text.encode("utf-8"))
 
 

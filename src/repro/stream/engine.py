@@ -56,7 +56,14 @@ from ..core.seeding import build_seed_pst, select_seeds
 from ..core.similarity import SimilarityResult, similarity
 from ..core.smoothing import default_p_min
 from ..core.threshold import VALLEY_METHODS
-from ..obs import get_logger, get_registry, span
+from ..obs import (
+    get_logger,
+    get_profiler,
+    get_registry,
+    get_span_exporter,
+    new_trace_id,
+    span,
+)
 from ..sequences.alphabet import Alphabet
 from ..typing import PSTFactory
 from .checkpoint import (
@@ -255,6 +262,10 @@ class StreamingCluseq:
         self._decay_pruned = 0
         self._checkpoints = 0
         self._replaying = False
+        # One trace per engine lifetime: every micro-batch root span of
+        # this run shares it, so exported traces read as one story.
+        # Allocated lazily, only while a span exporter is installed.
+        self._trace_id: str | None = None
         self._next_index = result.next_sequence_index()
         self._next_cluster_id = (
             max((c.cluster_id for c in result.clusters), default=-1) + 1
@@ -383,17 +394,26 @@ class StreamingCluseq:
             journal_path(state_dir), after=engine._batches
         )
         engine._replaying = True
+        prof = get_profiler()
         try:
-            for record in records:
-                if record.ordinal != engine._batches:
-                    raise ValueError(
-                        f"journal gap: expected batch {engine._batches}, "
-                        f"found {record.ordinal}"
-                    )
-                engine._apply_batch(record.sequences)
-                replayed += 1
+            # The replay runs under its own span and kernel timer so
+            # crash-recovery cost shows up in traces and profiles
+            # (replayed batches also carry a ``replay`` span attr).
+            with span("stream.recover"), prof.kernel("recover_replay"):
+                for record in records:
+                    if record.ordinal != engine._batches:
+                        raise ValueError(
+                            f"journal gap: expected batch {engine._batches}, "
+                            f"found {record.ordinal}"
+                        )
+                    engine._apply_batch(record.sequences)
+                    replayed += 1
         finally:
             engine._replaying = False
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("stream.recover_passes").inc()
+            registry.counter("stream.recover_replayed_batches").inc(replayed)
         _logger.info(
             "recovered stream engine",
             extra={
@@ -446,10 +466,23 @@ class StreamingCluseq:
 
     # -- batch processing ---------------------------------------------------------
 
+    def _batch_trace_id(self) -> str | None:
+        """The engine-lifetime trace id (when spans are being exported)."""
+        if get_span_exporter() is None:
+            return None
+        if self._trace_id is None:
+            self._trace_id = new_trace_id()
+        return self._trace_id
+
     def _apply_batch(self, batch: list[list[int]]) -> list[int | None]:
         registry = get_registry()
         assigned: list[int | None] = []
-        with span("stream.batch"):
+        with span("stream.batch", trace_id=self._batch_trace_id()) as batch_span:
+            if batch_span.span_id is not None:
+                batch_span.set_attr("batch", self._batches)
+                batch_span.set_attr("size", len(batch))
+                if self._replaying:
+                    batch_span.set_attr("replay", True)
             with span("stream.score"):
                 for encoded in batch:
                     index = self._next_index
@@ -458,6 +491,10 @@ class StreamingCluseq:
             self._sequences += len(batch)
             self._batches += 1
             self._maintain()
+        prof = get_profiler()
+        if prof.enabled:
+            prof.gauge("model.clusters", len(self.result.clusters))
+            prof.sample_memory()
         joined = sum(1 for cid in assigned if cid is not None)
         if registry.enabled:
             registry.counter("stream.batches").inc()
@@ -547,8 +584,11 @@ class StreamingCluseq:
             and batches % config.reseed_every == 0
             and len(self._pool) >= config.reseed_min_pool
         ):
-            with span("stream.reseed"):
-                self._reseed()
+            with span("stream.reseed") as reseed_span:
+                spawned, rescued = self._reseed()
+                if reseed_span.span_id is not None:
+                    reseed_span.set_attr("spawned", spawned)
+                    reseed_span.set_attr("rescued", rescued)
         if config.adjust_every > 0 and batches % config.adjust_every == 0:
             with span("stream.adjust_threshold"):
                 self._adjust_threshold()
@@ -587,12 +627,13 @@ class StreamingCluseq:
                 extra={"batch": self._batches, "pruned_nodes": pruned},
             )
 
-    def _reseed(self) -> None:
+    def _reseed(self) -> tuple[int, int]:
         """Spawn new clusters from the outlier pool (§4.1 seeding).
 
         The RNG is derived from ``(config.seed, batch counter)`` so a
         replayed run draws the identical sample regardless of where
-        the last checkpoint fell.
+        the last checkpoint fell. Returns ``(spawned, rescued)`` counts
+        for the enclosing span's attributes.
         """
         config = self.config
         rng = np.random.default_rng([config.seed, self._batches])
@@ -685,6 +726,7 @@ class StreamingCluseq:
                     "rescued": rescued,
                 },
             )
+        return len(spawned), rescued
 
     def _adjust_threshold(self) -> None:
         """§4.6 valley blend over the rolling score window."""

@@ -25,9 +25,12 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from collections.abc import Iterator
 from dataclasses import dataclass
 from typing import Any, Union
+
+from ..obs import get_profiler
 
 #: On-disk schema identifier, shared with the checkpoint format.
 STREAM_FORMAT = "repro.stream/v1"
@@ -70,6 +73,17 @@ class StreamJournal:
 
     def _write_line(self, payload: dict[str, Any]) -> None:
         assert self._handle is not None
+        prof = get_profiler()
+        if prof.enabled:
+            started = time.perf_counter()
+            self._handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
+            self._handle.flush()
+            if self.fsync:
+                fsync_started = time.perf_counter()
+                os.fsync(self._handle.fileno())
+                prof.latency("wal_fsync", time.perf_counter() - fsync_started)
+            prof.latency("wal_append", time.perf_counter() - started)
+            return
         self._handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
         self._handle.flush()
         if self.fsync:

@@ -1,0 +1,234 @@
+"""Tests for the bench trajectory ledger (``tools/benchtrack``)."""
+
+from __future__ import annotations
+
+import copy
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.benchtrack import (  # noqa: E402
+    check_regressions,
+    ingest,
+    load_bench_document,
+    load_ledger,
+    new_ledger,
+    render_report,
+    save_ledger,
+    stamp_bench_document,
+    validate_bench_document,
+)
+from tools.benchtrack.schema import write_bench_document  # noqa: E402
+
+
+def bench_doc(**overrides):
+    doc = {
+        "schema": "repro.bench/v1",
+        "bench": "backend_scoring",
+        "workload": {"alphabet": 12, "sequences": 40},
+        "results": [
+            {"backend": "reference", "workers": 0, "seconds": 0.10,
+             "speedup": 1.0},
+            {"backend": "vectorized", "workers": 0, "seconds": 0.02,
+             "speedup": 5.0},
+        ],
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestSchema:
+    def test_valid_document_passes(self):
+        assert validate_bench_document(bench_doc()) == []
+
+    def test_problems_are_itemized(self):
+        problems = validate_bench_document(
+            {"schema": "other", "bench": "", "workload": {}, "results": []}
+        )
+        assert len(problems) == 4
+
+    def test_non_dict_rejected(self):
+        assert validate_bench_document([1, 2]) != []
+
+    def test_nonpositive_seconds_rejected(self):
+        doc = bench_doc()
+        doc["results"][0]["seconds"] = 0.0
+        assert any("seconds" in p for p in validate_bench_document(doc))
+
+    def test_stamp_adds_provenance(self):
+        doc = stamp_bench_document(bench_doc())
+        assert isinstance(doc["generated_unix"], float)
+        assert isinstance(doc.get("git_sha"), str)  # we run inside the repo
+        assert len(doc["git_sha"]) == 40
+
+    def test_stamp_preserves_existing(self):
+        doc = stamp_bench_document(
+            bench_doc(git_sha="cafe", generated_unix=123.0)
+        )
+        assert doc["git_sha"] == "cafe"
+        assert doc["generated_unix"] == 123.0
+
+    def test_write_validates_and_stamps(self, tmp_path):
+        target = write_bench_document(tmp_path / "b.json", bench_doc())
+        loaded = load_bench_document(target)
+        assert loaded["git_sha"]
+        with pytest.raises(ValueError, match="invalid"):
+            write_bench_document(tmp_path / "bad.json", {"schema": "nope"})
+
+
+class TestLedger:
+    def test_ingest_appends_and_roundtrips(self, tmp_path):
+        ledger = new_ledger()
+        ingest(ledger, bench_doc(), source="b.json")
+        ingest(ledger, bench_doc(), source="b2.json")
+        path = tmp_path / "ledger.json"
+        save_ledger(path, ledger)
+        reloaded = load_ledger(path)
+        assert len(reloaded["entries"]) == 2
+        assert reloaded["entries"][0]["source"] == "b.json"
+
+    def test_load_missing_path_gives_fresh_ledger(self, tmp_path):
+        ledger = load_ledger(tmp_path / "absent.json")
+        assert ledger["entries"] == []
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other/v1", "entries": []}')
+        with pytest.raises(ValueError, match="not a"):
+            load_ledger(bad)
+
+    def test_ingest_rejects_invalid_document(self):
+        with pytest.raises(ValueError, match="invalid"):
+            ingest(new_ledger(), {"schema": "nope"})
+
+    def test_report_lists_entries(self):
+        ledger = new_ledger()
+        ingest(ledger, bench_doc())
+        report = render_report(ledger)
+        assert "## backend_scoring" in report
+        assert "backend=vectorized workers=0" in report
+        assert "5.00x" in report
+
+
+class TestCheck:
+    def test_no_baseline_passes(self):
+        assert check_regressions(new_ledger(), bench_doc()) == []
+
+    def test_same_numbers_pass(self):
+        ledger = new_ledger()
+        ingest(ledger, bench_doc())
+        assert check_regressions(ledger, bench_doc()) == []
+
+    def test_regressed_speedup_fails(self):
+        ledger = new_ledger()
+        ingest(ledger, bench_doc())
+        regressed = bench_doc()
+        for row in regressed["results"]:
+            row["speedup"] = row["speedup"] / 2.5  # beyond 50% tolerance
+        messages = check_regressions(ledger, regressed)
+        assert messages
+        assert any("vectorized" in m and "regressed" in m for m in messages)
+
+    def test_within_tolerance_passes(self):
+        ledger = new_ledger()
+        ingest(ledger, bench_doc())
+        wobble = bench_doc()
+        wobble["results"][1]["speedup"] = 4.0  # -20%, tolerance is 50%
+        assert check_regressions(ledger, wobble) == []
+
+    def test_different_workload_never_compared(self):
+        ledger = new_ledger()
+        ingest(ledger, bench_doc())
+        other = bench_doc(workload={"alphabet": 12, "sequences": 999})
+        for row in other["results"]:
+            row["speedup"] = 0.01
+        assert check_regressions(ledger, other) == []
+
+    def test_new_config_is_not_a_regression(self):
+        ledger = new_ledger()
+        ingest(ledger, bench_doc())
+        extended = bench_doc()
+        extended["results"].append(
+            {"backend": "vectorized", "workers": 8, "seconds": 1.0,
+             "speedup": 0.1}
+        )
+        assert check_regressions(ledger, extended) == []
+
+    def test_latest_entry_is_the_baseline(self):
+        ledger = new_ledger()
+        fast = bench_doc()
+        ingest(ledger, copy.deepcopy(fast))
+        slower = bench_doc()
+        slower["results"][1]["speedup"] = 2.0
+        ingest(ledger, slower)
+        # 1.9 vs latest baseline 2.0 is fine; vs the first entry's 5.0
+        # it would fail — latest must win.
+        current = bench_doc()
+        current["results"][1]["speedup"] = 1.9
+        assert check_regressions(ledger, current) == []
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            check_regressions(new_ledger(), bench_doc(), tolerance=1.5)
+
+
+class TestCli:
+    def run(self, *argv, cwd=REPO_ROOT):
+        return subprocess.run(
+            [sys.executable, "-m", "tools.benchtrack", *argv],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+        )
+
+    def test_ingest_report_check_cycle(self, tmp_path):
+        bench_path = tmp_path / "bench.json"
+        bench_path.write_text(json.dumps(bench_doc()))
+        ledger_path = tmp_path / "ledger.json"
+        report_path = tmp_path / "report.md"
+        ingested = self.run(
+            "ingest", str(bench_path),
+            "--ledger", str(ledger_path), "--report", str(report_path),
+        )
+        assert ingested.returncode == 0, ingested.stderr
+        assert "1 entries" in ingested.stdout
+        assert "## backend_scoring" in report_path.read_text()
+
+        ok = self.run("check", str(bench_path), "--ledger", str(ledger_path))
+        assert ok.returncode == 0, ok.stderr
+
+        regressed = bench_doc()
+        for row in regressed["results"]:
+            row["speedup"] = row["speedup"] / 3
+        regressed_path = tmp_path / "regressed.json"
+        regressed_path.write_text(json.dumps(regressed))
+        failed = self.run(
+            "check", str(regressed_path), "--ledger", str(ledger_path)
+        )
+        assert failed.returncode == 1
+        assert "REGRESSION" in failed.stderr
+
+    def test_check_sugar_uses_repo_ledger(self):
+        # BENCH_PR5.json is the seeded first ledger entry, so checking it
+        # against the shipped BENCH_TRAJECTORY.json must pass.
+        result = self.run("--check", str(REPO_ROOT / "BENCH_PR5.json"))
+        assert result.returncode == 0, result.stderr
+        assert "passed" in result.stdout
+
+    def test_shipped_ledger_contains_seed_entry(self):
+        ledger = load_ledger(REPO_ROOT / "BENCH_TRAJECTORY.json")
+        assert any(
+            entry["source"] == "BENCH_PR5.json" for entry in ledger["entries"]
+        )
+
+    def test_no_subcommand_prints_help(self):
+        result = self.run()
+        assert result.returncode == 2
+        assert "ingest" in result.stdout

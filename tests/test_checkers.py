@@ -87,6 +87,7 @@ class TestEngine:
             "CLQ003",
             "CLQ004",
             "CLQ005",
+            "CLQ006",
         ]
 
     def test_syntax_error_raises_checker_error(self, tmp_path):
@@ -482,6 +483,128 @@ class TestPaperAnchors:
             "src/repro/core/bad.py",
             "def score(x: float) -> float:  # cluseq: ignore[CLQ005]\n    return x\n",
             "CLQ005",
+        )
+        assert violations == []
+
+
+# -- CLQ006: observability naming ---------------------------------------------
+
+
+class TestObservabilityNaming:
+    def test_bare_metric_name_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/stream/bad.py",
+            "def f(registry):\n"
+            '    registry.counter("hits").inc()\n',
+            "CLQ006",
+        )
+        assert rule_ids(violations) == ["CLQ006"]
+
+    def test_uppercase_metric_name_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/stream/bad.py",
+            "def f(registry):\n"
+            '    registry.gauge("Stream.PoolSize").set(1)\n',
+            "CLQ006",
+        )
+        assert rule_ids(violations) == ["CLQ006"]
+
+    def test_dotted_metric_name_is_fine(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/stream/good.py",
+            "def f(registry):\n"
+            '    registry.counter("stream.batches").inc()\n'
+            '    registry.series("stream.batch.size").append(3)\n',
+            "CLQ006",
+        )
+        assert violations == []
+
+    def test_fstring_prefix_checked(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/obs/bad.py",
+            "def f(registry, name):\n"
+            '    registry.timer(f"Profile kernel {name}").record(0.1)\n',
+            "CLQ006",
+        )
+        assert rule_ids(violations) == ["CLQ006"]
+
+    def test_fstring_namespace_prefix_is_fine(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/obs/good.py",
+            "def f(registry, name):\n"
+            '    registry.timer(f"profile.kernel.{name}").record(0.1)\n',
+            "CLQ006",
+        )
+        assert violations == []
+
+    def test_dynamic_metric_name_is_trusted(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/stream/good.py",
+            "def f(registry, name):\n"
+            "    registry.counter(name).inc()\n",
+            "CLQ006",
+        )
+        assert violations == []
+
+    def test_bare_span_call_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "from ..obs import span\n"
+            "def f():\n"
+            '    span("seed")\n',
+            "CLQ006",
+        )
+        assert rule_ids(violations) == ["CLQ006"]
+
+    def test_span_as_context_manager_is_fine(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/good.py",
+            "from ..obs import span\n"
+            "def f():\n"
+            '    with span("seed"):\n'
+            "        pass\n"
+            '    with span("stream.batch") as batch_span:\n'
+            "        return batch_span\n",
+            "CLQ006",
+        )
+        assert violations == []
+
+    def test_bad_span_name_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "from ..obs import span\n"
+            "def f():\n"
+            '    with span("Seed Phase"):\n'
+            "        pass\n",
+            "CLQ006",
+        )
+        assert rule_ids(violations) == ["CLQ006"]
+
+    def test_test_code_is_exempt(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "tests/test_whatever.py",
+            'def test_x(registry):\n    registry.counter("hits").inc()\n',
+            "CLQ006",
+        )
+        assert violations == []
+
+    def test_suppression_comment_silences(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/stream/bad.py",
+            "def f(registry):\n"
+            '    registry.counter("hits").inc()  # cluseq: ignore[CLQ006]\n',
+            "CLQ006",
         )
         assert violations == []
 

@@ -368,3 +368,126 @@ class TestObservabilityFlags:
         code = main(["cluster", toy_text_file, "-k", "2", "-c", "2"])
         assert code == 0
         assert capsys.readouterr().err == ""
+
+
+class TestTelemetryV2Flags:
+    def test_telemetry_dir_writes_v2_and_prom(self, toy_text_file, tmp_path, capsys):
+        import json
+
+        tele_dir = tmp_path / "tele"
+        tele_dir.mkdir()
+        code = main(
+            ["cluster", toy_text_file, "-k", "2", "-c", "2",
+             "--telemetry-dir", str(tele_dir)]
+        )
+        assert code == 0
+        doc = json.loads((tele_dir / "telemetry.json").read_text())
+        assert doc["schema"] == "repro.telemetry/v2"
+        # the profiler was active: kernel timings were collected
+        assert doc["profile"]["kernels"]
+        prom = (tele_dir / "metrics.prom").read_text()
+        assert "# TYPE" in prom
+        assert "telemetry v2 written to" in capsys.readouterr().err
+
+    def test_trace_out_writes_trace(self, toy_text_file, tmp_path, capsys):
+        from repro.obs import get_span_exporter, read_trace
+
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            ["cluster", toy_text_file, "-k", "2", "-c", "2",
+             "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        header, spans = read_trace(trace_path)
+        assert header["schema"] == "repro.trace/v1"
+        assert any(s["path"].startswith("cluseq.") for s in spans)
+        assert get_span_exporter() is None  # uninstalled after the run
+        assert "trace written to" in capsys.readouterr().err
+
+    def test_stream_telemetry_flags(self, tmp_path, capsys):
+        import json
+
+        db = generate_two_cluster_toy(size_per_cluster=12, length=25, seed=3)
+        stream_path = tmp_path / "stream.txt"
+        write_labelled_text(db, stream_path)
+        tele_dir = tmp_path / "tele"
+        tele_dir.mkdir()
+        trace_path = tmp_path / "stream_trace.jsonl"
+        code = main(
+            ["stream", str(stream_path), "--alphabet", "ab",
+             "--batch-size", "8", "-c", "2",
+             "--telemetry-dir", str(tele_dir),
+             "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        doc = json.loads((tele_dir / "telemetry.json").read_text())
+        assert "stream.batches" in doc["metrics"]
+        from repro.obs import read_trace
+
+        _, spans = read_trace(trace_path)
+        batch_spans = [s for s in spans if s["name"] == "stream.batch"]
+        assert batch_spans
+        # every micro-batch rides the same engine-lifetime trace
+        assert len({s["trace"] for s in batch_spans}) == 1
+        capsys.readouterr()
+
+    def test_metrics_out_still_writes_v1(self, toy_text_file, tmp_path, capsys):
+        import json
+
+        v1_path = tmp_path / "v1.json"
+        tele_dir = tmp_path / "tele"
+        tele_dir.mkdir()
+        code = main(
+            ["--metrics-out", str(v1_path),
+             "cluster", toy_text_file, "-k", "2", "-c", "2",
+             "--telemetry-dir", str(tele_dir)]
+        )
+        assert code == 0
+        assert json.loads(v1_path.read_text())["schema"] == "repro.telemetry/v1"
+        assert (tele_dir / "telemetry.json").exists()
+        capsys.readouterr()
+
+    def test_trace_out_unwritable_dir_fails_fast(self, toy_text_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["cluster", toy_text_file,
+                  "--trace-out", "/nonexistent-dir/trace.jsonl"])
+        assert "--trace-out" in capsys.readouterr().err
+
+
+class TestTelemetrySubcommand:
+    def _write_v2(self, tmp_path):
+        from repro.obs import MetricsRegistry, write_telemetry_json
+
+        registry = MetricsRegistry()
+        registry.counter("stream.batches").inc(5)
+        return write_telemetry_json(tmp_path / "telemetry.json", registry)
+
+    def test_table_format(self, tmp_path, capsys):
+        path = self._write_v2(tmp_path)
+        assert main(["telemetry", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro.telemetry/v2" in out
+        assert "stream.batches" in out
+
+    def test_prom_format(self, tmp_path, capsys):
+        path = self._write_v2(tmp_path)
+        assert main(["telemetry", str(path), "--format", "prom"]) == 0
+        assert "repro_stream_batches_total 5" in capsys.readouterr().out
+
+    def test_json_format_roundtrips(self, tmp_path, capsys):
+        import json
+
+        path = self._write_v2(tmp_path)
+        assert main(["telemetry", str(path), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["metrics"]["stream.batches"]["value"] == 5
+
+    def test_rejects_non_telemetry_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"no": "metrics"}')
+        assert main(["telemetry", str(bad)]) == 1
+        assert "not a telemetry document" in capsys.readouterr().err
+
+    def test_rejects_missing_file(self, tmp_path, capsys):
+        assert main(["telemetry", str(tmp_path / "gone.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err

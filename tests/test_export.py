@@ -1,0 +1,263 @@
+"""Tests for the Telemetry v2 exporters (``repro.obs.export``).
+
+Covers the Prometheus text renderer, the versioned JSON snapshot with
+its derived profile view, and the JSONL trace exporter with
+trace-context propagation — including stitching of spans measured in
+``ScoringPool`` worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.backends import PstBatchScorer, ScoringPool
+from repro.core.pst import ProbabilisticSuffixTree
+from repro.obs import (
+    TELEMETRY_SCHEMA_V2,
+    TRACE_SCHEMA,
+    JsonlSpanExporter,
+    MetricsRegistry,
+    Profiler,
+    current_trace_context,
+    get_span_exporter,
+    new_trace_id,
+    prometheus_from_snapshot,
+    read_trace,
+    record_foreign_span,
+    set_span_exporter,
+    span,
+    telemetry_document,
+    to_prometheus_text,
+    use_registry,
+    use_span_exporter,
+    write_prometheus_text,
+    write_telemetry_json,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestPrometheusExposition:
+    def test_counter_gets_total_suffix(self, registry):
+        registry.counter("stream.batches").inc(3)
+        text = to_prometheus_text(registry)
+        assert "# TYPE repro_stream_batches_total counter" in text
+        assert "repro_stream_batches_total 3" in text
+
+    def test_gauge_and_labels(self, registry):
+        registry.gauge("baseline.clusters", model="hmm").set(4)
+        text = to_prometheus_text(registry)
+        assert 'repro_baseline_clusters{model="hmm"} 4' in text
+
+    def test_timer_becomes_summary(self, registry):
+        registry.timer("profile.kernel.kadane").record(0.5)
+        text = to_prometheus_text(registry)
+        assert "# TYPE repro_profile_kernel_kadane_seconds summary" in text
+        assert "repro_profile_kernel_kadane_seconds_sum 0.5" in text
+        assert "repro_profile_kernel_kadane_seconds_count 1" in text
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        hist = registry.histogram("profile.latency.demo", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)  # overflow bucket
+        text = to_prometheus_text(registry)
+        assert 'repro_profile_latency_demo_bucket{le="0.1"} 1' in text
+        assert 'repro_profile_latency_demo_bucket{le="1"} 2' in text
+        assert 'repro_profile_latency_demo_bucket{le="+Inf"} 3' in text
+        assert "repro_profile_latency_demo_count 3" in text
+
+    def test_series_exposes_last_value_and_point_count(self, registry):
+        series = registry.series("stream.batch.size")
+        series.append(5)
+        series.append(8)
+        text = to_prometheus_text(registry)
+        assert "repro_stream_batch_size 8" in text
+        assert "repro_stream_batch_size_points 2" in text
+
+    def test_name_sanitization(self):
+        text = prometheus_from_snapshot(
+            {"weird-name.x": {"type": "counter", "value": 1}}
+        )
+        assert "repro_weird_name_x_total 1" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert prometheus_from_snapshot({}) == ""
+
+    def test_write_prometheus_text(self, registry, tmp_path):
+        registry.counter("a.b").inc()
+        target = write_prometheus_text(tmp_path / "out" / "m.prom", registry)
+        assert target.read_text().startswith("# TYPE repro_a_b_total counter")
+
+
+class TestTelemetryDocument:
+    def test_v2_shape(self, registry):
+        registry.counter("stream.batches").inc()
+        doc = telemetry_document(registry, context={"argv": ["x"]})
+        assert doc["schema"] == TELEMETRY_SCHEMA_V2
+        assert isinstance(doc["created_unix"], float)
+        assert doc["context"] == {"argv": ["x"]}
+        assert "stream.batches" in doc["metrics"]
+        assert set(doc["profile"]) == {
+            "kernels", "caches", "latency", "gauges", "series",
+        }
+
+    def test_profile_view_groups_instruments(self, registry):
+        prof = Profiler(registry)
+        with prof.kernel("kadane"):
+            pass
+        prof.cache_hit("flat")
+        prof.cache_miss("flat")
+        prof.cache_hit("flat")
+        prof.latency("wal_fsync", 2e-6)
+        prof.gauge("model.clusters", 7)
+        prof.series("iteration.pst_nodes", 42)
+        view = telemetry_document(registry)["profile"]
+        assert view["kernels"]["kadane"]["calls"] == 1
+        assert view["caches"]["flat"]["hits"] == 2.0
+        assert view["caches"]["flat"]["misses"] == 1.0
+        assert view["caches"]["flat"]["hit_rate"] == pytest.approx(2 / 3)
+        assert view["latency"]["wal_fsync"]["count"] == 1
+        assert view["gauges"]["model.clusters"] == 7.0
+        assert view["series"]["iteration.pst_nodes"] == [42.0]
+
+    def test_labeled_variants_stay_out_of_profile_view(self, registry):
+        registry.counter("profile.cache.flat.hits", shard="a").inc()
+        view = telemetry_document(registry)["profile"]
+        assert view["caches"] == {}
+
+    def test_write_and_reload(self, registry, tmp_path):
+        registry.gauge("stream.clusters").set(2)
+        target = write_telemetry_json(
+            tmp_path / "t" / "telemetry.json", registry, context={"run": 1}
+        )
+        doc = json.loads(target.read_text())
+        assert doc["schema"] == TELEMETRY_SCHEMA_V2
+        assert doc["metrics"]["stream.clusters"]["value"] == 2.0
+
+
+class TestJsonlSpanExporter:
+    def test_header_then_spans(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSpanExporter(path) as exporter, use_span_exporter(exporter):
+            with span("phase"):
+                with span("inner"):
+                    pass
+        header, spans = read_trace(path)
+        assert header["schema"] == TRACE_SCHEMA
+        assert [s["name"] for s in spans] == ["inner", "phase"]  # finish order
+        inner, phase = spans
+        assert phase["parent"] is None
+        assert inner["parent"] == phase["span"]
+        assert inner["trace"] == phase["trace"]
+        assert inner["wall_seconds"] >= 0.0
+        assert exporter.exported == 2
+
+    def test_no_ids_without_exporter(self, tmp_path):
+        assert get_span_exporter() is None
+        with span("quiet") as live:
+            assert live.span_id is None
+            assert current_trace_context() is None
+
+    def test_current_trace_context_inside_span(self, tmp_path):
+        with JsonlSpanExporter(tmp_path / "t.jsonl") as exporter:
+            with use_span_exporter(exporter):
+                with span("outer") as outer:
+                    context = current_trace_context()
+                    assert context == (outer.trace_id, outer.span_id)
+
+    def test_explicit_trace_id_adopted_by_root_span(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSpanExporter(path) as exporter, use_span_exporter(exporter):
+            trace_id = new_trace_id()
+            with span("batch", trace_id=trace_id):
+                pass
+            with span("batch", trace_id=trace_id):
+                pass
+        _, spans = read_trace(path)
+        assert [s["trace"] for s in spans] == [trace_id, trace_id]
+        assert spans[0]["span"] != spans[1]["span"]
+
+    def test_record_foreign_span_stitches(self, tmp_path, registry):
+        path = tmp_path / "t.jsonl"
+        with JsonlSpanExporter(path) as exporter, use_span_exporter(exporter):
+            with use_registry(registry):
+                with span("parent") as parent:
+                    record_foreign_span(
+                        "backend.worker_chunk",
+                        wall_seconds=0.25,
+                        cpu_seconds=0.2,
+                        trace_id=parent.trace_id,
+                        parent_id=parent.span_id,
+                        attrs={"chunk": 0},
+                    )
+        _, spans = read_trace(path)
+        foreign = next(s for s in spans if s["path"] == "backend.worker_chunk")
+        parent_record = next(s for s in spans if s["name"] == "parent")
+        assert foreign["parent"] == parent_record["span"]
+        assert foreign["trace"] == parent_record["trace"]
+        assert foreign["wall_seconds"] == 0.25
+        assert foreign["attrs"] == {"chunk": 0}
+        assert registry.get("span.backend.worker_chunk").count == 1
+
+    def test_set_span_exporter_returns_previous(self, tmp_path):
+        with JsonlSpanExporter(tmp_path / "t.jsonl") as exporter:
+            assert set_span_exporter(exporter) is None
+            assert set_span_exporter(None) is exporter
+        assert get_span_exporter() is None
+
+    def test_read_trace_rejects_foreign_file(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "header", "schema": "other/v9"}\n')
+        with pytest.raises(ValueError, match="bad header"):
+            read_trace(bad)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_trace(empty)
+
+    def test_export_after_close_is_silent(self, tmp_path):
+        exporter = JsonlSpanExporter(tmp_path / "t.jsonl")
+        exporter.close()
+        with use_span_exporter(exporter):
+            with span("late"):
+                pass  # export hits the closed file and is dropped
+
+
+class TestPoolFanOutStitching:
+    def test_worker_chunk_spans_carry_parent_trace(self, tmp_path):
+        pst = ProbabilisticSuffixTree(
+            alphabet_size=4, max_depth=3, significance_threshold=1
+        )
+        rng = np.random.default_rng(5)
+        for _ in range(6):
+            pst.add_sequence([int(s) for s in rng.integers(0, 4, 30)])
+        sequences = [
+            [int(s) for s in rng.integers(0, 4, 30)] for _ in range(8)
+        ]
+        background = np.full(4, 0.25)
+        scorer = PstBatchScorer(background)
+        path = tmp_path / "pool_trace.jsonl"
+        pool = ScoringPool(2)
+        try:
+            with JsonlSpanExporter(path) as exporter:
+                with use_span_exporter(exporter):
+                    with span("prescore") as parent:
+                        scorer.prescore_matrix([pst], sequences, pool=pool)
+                        parent_ids = (parent.trace_id, parent.span_id)
+        finally:
+            pool.close()
+        _, spans = read_trace(path)
+        chunks = [s for s in spans if s["path"] == "backend.worker_chunk"]
+        assert chunks, "no worker-chunk spans exported"
+        for chunk in chunks:
+            assert chunk["trace"] == parent_ids[0]
+            assert chunk["parent"] == parent_ids[1]
+            assert chunk["attrs"]["rows"] >= 1
+            assert chunk["cpu_seconds"] is not None

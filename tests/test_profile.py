@@ -1,0 +1,221 @@
+"""Tests for the hot-path profiler (``repro.obs.profile``).
+
+The load-bearing property is the zero-overhead contract: with the
+default ``NULL_PROFILER`` active, instrumented call sites must neither
+record anything nor allocate per-call objects — and enabling the
+profiler must never change what the clustering computes (the golden
+equivalence test at the bottom).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro.core.cluseq import CLUSEQ, CluseqParams
+from repro.obs import (
+    NULL_PROFILER,
+    JsonlSpanExporter,
+    MetricsRegistry,
+    NullProfiler,
+    Profiler,
+    get_profiler,
+    set_profiler,
+    use_profiler,
+    use_registry,
+    use_span_exporter,
+)
+from repro.obs.profile import LATENCY_BUCKETS
+from repro.sequences.generators import generate_clustered_database
+
+
+class TestNullProfiler:
+    def test_default_active_profiler_is_null(self):
+        assert get_profiler() is NULL_PROFILER
+        assert not get_profiler().enabled
+
+    def test_kernel_returns_shared_noop_timer(self):
+        timer_a = NULL_PROFILER.kernel("flatten")
+        timer_b = NULL_PROFILER.kernel("kadane")
+        assert timer_a is timer_b  # one object for every disabled site
+        with timer_a:
+            pass  # records nowhere, raises nothing
+
+    def test_noop_methods_touch_no_registry(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            NULL_PROFILER.cache_hit("flat")
+            NULL_PROFILER.cache_miss("flat")
+            NULL_PROFILER.latency("wal_fsync", 0.001)
+            NULL_PROFILER.gauge("model.clusters", 3)
+            NULL_PROFILER.series("iteration.pst_nodes", 10)
+            NULL_PROFILER.record_kernel("walk", 0.1)
+            assert NULL_PROFILER.sample_memory() is None
+        assert len(registry) == 0
+
+    def test_disabled_paths_allocate_nothing(self):
+        """The per-call footprint of the disabled profiler is zero.
+
+        Warm the call sites, then diff tracemalloc snapshots (filtered
+        to the obs modules) across many iterations: live allocations
+        attributable to the profiler must not grow.
+        """
+        import repro.obs.metrics as metrics_mod
+        import repro.obs.profile as profile_mod
+
+        prof = get_profiler()
+        assert prof is NULL_PROFILER
+
+        def exercise() -> None:
+            if prof.enabled:  # the guard real call sites use
+                prof.cache_hit("flat")
+            with prof.kernel("kadane"):
+                pass
+            prof.latency("wal_fsync", 0.0)
+
+        for _ in range(10):
+            exercise()
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            for _ in range(1000):
+                exercise()
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        filters = [
+            tracemalloc.Filter(True, profile_mod.__file__),
+            tracemalloc.Filter(True, metrics_mod.__file__),
+        ]
+        growth = sum(
+            stat.size_diff
+            for stat in after.filter_traces(filters).compare_to(
+                before.filter_traces(filters), "lineno"
+            )
+        )
+        assert growth <= 0, f"disabled profiler leaked {growth} bytes"
+
+
+class TestProfiler:
+    def test_kernel_timer_records(self):
+        registry = MetricsRegistry()
+        prof = Profiler(registry)
+        with prof.kernel("kadane"):
+            pass
+        timer = registry.get("profile.kernel.kadane")
+        assert timer.count == 1
+        assert timer.total_seconds >= 0.0
+
+    def test_cache_counters_and_latency(self):
+        registry = MetricsRegistry()
+        prof = Profiler(registry)
+        prof.cache_hit("flat")
+        prof.cache_hit("flat")
+        prof.cache_miss("flat")
+        prof.latency("wal_fsync", 3e-6)
+        assert registry.get("profile.cache.flat.hits").value == 2
+        assert registry.get("profile.cache.flat.misses").value == 1
+        hist = registry.get("profile.latency.wal_fsync")
+        assert hist.count == 1
+        assert hist.bounds == LATENCY_BUCKETS
+
+    def test_unbound_profiler_follows_active_registry(self):
+        registry = MetricsRegistry()
+        prof = Profiler()  # no bound registry
+        with use_registry(registry):
+            prof.gauge("model.clusters", 4)
+        assert registry.get("profile.model.clusters").value == 4.0
+        # outside the block, records go to the no-op registry
+        prof.gauge("model.clusters", 9)
+        assert registry.get("profile.model.clusters").value == 4.0
+
+    def test_sample_memory_sets_gauge(self):
+        registry = MetricsRegistry()
+        prof = Profiler(registry)
+        peak = prof.sample_memory()
+        if peak is None:
+            pytest.skip("no resource module on this platform")
+        assert peak > 0
+        assert registry.get("profile.memory.peak_rss_bytes").value == peak
+
+    def test_set_profiler_returns_previous_and_none_disables(self):
+        prof = Profiler(MetricsRegistry())
+        previous = set_profiler(prof)
+        try:
+            assert get_profiler() is prof
+            assert set_profiler(None) is prof
+            assert get_profiler() is NULL_PROFILER
+        finally:
+            set_profiler(previous)
+
+    def test_use_profiler_restores_on_exception(self):
+        prof = Profiler(MetricsRegistry())
+        with pytest.raises(RuntimeError):
+            with use_profiler(prof):
+                assert get_profiler() is prof
+                raise RuntimeError("boom")
+        assert get_profiler() is NULL_PROFILER
+
+    def test_null_profiler_is_a_profiler(self):
+        assert isinstance(NullProfiler(), Profiler)
+
+
+class TestTelemetryDoesNotChangeResults:
+    """Enabling every telemetry layer must be observationally invisible."""
+
+    @pytest.fixture(scope="class")
+    def toy_db(self):
+        return generate_clustered_database(
+            num_sequences=40,
+            num_clusters=3,
+            avg_length=40,
+            alphabet_size=8,
+            outlier_fraction=0.05,
+            seed=11,
+        ).database
+
+    @staticmethod
+    def _fingerprint(result):
+        """Everything numeric the clustering decided, bit-for-bit."""
+        memberships = []
+        for cluster in sorted(result.clusters, key=lambda c: c.cluster_id):
+            for index in sorted(cluster.members):
+                member = cluster.membership_of(index)
+                memberships.append(
+                    (
+                        cluster.cluster_id,
+                        member.sequence_index,
+                        member.log_similarity,
+                        member.best_start,
+                        member.best_end,
+                    )
+                )
+        return {
+            "labels": result.labels(),
+            "final_log_threshold": result.final_log_threshold,
+            "assignments": {
+                k: sorted(v) for k, v in result.assignments.items()
+            },
+            "memberships": memberships,
+            "converged": result.converged,
+        }
+
+    def test_golden_run_identical_with_telemetry_on(self, toy_db, tmp_path):
+        params = CluseqParams(
+            k=3, significance_threshold=2, max_iterations=4
+        )
+        plain = CLUSEQ(params).fit(toy_db)
+
+        registry = MetricsRegistry()
+        with JsonlSpanExporter(tmp_path / "trace.jsonl") as exporter:
+            with use_registry(registry), use_profiler(
+                Profiler()
+            ), use_span_exporter(exporter):
+                telemetered = CLUSEQ(params).fit(toy_db)
+
+        assert self._fingerprint(plain) == self._fingerprint(telemetered)
+        # and the telemetry run actually collected profile data
+        assert any(
+            name.startswith("profile.kernel.") for name in registry.snapshot()
+        )

@@ -1,0 +1,224 @@
+"""The append-only bench trajectory ledger (``repro.benchtrack/v1``).
+
+Ledger shape::
+
+    {
+      "schema": "repro.benchtrack/v1",
+      "entries": [
+        {"bench": "backend_scoring",
+         "workload": {...},
+         "git_sha": "...", "generated_unix": ..., "source": "BENCH_PR5.json",
+         "results": [...]},
+        ...
+      ]
+    }
+
+Entries are appended in ingest order and never rewritten, so the file
+is a longitudinal record of how each benchmark moved across PRs.
+Comparisons only ever pair entries whose ``bench`` *and* ``workload``
+match exactly — a smoke run is never judged against a full run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from .schema import BENCH_SCHEMA, stamp_bench_document, validate_bench_document
+
+LEDGER_SCHEMA = "repro.benchtrack/v1"
+
+#: Default ratio metric compared by ``check`` — machine-portable, unlike
+#: raw seconds (the reference backend is measured in the same process).
+DEFAULT_METRIC = "speedup"
+
+#: Default allowed fractional drop before ``check`` fails. Generous on
+#: purpose: CI machines are noisy and the gate should catch collapses
+#: (a 2x regression), not jitter.
+DEFAULT_TOLERANCE = 0.5
+
+PathLike = Union[str, Path]
+
+
+def new_ledger() -> dict[str, Any]:
+    return {"schema": LEDGER_SCHEMA, "entries": []}
+
+
+def load_ledger(path: PathLike) -> dict[str, Any]:
+    """Load a ledger, or a fresh one when *path* does not exist yet."""
+    target = Path(path)
+    if not target.exists():
+        return new_ledger()
+    with open(target, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or doc.get("schema") != LEDGER_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {LEDGER_SCHEMA} ledger "
+            f"(schema: {doc.get('schema') if isinstance(doc, dict) else doc!r})"
+        )
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: ledger entries must be an array")
+    return doc
+
+
+def save_ledger(path: PathLike, ledger: dict[str, Any]) -> None:
+    Path(path).write_text(
+        json.dumps(ledger, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+
+
+def ingest(
+    ledger: dict[str, Any],
+    doc: dict[str, Any],
+    source: Optional[str] = None,
+) -> dict[str, Any]:
+    """Validate, stamp and append *doc* to *ledger*; returns the entry."""
+    problems = validate_bench_document(doc)
+    if problems:
+        raise ValueError(
+            f"invalid {BENCH_SCHEMA} document:\n  " + "\n  ".join(problems)
+        )
+    stamp_bench_document(doc)
+    entry = {
+        "bench": doc["bench"],
+        "workload": doc["workload"],
+        "git_sha": doc.get("git_sha"),
+        "generated_unix": doc.get("generated_unix"),
+        "source": source,
+        "results": doc["results"],
+    }
+    ledger["entries"].append(entry)
+    return entry
+
+
+def _config_key(row: dict[str, Any]) -> str:
+    """Stable label for one result row: every non-metric field."""
+    parts = []
+    for key in sorted(row):
+        if key in ("seconds", "pairs_per_second", "seqs_per_second", "speedup"):
+            continue
+        if isinstance(row[key], (str, int, bool)):
+            parts.append(f"{key}={row[key]}")
+    return " ".join(parts) or "default"
+
+
+def _baseline_entry(
+    ledger: dict[str, Any], doc: dict[str, Any]
+) -> Optional[dict[str, Any]]:
+    """Most recent ledger entry with the same bench and exact workload."""
+    for entry in reversed(ledger.get("entries", [])):
+        if (
+            entry.get("bench") == doc.get("bench")
+            and entry.get("workload") == doc.get("workload")
+        ):
+            return entry
+    return None
+
+
+def check_regressions(
+    ledger: dict[str, Any],
+    doc: dict[str, Any],
+    metric: str = DEFAULT_METRIC,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Regression messages for *doc* against its ledger baseline.
+
+    Empty list = pass. Configurations present in only one side are
+    skipped (a new backend is not a regression); a missing baseline for
+    the (bench, workload) pair passes with no messages — ``check`` can
+    run before the first ingest of a new workload.
+    """
+    problems = validate_bench_document(doc)
+    if problems:
+        return [f"invalid bench document: {p}" for p in problems]
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    baseline = _baseline_entry(ledger, doc)
+    if baseline is None:
+        return []
+    base_rows = {
+        _config_key(row): row
+        for row in baseline["results"]
+        if isinstance(row, dict)
+    }
+    messages = []
+    for row in doc["results"]:
+        key = _config_key(row)
+        base = base_rows.get(key)
+        if base is None:
+            continue
+        new_value = row.get(metric)
+        old_value = base.get(metric)
+        if not isinstance(new_value, (int, float)) or not isinstance(
+            old_value, (int, float)
+        ):
+            continue
+        floor = old_value * (1.0 - tolerance)
+        if new_value < floor:
+            messages.append(
+                f"{doc['bench']} [{key}]: {metric} regressed "
+                f"{old_value:.3g} -> {new_value:.3g} "
+                f"(floor {floor:.3g} at tolerance {tolerance:.0%}, "
+                f"baseline {baseline.get('git_sha') or 'unstamped'})"
+            )
+    return messages
+
+
+def _format_unix(stamp: Any) -> str:
+    if not isinstance(stamp, (int, float)):
+        return "-"
+    import datetime
+
+    return datetime.datetime.fromtimestamp(
+        stamp, tz=datetime.timezone.utc
+    ).strftime("%Y-%m-%d")
+
+
+def render_report(ledger: dict[str, Any]) -> str:
+    """Markdown trajectory report, one table per (bench, workload)."""
+    lines = [
+        "# Bench trajectory",
+        "",
+        "Regenerated by `python -m tools.benchtrack` — do not edit.",
+        "Schema: `" + LEDGER_SCHEMA + "`.",
+    ]
+    groups: dict[str, list[dict[str, Any]]] = {}
+    for entry in ledger.get("entries", []):
+        workload = json.dumps(entry.get("workload", {}), sort_keys=True)
+        groups.setdefault(f"{entry.get('bench')} {workload}", []).append(entry)
+    for group_key in sorted(groups):
+        entries = groups[group_key]
+        bench = entries[0].get("bench", "?")
+        lines += [
+            "",
+            f"## {bench}",
+            "",
+            f"Workload: `{json.dumps(entries[0].get('workload', {}), sort_keys=True)}`",
+            "",
+            "| date | sha | config | seconds | speedup |",
+            "|---|---|---|---|---|",
+        ]
+        for entry in entries:
+            sha = entry.get("git_sha") or "-"
+            date = _format_unix(entry.get("generated_unix"))
+            for row in entry.get("results", []):
+                if not isinstance(row, dict):
+                    continue
+                seconds = row.get("seconds")
+                speedup = row.get("speedup")
+                seconds_cell = (
+                    f"{seconds:.4g}" if isinstance(seconds, (int, float)) else "-"
+                )
+                speedup_cell = (
+                    f"{speedup:.2f}x"
+                    if isinstance(speedup, (int, float))
+                    else "-"
+                )
+                lines.append(
+                    f"| {date} | {str(sha)[:10]} | {_config_key(row)} "
+                    f"| {seconds_cell} | {speedup_cell} |"
+                )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""``repro.bench/v1`` document validation and provenance stamping.
+
+A bench document is what a benchmark harness writes after a run::
+
+    {
+      "schema": "repro.bench/v1",
+      "bench": "backend_scoring",
+      "workload": {"alphabet": 12, ...},
+      "results": [{"backend": "vectorized", "workers": 0,
+                   "seconds": 0.02, "speedup": 5.8, ...}, ...],
+      # stamped on ingest (or by the harness itself):
+      "git_sha": "...", "generated_unix": 1780000000.0
+    }
+
+``validate_bench_document`` returns a list of human-readable problems
+(empty = valid); ``stamp_bench_document`` adds ``git_sha`` and
+``generated_unix`` so ledger entries carry provenance even when the
+harness forgot to.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Optional, Union
+
+BENCH_SCHEMA = "repro.bench/v1"
+
+PathLike = Union[str, Path]
+
+
+def validate_bench_document(doc: Any) -> list[str]:
+    """All the reasons *doc* is not a valid ``repro.bench/v1`` document."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be a JSON object, got {type(doc).__name__}"]
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema must be {BENCH_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        problems.append("bench must be a non-empty string")
+    workload = doc.get("workload")
+    if not isinstance(workload, dict) or not workload:
+        problems.append("workload must be a non-empty object")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        problems.append("results must be a non-empty array")
+        return problems
+    for index, row in enumerate(results):
+        if not isinstance(row, dict):
+            problems.append(f"results[{index}] must be an object")
+            continue
+        for key in ("seconds",):
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(
+                    f"results[{index}].{key} must be a positive number, "
+                    f"got {value!r}"
+                )
+    stamp = doc.get("generated_unix")
+    if stamp is not None and not isinstance(stamp, (int, float)):
+        problems.append("generated_unix must be a number when present")
+    sha = doc.get("git_sha")
+    if sha is not None and not isinstance(sha, str):
+        problems.append("git_sha must be a string when present")
+    return problems
+
+
+def current_git_sha(repo_root: Optional[PathLike] = None) -> Optional[str]:
+    """HEAD commit of *repo_root* (default: this repo), or None."""
+    root = Path(repo_root) if repo_root is not None else Path(__file__).resolve().parents[2]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def stamp_bench_document(
+    doc: dict[str, Any], repo_root: Optional[PathLike] = None
+) -> dict[str, Any]:
+    """Add provenance (``git_sha``, ``generated_unix``) in place.
+
+    Existing stamps are kept — a harness that stamped at run time knows
+    better than an ingest that happens later.
+    """
+    if doc.get("generated_unix") is None:
+        doc["generated_unix"] = time.time()
+    if doc.get("git_sha") is None:
+        sha = current_git_sha(repo_root)
+        if sha is not None:
+            doc["git_sha"] = sha
+    return doc
+
+
+def write_bench_document(path: PathLike, doc: dict[str, Any]) -> Path:
+    """Validate, stamp and write *doc* as pretty JSON; returns the path.
+
+    The single write path for ``repro.bench/v1`` files: anything a
+    harness emits through here is guaranteed ingestable by the ledger
+    and carries git SHA + timestamp provenance.
+    """
+    problems = validate_bench_document(doc)
+    if problems:
+        raise ValueError(
+            f"refusing to write invalid {BENCH_SCHEMA} document:\n  "
+            + "\n  ".join(problems)
+        )
+    stamp_bench_document(doc)
+    target = Path(path)
+    target.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+def load_bench_document(path: PathLike) -> dict[str, Any]:
+    """Load and validate a bench JSON; raises ValueError with all problems."""
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    problems = validate_bench_document(doc)
+    if problems:
+        raise ValueError(
+            f"{path}: invalid {BENCH_SCHEMA} document:\n  "
+            + "\n  ".join(problems)
+        )
+    assert isinstance(doc, dict)
+    return doc

@@ -1,5 +1,5 @@
 """Built-in CLQ rules. Importing this package registers them all."""
 
-from . import anchors, defaults, determinism, floats, imports
+from . import anchors, defaults, determinism, floats, imports, naming
 
-__all__ = ["anchors", "defaults", "determinism", "floats", "imports"]
+__all__ = ["anchors", "defaults", "determinism", "floats", "imports", "naming"]
