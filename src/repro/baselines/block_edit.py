@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..sequences.database import SequenceDatabase
 from .base import SequenceClusterer
@@ -117,7 +118,7 @@ def pairwise_block_distance_matrix(
     sequences: Sequence[Sequence[int]],
     min_block: int = 3,
     normalized: bool = True,
-) -> np.ndarray:
+) -> npt.NDArray[np.float64]:
     """Symmetric pairwise EDBO distance matrix."""
     n = len(sequences)
     matrix = np.zeros((n, n), dtype=np.float64)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..sequences.database import SequenceDatabase
 from .base import SequenceClusterer
@@ -109,7 +110,7 @@ def normalized_edit_distance(a: Sequence[int], b: Sequence[int]) -> float:
 
 def pairwise_distance_matrix(
     sequences: Sequence[Sequence[int]], normalized: bool = True
-) -> np.ndarray:
+) -> npt.NDArray[np.float64]:
     """Symmetric pairwise edit-distance matrix."""
     n = len(sequences)
     matrix = np.zeros((n, n), dtype=np.float64)

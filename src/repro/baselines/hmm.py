@@ -52,7 +52,7 @@ class DiscreteHMM:
         self.num_symbols = num_symbols
         rng = np.random.default_rng(seed)
 
-        def random_rows(rows: int, cols: int) -> np.ndarray:
+        def random_rows(rows: int, cols: int) -> npt.NDArray[np.float64]:
             raw = rng.random((rows, cols)) + 0.1
             return raw / raw.sum(axis=1, keepdims=True)
 
@@ -80,7 +80,9 @@ class DiscreteHMM:
             alpha[step] /= scales[step]
         return alpha, scales
 
-    def _backward(self, sequence: Sequence[int], scales: np.ndarray) -> np.ndarray:
+    def _backward(
+        self, sequence: Sequence[int], scales: npt.NDArray[np.float64]
+    ) -> npt.NDArray[np.float64]:
         """Scaled backward pass using the forward scales."""
         length = len(sequence)
         beta = np.zeros((length, self.num_states))

@@ -12,9 +12,10 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 
-def validate_distance_matrix(distances: np.ndarray) -> np.ndarray:
+def validate_distance_matrix(distances: npt.NDArray[np.float64]) -> npt.NDArray[np.float64]:
     """Check shape/symmetry/diagonal and return a float64 view."""
     matrix = np.asarray(distances, dtype=np.float64)
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
@@ -29,7 +30,7 @@ def validate_distance_matrix(distances: np.ndarray) -> np.ndarray:
 
 
 def _dsquared_init(
-    matrix: np.ndarray, k: int, rng: np.random.Generator
+    matrix: npt.NDArray[np.float64], k: int, rng: np.random.Generator
 ) -> list[int]:
     """k-means++-style medoid initialisation on a distance matrix."""
     n = matrix.shape[0]
@@ -55,7 +56,7 @@ def _dsquared_init(
 
 
 def kmedoids(
-    distances: np.ndarray,
+    distances: npt.NDArray[np.float64],
     num_clusters: int,
     max_iterations: int = 50,
     seed: int = 0,
@@ -102,7 +103,7 @@ def kmedoids(
 
 
 def total_within_cost(
-    distances: np.ndarray, labels: Sequence[int], medoids: Sequence[int]
+    distances: npt.NDArray[np.float64], labels: Sequence[int], medoids: Sequence[int]
 ) -> float:
     """Sum of point-to-medoid distances — the k-medoids objective."""
     matrix = np.asarray(distances, dtype=np.float64)

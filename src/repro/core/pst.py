@@ -203,6 +203,15 @@ class ProbabilisticSuffixTree:
         length = len(encoded)
         if length == 0:
             return
+        # Validate the whole sequence before touching any count: a
+        # mid-insert ValueError must not leave the tree half-mutated
+        # (and the caches stale) for a caller that catches it.
+        for symbol in encoded:
+            if not 0 <= symbol < self.alphabet_size:
+                raise ValueError(
+                    f"symbol id {symbol} out of range "
+                    f"(alphabet size {self.alphabet_size})"
+                )
         max_depth = self.max_depth
         root = self.root
         root.count += length
@@ -210,11 +219,6 @@ class ProbabilisticSuffixTree:
 
         for i in range(length):
             symbol = encoded[i]
-            if not 0 <= symbol < self.alphabet_size:
-                raise ValueError(
-                    f"symbol id {symbol} out of range "
-                    f"(alphabet size {self.alphabet_size})"
-                )
             root_next[symbol] = root_next.get(symbol, 0) + 1
             node = root
             lowest = i - max_depth
@@ -545,17 +549,22 @@ class ProbabilisticSuffixTree:
         strategies; counts stored elsewhere in the tree are untouched
         (pruning loses information, it does not rescale it).
         """
-        child = parent.children.pop(symbol, None)
-        if child is None:
+        if symbol not in parent.children:
             return 0
         self._invalidate()
+        child = parent.children.pop(symbol)
         removed = child.subtree_size()
         self._node_count -= removed
         return removed
 
     def recount_nodes(self) -> int:
-        """Recompute the cached node count from the tree (debug aid)."""
-        self._node_count = self.root.subtree_size()
+        """Recompute the cached node count from the tree (debug aid).
+
+        Deliberately does not bump ``_version``: the flat export never
+        reads ``_node_count``, and recounting changes no count the
+        caches are built from — it only repairs the bookkeeping gauge.
+        """
+        self._node_count = self.root.subtree_size()  # cluseq: ignore[CLQ007]
         return self._node_count
 
     # -- sampling ----------------------------------------------------------------------

@@ -1,0 +1,166 @@
+"""The declared telemetry-name registry.
+
+Every metric, span, kernel, cache and latency name the codebase is
+allowed to emit is declared here, once, as a reviewable constant. The
+static analyzer's CLQ010 rule parses this module (by AST, in pass 1 of
+``tools.checkers``) and resolves every literal name at every emission
+site against it: a typo'd metric name forks a time series that no
+dashboard charts, and this registry is what makes that a CI failure
+instead of a silent data loss.
+
+Renaming or adding telemetry is therefore a two-line diff — the
+emission site and the declaration — and the declaration diff is the
+reviewable event. Dynamic name families (``span.*`` mirror metrics,
+``profile.*`` internals) are declared as prefixes rather than
+enumerations.
+
+The module is import-light on purpose (stdlib only, no runtime logic):
+it is also imported by tests to assert registry/emitter agreement.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CACHES",
+    "KERNELS",
+    "LATENCIES",
+    "METRICS",
+    "METRIC_PREFIXES",
+    "SPANS",
+    "SPAN_PREFIXES",
+]
+
+#: Exact counter/gauge/histogram/timer/series names.
+METRICS: frozenset[str] = frozenset(
+    {
+        # baselines
+        "baseline.runs",
+        "baseline.fit_seconds",
+        "baseline.clusters",
+        # streaming subsystem
+        "stream.recover_passes",
+        "stream.recover_replayed_batches",
+        "stream.batches",
+        "stream.sequences",
+        "stream.absorbed",
+        "stream.pooled",
+        "stream.pool_size",
+        "stream.clusters",
+        "stream.log_threshold",
+        "stream.batch.absorbed",
+        "stream.batch.size",
+        "stream.decay_events",
+        "stream.decay_pruned_nodes",
+        "stream.reseed_passes",
+        "stream.clusters_spawned",
+        "stream.pool_rescued",
+        "stream.threshold_path",
+        "stream.clusters_dismissed",
+        "stream.checkpoints",
+        "stream.checkpoint_bytes",
+        # batch clustering driver
+        "cluseq.iterations",
+        "cluseq.final_clusters",
+        "cluseq.final_log_threshold",
+        "cluseq.converged",
+        "cluseq.final_pst_nodes",
+        "cluseq.iteration.clusters",
+        "cluseq.iteration.unclustered",
+        "cluseq.iteration.log_threshold",
+        "cluseq.iteration.membership_changes",
+        "cluseq.iteration.pst_nodes",
+        "cluseq.clusters_seeded",
+        "cluseq.clusters_dismissed",
+        "cluseq.reclustering_work",
+        "cluseq.calibrated_log_threshold",
+        "cluseq.calibration_references",
+        # suffix tree
+        "pst.final_nodes",
+        "pst.final_depth",
+        "pst.decay_events",
+        "pst.decay_pruned_nodes",
+        "pst.prune_events",
+        "pst.pruned_nodes",
+        "pst.pruned_nodes_per_event",
+        # threshold search
+        "threshold.valley_searches",
+        "threshold.valley_misses",
+        "threshold.valley_log",
+        # seeding
+        "seeding.selections",
+        "seeding.seeds_selected",
+        "seeding.candidates_sampled",
+        "seeding.reference_scorings",
+        # consolidation
+        "consolidation.passes",
+        "consolidation.dismissed",
+        # vectorized scoring backend
+        "backend.prescore_stale_pairs",
+        "backend.prescore_fallbacks",
+        "backend.flatten_seconds",
+        "backend.stack_rebuilds",
+        "backend.batch_calls",
+        "backend.batch_rows",
+        "backend.score_seconds",
+        "backend.parallel_chunks",
+        "backend.flatten_builds",
+        "backend.flatten_nodes",
+        # reference similarity measure
+        "similarity.calls",
+        "similarity.dp_cells",
+        "similarity.segment_length",
+        # profiler value gauges/series (emitted via HotPathProfiler)
+        "model.clusters",
+        "model.pst_nodes",
+        "model.approx_bytes",
+        "iteration.pst_nodes",
+        "iteration.peak_rss_bytes",
+        "profile.memory.peak_rss_bytes",
+        "profile.memory.traced_bytes",
+    }
+)
+
+#: Dynamic metric families: ``span.<span-name>`` duration mirrors and
+#: the profiler's ``profile.kernel.* / profile.cache.* / ...`` internals.
+METRIC_PREFIXES: tuple[str, ...] = ("span.", "profile.")
+
+#: Exact tracer span names.
+SPANS: frozenset[str] = frozenset(
+    {
+        "cluseq",
+        "reclustering",
+        "seed",
+        "calibrate",
+        "recluster",
+        "consolidate",
+        "rebuild",
+        "adjust_threshold",
+        "stream.recover",
+        "stream.batch",
+        "stream.score",
+        "stream.decay",
+        "stream.reseed",
+        "stream.adjust_threshold",
+        "stream.consolidate",
+        "stream.checkpoint",
+        # Stitched onto the caller's trace from pool workers
+        # (record_foreign_span in repro.core.backends.parallel).
+        "backend.worker_chunk",
+    }
+)
+
+#: Dynamic span families: one span per baseline algorithm.
+SPAN_PREFIXES: tuple[str, ...] = ("baseline.",)
+
+#: Hot-path kernel timer names (``prof.kernel(...)``).
+KERNELS: frozenset[str] = frozenset(
+    {"flatten", "pad", "walk", "gather", "kadane", "recover_replay"}
+)
+
+#: Cache hit/miss channel names (``prof.cache_hit/cache_miss``).
+CACHES: frozenset[str] = frozenset({"flat", "stack"})
+
+#: Latency channel names (``prof.latency(...)``).
+LATENCIES: frozenset[str] = frozenset(
+    {"checkpoint_fsync", "checkpoint_write", "wal_fsync", "wal_append"}
+)

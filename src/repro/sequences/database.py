@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from .alphabet import Alphabet, Symbol
 
@@ -214,11 +215,11 @@ class SequenceDatabase:
         lengths = [len(r) for r in self._records]
         return (min(lengths), max(lengths))
 
-    def symbol_counts(self) -> np.ndarray:
+    def symbol_counts(self) -> npt.NDArray[np.int64]:
         """Occurrence count of each symbol id across the whole database."""
         return self._symbol_counts.copy()
 
-    def background_probabilities(self, smoothing: float = 0.0) -> np.ndarray:
+    def background_probabilities(self, smoothing: float = 0.0) -> npt.NDArray[np.float64]:
         """Empirical probability ``p(s)`` of each symbol (the paper's
         memoryless background model).
 

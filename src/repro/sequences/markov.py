@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 Context = tuple[int, ...]
 
@@ -43,7 +44,7 @@ class MarkovSource:
         self,
         alphabet_size: int,
         order: int,
-        transitions: dict[Context, np.ndarray],
+        transitions: dict[Context, npt.NDArray[np.float64]],
     ) -> None:
         if alphabet_size <= 0:
             raise ValueError("alphabet_size must be positive")
@@ -53,7 +54,7 @@ class MarkovSource:
             raise ValueError("transitions must define the empty context ()")
         self.alphabet_size = alphabet_size
         self.order = order
-        self._transitions: dict[Context, np.ndarray] = {}
+        self._transitions: dict[Context, npt.NDArray[np.float64]] = {}
         for context, probs in transitions.items():
             vec = np.asarray(probs, dtype=np.float64)
             if vec.shape != (alphabet_size,):
@@ -73,7 +74,7 @@ class MarkovSource:
         """All contexts with an explicit distribution."""
         return list(self._transitions.keys())
 
-    def distribution_for(self, context: Sequence[int]) -> np.ndarray:
+    def distribution_for(self, context: Sequence[int]) -> npt.NDArray[np.float64]:
         """Next-symbol distribution for *context* (longest-suffix lookup)."""
         context = tuple(context)[-self.order :] if self.order else ()
         while True:
@@ -146,7 +147,7 @@ class MarkovSource:
 
 def _dirichlet_rows(
     rng: np.random.Generator, rows: int, size: int, concentration: float
-) -> np.ndarray:
+) -> npt.NDArray[np.float64]:
     """Draw *rows* probability vectors from a symmetric Dirichlet."""
     return rng.dirichlet(np.full(size, concentration), size=rows)
 
@@ -185,7 +186,7 @@ def random_markov_source(
         raise ValueError("context_fraction must be within [0, 1]")
     if rng is None:
         rng = np.random.default_rng(0)
-    transitions: dict[Context, np.ndarray] = {}
+    transitions: dict[Context, npt.NDArray[np.float64]] = {}
     transitions[()] = rng.dirichlet(np.full(alphabet_size, 1.0))
 
     if order >= 1:

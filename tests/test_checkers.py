@@ -88,6 +88,10 @@ class TestEngine:
             "CLQ004",
             "CLQ005",
             "CLQ006",
+            "CLQ007",
+            "CLQ008",
+            "CLQ009",
+            "CLQ010",
         ]
 
     def test_syntax_error_raises_checker_error(self, tmp_path):

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -287,7 +289,7 @@ class TestStreamCommand:
         import io
         import sys as _sys
 
-        text = open(stream_file, encoding="utf-8").read()
+        text = Path(stream_file).read_text(encoding="utf-8")
         monkeypatch.setattr(_sys, "stdin", io.StringIO(text))
         code = main(
             [

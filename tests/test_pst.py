@@ -86,6 +86,36 @@ class TestCounts:
         with pytest.raises(ValueError, match="out of range"):
             pst.add_sequence([0, 5])
 
+    def test_rejected_sequence_leaves_tree_untouched(self):
+        # CLQ007 regression: validation must happen before any count is
+        # touched, so a caller catching the ValueError sees the tree
+        # (and the version-keyed caches) exactly as before the call.
+        pst = ProbabilisticSuffixTree(alphabet_size=2)
+        pst.add_sequence([0, 1, 0])
+        before_version = pst._version
+        before_root_count = pst.root.count
+        before_nodes = pst.node_count
+        with pytest.raises(ValueError, match="out of range"):
+            pst.add_sequence([0, 1, 7, 0])
+        assert pst._version == before_version
+        assert pst.root.count == before_root_count
+        assert pst.node_count == before_nodes
+        assert pst.root.next_counts == {0: 2, 1: 1}
+
+    def test_forget_missing_subtree_does_not_invalidate(self):
+        # CLQ007 regression: the no-op early return must not mutate and
+        # must not churn the version (which would needlessly rebuild
+        # the flat caches); a real detach must bump it.
+        pst = ProbabilisticSuffixTree(alphabet_size=3, max_depth=2)
+        pst.add_sequence([0, 1, 2, 0, 1])
+        before_version = pst._version
+        assert pst._forget_subtree(pst.root, 7) == 0
+        assert pst._version == before_version
+        removed = pst._forget_subtree(pst.root, 0)
+        assert removed > 0
+        assert pst._version > before_version
+        assert pst.node_count == pst.root.subtree_size()
+
 
 class TestSignificance:
     def test_is_significant(self):

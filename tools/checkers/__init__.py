@@ -4,8 +4,12 @@ Generic linters cannot see the invariants this codebase lives by: the
 core → obs/sequences layering that keeps the hot path light, the
 "every RNG flows from an explicit seed" determinism contract that makes
 paper tables reproducible, or the log-domain float arithmetic that must
-never be compared with ``==``. This package walks Python ASTs and
-enforces those contracts as CLQ-prefixed rules:
+never be compared with ``==``. v2 grew the per-file AST walker into a
+two-pass, whole-program analyzer: pass 1 builds a repo-wide symbol
+table (:mod:`tools.checkers.symbols`), pass 2 runs the rules, the
+flow-sensitive ones over per-function control-flow graphs
+(:mod:`tools.checkers.cfg`) with boolean must-dataflow
+(:mod:`tools.checkers.dataflow`).
 
 ========  ==============================================================
 CLQ001    import layering (core must not import experiments/cli/
@@ -17,11 +21,21 @@ CLQ003    float equality (no ``==`` / ``!=`` on float-typed expressions
 CLQ004    mutable default arguments
 CLQ005    paper anchors (public ``core`` functions must carry a
           docstring referencing a paper section/equation/table)
+CLQ006    dotted metric names; ``span(...)`` only as a context manager
+CLQ007    cache-invalidation soundness (tracked-state writes reach a
+          ``_version`` bump on every CFG path)
+CLQ008    durability protocol (stream writes via fsync-disciplined
+          helpers; ``os.fsync`` before ``os.replace`` on every path)
+CLQ009    resource discipline (handles/locks released on every path)
+CLQ010    telemetry names resolve against ``repro/obs/names.py``
 ========  ==============================================================
 
 Run it with ``python -m tools.checkers src/repro``. Suppress a finding
 on one line with ``# cluseq: ignore[CLQ00X]`` (or a bare
-``# cluseq: ignore`` to silence every rule on that line).
+``# cluseq: ignore`` to silence every rule on that line); accept
+pre-existing findings wholesale with ``--baseline`` /
+``--update-baseline`` (:mod:`tools.checkers.baseline`); export for
+GitHub code scanning with ``--sarif`` (:mod:`tools.checkers.sarif`).
 """
 
 from .engine import (

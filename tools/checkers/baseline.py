@@ -1,0 +1,107 @@
+"""Violation baselines: adopt-now, ratchet-later suppression files.
+
+A baseline lets the v2 rules land on a codebase with pre-existing
+findings without either fixing everything in one PR or littering the
+source with ``# cluseq: ignore`` comments. The workflow:
+
+1. ``python -m tools.checkers --update-baseline`` writes every current
+   finding's fingerprint to the baseline file.
+2. ``python -m tools.checkers --baseline tools/checkers/baseline.json``
+   (the CI invocation) reports only findings *not* in the baseline —
+   new debt fails the gate, old debt does not.
+3. Fixing a baselined finding and re-running ``--update-baseline``
+   shrinks the file; the diff is the ratchet.
+
+Fingerprints are ``sha256(rule_id | normalized-path | stripped source
+line)``. Using the line's *text* instead of its *number* keeps
+fingerprints stable across unrelated edits above the finding — the
+same trick GitHub code scanning uses for alert dedup. Two identical
+lines in one file share a fingerprint; that collision is acceptable
+for a suppression mechanism (it can only over-suppress twins of a
+known finding, never hide a novel rule hit).
+
+The core gate (`make invariants`) intentionally runs with the
+committed baseline, which is **empty** for ``src/repro`` — the claim
+"the core tree is CLQ-clean" stays checkable from the file itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .engine import Violation
+
+__all__ = ["Baseline", "fingerprint"]
+
+_FORMAT_VERSION = 1
+
+
+def _normalize_path(path: str) -> str:
+    return Path(path).as_posix()
+
+
+def fingerprint(violation: Violation, source_line: str) -> str:
+    """Stable identity for one finding (rule, file, line *text*)."""
+    payload = "\x1f".join(
+        [violation.rule_id, _normalize_path(violation.path), source_line.strip()]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _source_line(violation: Violation) -> str:
+    try:
+        lines = Path(violation.path).read_text(encoding="utf-8").splitlines()
+        return lines[violation.line - 1]
+    except (OSError, IndexError):
+        return ""
+
+
+class Baseline:
+    """A set of known-finding fingerprints, with provenance comments."""
+
+    def __init__(self, fingerprints: set[str] | None = None) -> None:
+        self.fingerprints: set[str] = set(fingerprints or ())
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        return cls({entry["fingerprint"] for entry in data.get("findings", [])})
+
+    def filter(self, violations: list[Violation]) -> list[Violation]:
+        """Violations not covered by the baseline."""
+        return [
+            v for v in violations if fingerprint(v, _source_line(v)) not in self.fingerprints
+        ]
+
+    @staticmethod
+    def write(path: Path, violations: list[Violation]) -> int:
+        """Write *violations* as the new baseline; returns the count."""
+        findings = [
+            {
+                "fingerprint": fingerprint(v, _source_line(v)),
+                "rule": v.rule_id,
+                "path": _normalize_path(v.path),
+                "message": v.message,
+            }
+            for v in violations
+        ]
+        findings.sort(key=lambda f: (f["path"], f["rule"], f["fingerprint"]))
+        payload = {
+            "version": _FORMAT_VERSION,
+            "comment": (
+                "Accepted pre-existing findings; shrink via "
+                "`python -m tools.checkers --update-baseline`. "
+                "New findings are never auto-accepted."
+            ),
+            "findings": findings,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return len(findings)

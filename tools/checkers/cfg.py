@@ -1,0 +1,331 @@
+"""Intra-procedural control-flow graphs for the flow-sensitive rules.
+
+A :class:`CFG` is built from one ``ast.FunctionDef`` and decomposes the
+body into basic blocks of *elements*. An element is a single AST node —
+either a simple statement (``Assign``, ``Expr``, …) or the control
+expression of a compound statement (an ``If``/``While`` test, a ``For``
+iterable, a ``with`` item). Compound statement *bodies* become separate
+blocks wired by edges, so every AST node belongs to exactly one block
+and rules can scan elements without double-counting.
+
+Modelled control flow:
+
+* ``if``/``elif``/``else`` — branch and join blocks.
+* ``while``/``for`` — header, body, ``else`` clause, ``break`` and
+  ``continue`` edges (a ``while True:`` header has no fall-through
+  exit edge).
+* ``return`` — edge to the virtual :attr:`CFG.exit` block.
+* ``raise`` / ``assert`` — edge to the virtual :attr:`CFG.raise_exit`
+  block (``assert`` additionally falls through).
+* ``try``/``except``/``else`` — every element of the ``try`` body gets
+  an edge to each handler entry (any statement may raise); a ``raise``
+  in the body goes to the handlers *and* to the raise exit (it may not
+  match any clause).
+* ``try``/``finally`` — the ``finally`` body is *duplicated* per exit
+  kind (fall-through, return, raise, break, continue), so a path that
+  returns out of the ``try`` still flows through its own copy of the
+  ``finally`` elements. This keeps must-pass-through analyses precise.
+* ``with`` — context expressions become elements; the body continues
+  in the same block (exceptional exits of ``__exit__`` are not
+  modelled).
+
+Deliberately *not* modelled (documented analysis assumptions): implicit
+exceptions from arbitrary expressions outside ``try`` blocks, and the
+bodies of nested ``def``/``class`` statements (they execute on their
+own activation, not on the enclosing function's paths — rules must not
+walk into them either, see :func:`walk_element`).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator, Sequence
+
+__all__ = ["Block", "CFG", "build_cfg", "walk_element", "element_matches"]
+
+#: Statements whose nested bodies run on a separate activation.
+_OPAQUE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+class Block:
+    """A basic block: a run of elements with shared control flow."""
+
+    __slots__ = ("index", "elements", "succs", "preds", "kind")
+
+    def __init__(self, index: int, kind: str = "normal") -> None:
+        self.index = index
+        self.elements: list[ast.AST] = []
+        self.succs: list["Block"] = []
+        self.preds: list["Block"] = []
+        self.kind = kind
+
+    def add_edge(self, succ: "Block") -> None:
+        if succ not in self.succs:
+            self.succs.append(succ)
+            succ.preds.append(self)
+
+    def __repr__(self) -> str:
+        succs = [b.index for b in self.succs]
+        return f"Block({self.index}, kind={self.kind!r}, n={len(self.elements)}, succs={succs})"
+
+
+class CFG:
+    """The control-flow graph of one function body.
+
+    ``entry`` is the (element-less) start block; ``exit`` collects
+    every normal termination (explicit ``return`` and falling off the
+    end); ``raise_exit`` collects paths that leave via an uncaught
+    ``raise``. Both exits are virtual: they carry no elements.
+    """
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.entry = self.new_block("entry")
+        self.exit = self.new_block("exit")
+        self.raise_exit = self.new_block("raise-exit")
+
+    def new_block(self, kind: str = "normal") -> Block:
+        block = Block(len(self.blocks), kind)
+        self.blocks.append(block)
+        return block
+
+    def exits(self, include_raises: bool = True) -> list[Block]:
+        out = [self.exit]
+        if include_raises:
+            out.append(self.raise_exit)
+        return out
+
+    def iter_elements(self) -> Iterator[tuple[Block, int, ast.AST]]:
+        """Every ``(block, index, element)`` triple, in block order."""
+        for block in self.blocks:
+            for idx, element in enumerate(block.elements):
+                yield block, idx, element
+
+
+def walk_element(element: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested def/class bodies.
+
+    The element itself is yielded even when it *is* a nested def (so a
+    rule can still see decorators via ``element.decorator_list``), but
+    nothing underneath it.
+    """
+    yield element
+    if isinstance(element, _OPAQUE):
+        return
+    stack = list(ast.iter_child_nodes(element))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _OPAQUE):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def element_matches(element: ast.AST, predicate: Callable[[ast.AST], bool]) -> bool:
+    """Whether any (non-nested-scope) node of *element* satisfies *predicate*."""
+    return any(predicate(node) for node in walk_element(element))
+
+
+class _Targets:
+    """Where abrupt statements jump to, given the current nesting."""
+
+    __slots__ = ("on_return", "on_raise", "on_break", "on_continue", "handlers")
+
+    def __init__(
+        self,
+        on_return: Block,
+        on_raise: Block,
+        on_break: Block | None = None,
+        on_continue: Block | None = None,
+        handlers: Sequence[Block] = (),
+    ) -> None:
+        self.on_return = on_return
+        self.on_raise = on_raise
+        self.on_break = on_break
+        self.on_continue = on_continue
+        #: Entry blocks of the active ``except`` clauses: every element
+        #: inside the corresponding ``try`` body may jump here.
+        self.handlers = list(handlers)
+
+    def replaced(self, **kwargs: object) -> "_Targets":
+        new = _Targets(self.on_return, self.on_raise, self.on_break, self.on_continue)
+        new.handlers = list(self.handlers)
+        for key, value in kwargs.items():
+            setattr(new, key, value)
+        return new
+
+
+class _Builder:
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _emit(self, block: Block, node: ast.AST, targets: _Targets) -> Block:
+        """Append one element; split the block when handler edges apply."""
+        block.elements.append(node)
+        if targets.handlers:
+            for handler in targets.handlers:
+                block.add_edge(handler)
+            nxt = self.cfg.new_block()
+            block.add_edge(nxt)
+            return nxt
+        return block
+
+    def _is_const_true(self, test: ast.expr) -> bool:
+        return isinstance(test, ast.Constant) and bool(test.value) is True
+
+    # -- statement dispatch ------------------------------------------------------
+
+    def build_body(
+        self, stmts: Sequence[ast.stmt], current: Block, targets: _Targets
+    ) -> Block:
+        """Wire *stmts* starting at *current*; return the fall-through block."""
+        for stmt in stmts:
+            current = self.build_stmt(stmt, current, targets)
+        return current
+
+    def build_stmt(self, stmt: ast.stmt, current: Block, targets: _Targets) -> Block:
+        cfg = self.cfg
+        if isinstance(stmt, ast.Return):
+            current = self._emit(current, stmt, targets)
+            current.add_edge(targets.on_return)
+            return cfg.new_block("dead")
+        if isinstance(stmt, ast.Raise):
+            current = self._emit(current, stmt, targets)
+            # May match an active handler, or propagate out.
+            for handler in targets.handlers:
+                current.add_edge(handler)
+            current.add_edge(targets.on_raise)
+            return cfg.new_block("dead")
+        if isinstance(stmt, ast.Break):
+            assert targets.on_break is not None, "break outside loop"
+            current.add_edge(targets.on_break)
+            return cfg.new_block("dead")
+        if isinstance(stmt, ast.Continue):
+            assert targets.on_continue is not None, "continue outside loop"
+            current.add_edge(targets.on_continue)
+            return cfg.new_block("dead")
+        if isinstance(stmt, ast.Assert):
+            current = self._emit(current, stmt, targets)
+            current.add_edge(targets.on_raise)
+            return current
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, current, targets)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._build_loop(stmt, current, targets)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                current = self._emit(current, item.context_expr, targets)
+                if item.optional_vars is not None:
+                    current = self._emit(current, item.optional_vars, targets)
+            return self.build_body(stmt.body, current, targets)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, current, targets)
+        # Simple statement (including nested def/class, kept opaque).
+        return self._emit(current, stmt, targets)
+
+    # -- compound statements -----------------------------------------------------
+
+    def _build_if(self, stmt: ast.If, current: Block, targets: _Targets) -> Block:
+        cfg = self.cfg
+        current = self._emit(current, stmt.test, targets)
+        after = cfg.new_block()
+        then_entry = cfg.new_block()
+        current.add_edge(then_entry)
+        then_end = self.build_body(stmt.body, then_entry, targets)
+        then_end.add_edge(after)
+        if stmt.orelse:
+            else_entry = cfg.new_block()
+            current.add_edge(else_entry)
+            else_end = self.build_body(stmt.orelse, else_entry, targets)
+            else_end.add_edge(after)
+        else:
+            current.add_edge(after)
+        return after
+
+    def _build_loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, current: Block, targets: _Targets
+    ) -> Block:
+        cfg = self.cfg
+        header = cfg.new_block("loop-header")
+        current.add_edge(header)
+        if isinstance(stmt, ast.While):
+            header.elements.append(stmt.test)
+            never_exits = self._is_const_true(stmt.test)
+        else:
+            header.elements.append(stmt.iter)
+            header.elements.append(stmt.target)
+            never_exits = False
+        after = cfg.new_block()
+        body_entry = cfg.new_block()
+        header.add_edge(body_entry)
+        body_targets = targets.replaced(on_break=after, on_continue=header)
+        body_end = self.build_body(stmt.body, body_entry, body_targets)
+        body_end.add_edge(header)
+        if not never_exits:
+            if stmt.orelse:
+                else_entry = cfg.new_block()
+                header.add_edge(else_entry)
+                else_end = self.build_body(stmt.orelse, else_entry, targets)
+                else_end.add_edge(after)
+            else:
+                header.add_edge(after)
+        return after
+
+    def _build_try(self, stmt: ast.Try, current: Block, targets: _Targets) -> Block:
+        cfg = self.cfg
+        after = cfg.new_block()
+
+        if stmt.finalbody:
+            # One copy of the finally body per way of leaving the try —
+            # each copy rejoins the *outer* targets, so "return inside
+            # try" still flows through finally elements before exit.
+            def finally_to(dest: Block) -> Block:
+                entry = cfg.new_block("finally")
+                end = self.build_body(stmt.finalbody, entry, targets)
+                end.add_edge(dest)
+                return entry
+
+            inner = targets.replaced(
+                on_return=finally_to(targets.on_return),
+                on_raise=finally_to(targets.on_raise),
+            )
+            if targets.on_break is not None:
+                inner = inner.replaced(on_break=finally_to(targets.on_break))
+            if targets.on_continue is not None:
+                inner = inner.replaced(on_continue=finally_to(targets.on_continue))
+            normal_exit = finally_to(after)
+        else:
+            inner = targets
+            normal_exit = after
+
+        handler_entries: list[Block] = []
+        for handler in stmt.handlers:
+            entry = cfg.new_block("handler")
+            if handler.type is not None:
+                entry.elements.append(handler.type)
+            handler_entries.append(entry)
+        # Handler bodies run outside the try protection (a raise there
+        # propagates), but inside the finally scope.
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            end = self.build_body(handler.body, entry, inner)
+            end.add_edge(normal_exit)
+
+        body_targets = inner.replaced(handlers=inner.handlers + handler_entries)
+        body_entry = cfg.new_block()
+        current.add_edge(body_entry)
+        body_end = self.build_body(stmt.body, body_entry, body_targets)
+        # ``else`` runs only on normal completion, unprotected.
+        body_end = self.build_body(stmt.orelse, body_end, inner)
+        body_end.add_edge(normal_exit)
+        return after
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG of *func*'s body (nested defs stay opaque)."""
+    cfg = CFG()
+    targets = _Targets(on_return=cfg.exit, on_raise=cfg.raise_exit)
+    end = _Builder(cfg).build_body(func.body, cfg.entry, targets)
+    end.add_edge(cfg.exit)  # falling off the end returns None
+    return cfg

@@ -7,13 +7,15 @@ import sys
 from pathlib import Path
 from collections.abc import Sequence
 
+from .baseline import Baseline
 from .engine import Checker, CheckerError, all_rules, get_rule
+from .sarif import write_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m tools.checkers",
-        description="CLUSEQ repo-specific AST invariant checks (CLQ rules)",
+        description="CLUSEQ repo-specific invariant checks (CLQ rules)",
     )
     parser.add_argument(
         "targets",
@@ -36,6 +38,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet",
         action="store_true",
         help="suppress the summary line (violations still print)",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        type=Path,
+        default=None,
+        help="also write findings as SARIF 2.1.0 to FILE (for code scanning)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        type=Path,
+        default=None,
+        help="suppress findings fingerprinted in this baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the --baseline file (default tools/checkers/baseline.json) "
+        "to accept every current finding, then exit 0",
     )
     return parser
 
@@ -73,15 +95,40 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.update_baseline:
+        baseline_path = args.baseline or Path("tools/checkers/baseline.json")
+        count = Baseline.write(baseline_path, violations)
+        print(
+            f"baseline {baseline_path} updated: {count} accepted finding(s)",
+            file=sys.stderr,
+        )
+        return 0
+
+    suppressed = 0
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (ValueError, OSError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        before = len(violations)
+        violations = baseline.filter(violations)
+        suppressed = before - len(violations)
+
+    if args.sarif is not None:
+        write_sarif(args.sarif, violations, rules, root=Path.cwd())
+
     for violation in violations:
         print(violation.render())
     if not args.quiet:
         rule_word = "rule" if len(checker.rules) == 1 else "rules"
-        print(
+        summary = (
             f"checked {files_checked} files against {len(checker.rules)} "
-            f"{rule_word}: {len(violations)} violation(s)",
-            file=sys.stderr,
+            f"{rule_word}: {len(violations)} violation(s)"
         )
+        if suppressed:
+            summary += f" ({suppressed} baselined)"
+        print(summary, file=sys.stderr)
     return 1 if violations else 0
 
 

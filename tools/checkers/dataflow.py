@@ -1,0 +1,130 @@
+"""Boolean must-analyses over :mod:`tools.checkers.cfg` graphs.
+
+Two dual analyses cover every flow-sensitive rule currently shipped:
+
+* :class:`ForwardMust` — "has a *gen* element definitely executed on
+  every path from the function entry to this point?" Used by CLQ007
+  (was the version already bumped before this mutation?) and CLQ008
+  (did an ``os.fsync`` definitely precede this ``os.replace``?).
+* :class:`BackwardMust` — "does every path from this point to a
+  function exit execute a *gen* element?" Used by CLQ007 (will the
+  version be bumped after this mutation, whichever branch runs?) and
+  CLQ009 (is the handle closed on all paths?).
+
+Both are classic meet-over-all-paths boolean dataflow with ``AND`` as
+the meet operator: the lattice is two-valued, transfer functions are
+monotone, so the worklist iteration terminates. Unreachable blocks stay
+at the optimistic initial value, which is vacuously correct (there is
+no path through them to witness a violation).
+
+The decomposition ``covered(p) = ForwardMust(p) or BackwardMust(p)`` is
+exact for "does some full path through *p* avoid a gen element": if
+both analyses fail at *p* there is a gen-free path from entry to *p*
+and a gen-free path from *p* to an exit, and their concatenation is a
+gen-free path through *p*.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterable
+
+from .cfg import CFG, Block, element_matches
+
+__all__ = ["ForwardMust", "BackwardMust"]
+
+Predicate = Callable[[ast.AST], bool]
+
+
+class _MustAnalysis:
+    """Shared fixpoint machinery; direction supplied by subclasses."""
+
+    def __init__(self, cfg: CFG, gen: Predicate) -> None:
+        self.cfg = cfg
+        self._gen_cache: dict[int, list[bool]] = {}
+        for block in cfg.blocks:
+            self._gen_cache[block.index] = [
+                element_matches(element, gen) for element in block.elements
+            ]
+
+    def block_has_gen(self, block: Block) -> bool:
+        return any(self._gen_cache[block.index])
+
+    def gen_flags(self, block: Block) -> list[bool]:
+        return self._gen_cache[block.index]
+
+
+class ForwardMust(_MustAnalysis):
+    """At each point: a gen element executed on *all* entry paths."""
+
+    def __init__(self, cfg: CFG, gen: Predicate) -> None:
+        super().__init__(cfg, gen)
+        # IN[b]: gen definitely executed before b's first element.
+        self._in = {block.index: True for block in cfg.blocks}
+        self._in[cfg.entry.index] = False
+        self._solve()
+
+    def _out(self, block: Block) -> bool:
+        return self._in[block.index] or self.block_has_gen(block)
+
+    def _solve(self) -> None:
+        work = list(self.cfg.blocks)
+        while work:
+            block = work.pop()
+            if block is self.cfg.entry:
+                continue
+            if not block.preds:
+                continue  # unreachable: stays optimistic
+            new_in = all(self._out(pred) for pred in block.preds)
+            if new_in != self._in[block.index]:
+                self._in[block.index] = new_in
+                work.extend(block.succs)
+
+    def before(self, block: Block, index: int) -> bool:
+        """Gen definitely executed before element *index* of *block*."""
+        flags = self.gen_flags(block)
+        return self._in[block.index] or any(flags[:index])
+
+
+class BackwardMust(_MustAnalysis):
+    """At each point: every path onward to an exit runs a gen element."""
+
+    def __init__(
+        self, cfg: CFG, gen: Predicate, exits: Iterable[Block] | None = None
+    ) -> None:
+        super().__init__(cfg, gen)
+        counted = set(b.index for b in (exits if exits is not None else cfg.exits()))
+        # OUT[b]: every path from b's end to a counted exit passes a gen.
+        # Virtual exits carry no elements; a counted exit ends the path
+        # gen-free (False), an uncounted one is vacuously fine (True).
+        self._out = {block.index: True for block in cfg.blocks}
+        for index in counted:
+            self._out[index] = False
+        self._counted = counted
+        self._solve()
+
+    def _in(self, block: Block) -> bool:
+        if block.index in self._counted:
+            return False
+        return self.block_has_gen(block) or self._out[block.index]
+
+    def _solve(self) -> None:
+        work = list(self.cfg.blocks)
+        while work:
+            block = work.pop()
+            if block.index in self._counted or not block.succs:
+                continue
+            new_out = all(self._in(succ) for succ in block.succs)
+            if new_out != self._out[block.index]:
+                self._out[block.index] = new_out
+                work.extend(block.preds)
+
+    def after(self, block: Block, index: int) -> bool:
+        """Every path after element *index* of *block* runs a gen."""
+        flags = self.gen_flags(block)
+        return any(flags[index + 1 :]) or self._out[block.index]
+
+    def at(self, block: Block, index: int) -> bool:
+        """Like :meth:`after` but counting element *index* itself."""
+        flags = self.gen_flags(block)
+        return any(flags[index:]) or self._out[block.index]

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Iterable, Iterator, Sequence
 
+from .symbols import ProgramIndex
+
 #: ``# cluseq: ignore`` or ``# cluseq: ignore[CLQ001,CLQ005]``.
 _SUPPRESSION_RE = re.compile(
     r"#\s*cluseq:\s*ignore(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
@@ -108,6 +110,10 @@ class FileContext:
     tree: ast.Module
     module: str
     suppressions: dict[int, set[str] | None] = field(default_factory=dict)
+    #: The pass-1 whole-program symbol table. Populated by the checker
+    #: before rules run; whole-program rules (CLQ007–CLQ010) read it,
+    #: per-file rules ignore it.
+    program: "ProgramIndex | None" = None
 
     @classmethod
     def from_path(cls, path: Path, module: str | None = None) -> "FileContext":
@@ -235,6 +241,9 @@ class Checker:
 
     def check_file(self, path: Path, module: str | None = None) -> list[Violation]:
         context = FileContext.from_path(path, module=module)
+        # Single-file mode still gets a (single-file) symbol table so
+        # the class-level facts the flow rules need are available.
+        context.program = ProgramIndex.build([context])
         return self.check_context(context)
 
     def check_context(self, context: FileContext) -> list[Violation]:
@@ -250,13 +259,17 @@ class Checker:
     def check_targets(
         self, targets: Sequence[Path]
     ) -> tuple[list[Violation], int]:
-        """Check every Python file under *targets*.
+        """Check every Python file under *targets*, in two passes.
 
-        Returns ``(violations, files_checked)``.
+        Pass 1 parses every file and builds the whole-program
+        :class:`~tools.checkers.symbols.ProgramIndex`; pass 2 runs the
+        rules with that index attached to every file context. Returns
+        ``(violations, files_checked)``.
         """
+        contexts = [FileContext.from_path(path) for path in iter_python_files(targets)]
+        program = ProgramIndex.build(contexts)
         violations: list[Violation] = []
-        count = 0
-        for path in iter_python_files(targets):
-            count += 1
-            violations.extend(self.check_file(path))
-        return violations, count
+        for context in contexts:
+            context.program = program
+            violations.extend(self.check_context(context))
+        return violations, len(contexts)

@@ -1,5 +1,27 @@
 """Built-in CLQ rules. Importing this package registers them all."""
 
-from . import anchors, defaults, determinism, floats, imports, naming
+from . import (
+    anchors,
+    cache_invalidation,
+    defaults,
+    determinism,
+    durability,
+    floats,
+    imports,
+    metric_registry,
+    naming,
+    resources,
+)
 
-__all__ = ["anchors", "defaults", "determinism", "floats", "imports", "naming"]
+__all__ = [
+    "anchors",
+    "cache_invalidation",
+    "defaults",
+    "determinism",
+    "durability",
+    "floats",
+    "imports",
+    "metric_registry",
+    "naming",
+    "resources",
+]

@@ -1,0 +1,112 @@
+"""SARIF 2.1.0 export so CLQ findings land in GitHub code scanning.
+
+One run object, one tool driver (``cluseq-checkers``), one rule
+descriptor per registered CLQ rule, one result per violation. Paths
+are emitted repo-relative with forward slashes (SARIF
+``artifactLocation.uri`` is a URI reference); columns are 1-based in
+both our :class:`~tools.checkers.engine.Violation` and SARIF, so they
+pass through unchanged.
+
+Only the properties code scanning actually consumes are emitted —
+``ruleId``, ``level``, ``message.text`` and the physical location —
+plus the rule metadata that renders in the UI (short description and
+help URI pointing at docs/STATIC_ANALYSIS.md). Keeping the document
+minimal keeps it schema-valid by inspection; the test suite
+additionally validates against the published 2.1.0 schema when
+``jsonschema`` is importable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from collections.abc import Sequence
+
+from .engine import Rule, Violation
+
+__all__ = ["to_sarif", "write_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "cluseq-checkers"
+_HELP_URI = "https://github.com/cluseq/cluseq/blob/main/docs/STATIC_ANALYSIS.md"
+
+
+def _relative_uri(path: str, root: Path | None) -> str:
+    candidate = Path(path)
+    if root is not None:
+        try:
+            candidate = candidate.resolve().relative_to(root.resolve())
+        except ValueError:
+            pass  # outside the root: keep as given
+    return candidate.as_posix()
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, object]:
+    return {
+        "id": rule.rule_id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.summary},
+        "helpUri": _HELP_URI,
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(violation: Violation, root: Path | None) -> dict[str, object]:
+    return {
+        "ruleId": violation.rule_id,
+        "level": "error",
+        "message": {"text": violation.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _relative_uri(violation.path, root),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": violation.line,
+                        "startColumn": violation.col,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(
+    violations: Sequence[Violation],
+    rules: Sequence[Rule],
+    root: Path | None = None,
+) -> dict[str, object]:
+    """The SARIF log as a plain dict (``json.dump``-ready)."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _HELP_URI,
+                        "rules": [_rule_descriptor(rule) for rule in rules],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": [_result(v, root) for v in violations],
+            }
+        ],
+    }
+
+
+def write_sarif(
+    path: Path,
+    violations: Sequence[Violation],
+    rules: Sequence[Rule],
+    root: Path | None = None,
+) -> None:
+    document = to_sarif(violations, rules, root=root)
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
