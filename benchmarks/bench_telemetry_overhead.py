@@ -32,12 +32,13 @@ if str(REPO_ROOT) not in sys.path:
 
 from repro.core.backends import PstBatchScorer
 from repro.core.backends.vectorized import (
-    gather_log_ratios,
-    kadane_rows,
+    gather_ratios_matrix,
+    kadane_columns,
+    matrix_from_batch,
     pad_sequences,
-    results_from_batch,
+    prepare_stack,
     stack_flats,
-    walk_states,
+    walk_states_matrix,
 )
 from repro.core.pst import ProbabilisticSuffixTree
 from repro.obs import NULL_PROFILER, NULL_REGISTRY, get_profiler, get_registry
@@ -79,30 +80,27 @@ def build_workload():
 def make_bare_runner(scorer, psts, sequences, log_bg):
     """The same kernel sequence with zero instrumentation.
 
-    A transcription of ``score_matrix`` + ``_score_rows`` with every
-    telemetry guard deleted — the pre-instrumentation hot path.
+    A transcription of ``score_matrix`` / ``_score_matrix_arrays`` with
+    every telemetry guard deleted — the pre-instrumentation hot path:
+    pad once, walk the full-matrix state cube, gather ratios, one
+    batched Kadane scan over the column layout, reshape, materialize.
+    The prepared stack is hoisted like the scorer's cache is.
     """
-    stacked = stack_flats([pst.flattened() for pst in psts])
+    prep = prepare_stack(
+        stack_flats([pst.flattened() for pst in psts]), log_bg
+    )
+    trees = len(psts)
 
     def bare() -> None:
-        rows = []
-        row_flats = np.empty(len(psts) * len(sequences), dtype=np.intp)
-        cursor = 0
-        for tree_index in range(len(psts)):
-            for seq in sequences:
-                rows.append(seq)
-                row_flats[cursor] = tree_index
-                cursor += 1
-        padded, lengths = pad_sequences(rows)
-        states = walk_states(stacked, padded, row_flats)
-        ratios = gather_log_ratios(stacked, log_bg, padded, states)
-        batch = kadane_rows(ratios, lengths)
-        flat_results = results_from_batch(batch)
-        width = len(sequences)
-        _ = [
-            flat_results[tree_index * width : (tree_index + 1) * width]
-            for tree_index in range(len(psts))
-        ]
+        padded, lengths = pad_sequences(sequences)
+        batch, width = padded.shape
+        states = walk_states_matrix(prep, padded)
+        ratios = gather_ratios_matrix(prep, padded, states)
+        flat = kadane_columns(
+            ratios.reshape(width, trees * batch), np.tile(lengths, trees)
+        )
+        matrix = matrix_from_batch(flat, trees, batch)
+        _ = matrix.to_lists()
 
     return bare
 

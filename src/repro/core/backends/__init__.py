@@ -11,14 +11,21 @@ scoring matrix.
 from .dispatch import BACKENDS, PstBatchScorer, resolve_backend
 from .flatten import FlattenedPST, flatten_pst
 from .parallel import ScoringPool
+from .shm import SharedFlatSpec, ShmFlatStore, attach_flat, publish_flat
 from .vectorized import (
     KADANE_NUMPY_MIN_ROWS,
     KadaneBatchResult,
+    PreparedStack,
+    ScoreMatrixResult,
     StackedFlats,
+    kadane_columns,
     kadane_rows,
     pad_sequences,
+    prepare_stack,
+    score_matrix_stacked,
     stack_flats,
     walk_states,
+    walk_states_matrix,
 )
 
 __all__ = [
@@ -26,13 +33,23 @@ __all__ = [
     "KADANE_NUMPY_MIN_ROWS",
     "FlattenedPST",
     "KadaneBatchResult",
+    "PreparedStack",
     "PstBatchScorer",
+    "ScoreMatrixResult",
     "ScoringPool",
+    "SharedFlatSpec",
+    "ShmFlatStore",
     "StackedFlats",
+    "attach_flat",
     "flatten_pst",
+    "kadane_columns",
     "kadane_rows",
     "pad_sequences",
+    "prepare_stack",
+    "publish_flat",
     "resolve_backend",
+    "score_matrix_stacked",
     "stack_flats",
     "walk_states",
+    "walk_states_matrix",
 ]

@@ -15,9 +15,12 @@ as the fallback if a deployment ever needs to rule the array path out.
 
 :class:`PstBatchScorer` is the working interface: it owns the
 background log vector, caches each tree's flattened export keyed by the
-tree's mutation version, caches the stacked table set for repeated
-one-vs-many calls against the same tree group, and emits per-backend
-counters/timers through the active metrics registry.
+tree's mutation version, caches the *prepared* stacked table set
+(sentinel walk table + log-ratio table, see
+:class:`~repro.core.backends.vectorized.PreparedStack`) for repeated
+calls against the same tree group, and emits per-backend
+counters/timers through the active metrics registry. Every scoring
+entry point routes through one full-matrix kernel invocation.
 """
 
 from __future__ import annotations
@@ -32,21 +35,48 @@ from ...obs import current_trace_context, get_profiler, get_registry
 from ..pst import ProbabilisticSuffixTree
 from ..similarity import SimilarityResult
 from .flatten import FlattenedPST
-from .parallel import ScoringPool, raw_to_result
+from .parallel import ScoringPool
 from .vectorized import (
-    KadaneBatchResult,
-    StackedFlats,
-    gather_log_ratios,
-    kadane_rows,
+    PreparedStack,
+    ScoreMatrixResult,
+    kadane_columns,
     log_background,
+    matrix_from_batch,
     pad_sequences,
-    results_from_batch,
+    prepare_stack,
+    gather_ratios_matrix,
     stack_flats,
-    walk_states,
+    walk_states_matrix,
 )
 
 #: Recognized backend names (CLI / params / stream config).
 BACKENDS = ("auto", "reference", "vectorized")
+
+
+def _observe_segment_lengths(matrix: ScoreMatrixResult) -> None:
+    """Record every pair's §4.3 segment length in one binned merge.
+
+    A per-pair ``observe()`` loop costs more than the scoring kernel it
+    instruments; binning with ``searchsorted`` (the vectorized twin of
+    the histogram's ``bisect_left`` rule) keeps the telemetry contract
+    at batch speed.
+    """
+    registry = get_registry()
+    segment_lengths = registry.histogram("similarity.segment_length")
+    spans = (matrix.best_end - matrix.best_start).ravel()
+    if not spans.size:
+        return
+    bins = np.searchsorted(
+        np.asarray(segment_lengths.bounds), spans, side="left"
+    )
+    counts = np.bincount(bins, minlength=len(segment_lengths.bounds) + 1)
+    segment_lengths.merge_binned(
+        counts.tolist(),
+        int(spans.size),
+        float(spans.sum()),
+        float(spans.min()),
+        float(spans.max()),
+    )
 
 
 def resolve_backend(name: str) -> str:
@@ -82,7 +112,13 @@ class PstBatchScorer:
         # id can be reused by a new tree once the old one is collected.
         self._stack_psts: tuple[ProbabilisticSuffixTree, ...] = ()
         self._stack_versions: tuple[int, ...] = ()
-        self._stack: StackedFlats | None = None
+        self._stack: PreparedStack | None = None
+        # Single-tree cache for the many-vs-one (calibration) shape, so
+        # repeated columns against one reference tree don't thrash the
+        # multi-tree stack cache above.
+        self._single_pst: ProbabilisticSuffixTree | None = None
+        self._single_version = -1
+        self._single: PreparedStack | None = None
 
     @property
     def background(self) -> npt.NDArray[np.float64]:
@@ -116,7 +152,7 @@ class PstBatchScorer:
 
     def _stack_for(
         self, psts: Sequence[ProbabilisticSuffixTree]
-    ) -> StackedFlats:
+    ) -> PreparedStack:
         flats = [self.flat_for(pst) for pst in psts]
         versions = tuple(flat.version for flat in flats)
         fresh = (
@@ -129,7 +165,7 @@ class PstBatchScorer:
         if fresh:
             if prof.enabled:
                 prof.cache_miss("stack")
-            self._stack = stack_flats(flats)
+            self._stack = prepare_stack(stack_flats(flats), self._log_bg)
             self._stack_psts = tuple(psts)
             self._stack_versions = versions
             registry = get_registry()
@@ -140,14 +176,31 @@ class PstBatchScorer:
         assert self._stack is not None
         return self._stack
 
-    def _score_rows(
-        self,
-        stacked: StackedFlats,
-        sequences: Sequence[Sequence[int]],
-        row_flats: npt.NDArray[np.intp],
-    ) -> list[SimilarityResult]:
+    def _single_for(self, pst: ProbabilisticSuffixTree) -> PreparedStack:
+        flat = self.flat_for(pst)
+        prof = get_profiler()
+        if (
+            self._single is None
+            or pst is not self._single_pst
+            or flat.version != self._single_version
+        ):
+            if prof.enabled:
+                prof.cache_miss("stack")
+            self._single = prepare_stack(stack_flats([flat]), self._log_bg)
+            self._single_pst = pst
+            self._single_version = flat.version
+        elif prof.enabled:
+            prof.cache_hit("stack")
+        assert self._single is not None
+        return self._single
+
+    def _score_matrix_arrays(
+        self, prep: PreparedStack, sequences: Sequence[Sequence[int]]
+    ) -> ScoreMatrixResult:
+        """One full-matrix kernel call: all of *prep*'s trees × *sequences*."""
         started = time.perf_counter()
         prof = get_profiler()
+        trees = int(prep.stacked.roots.shape[0])
         if prof.enabled:
             # Per-kernel timings for the profiler; the untimed branch
             # below is the hot default and stays call-for-call
@@ -155,33 +208,41 @@ class PstBatchScorer:
             with prof.kernel("pad"):
                 padded, lengths = pad_sequences(sequences)
             with prof.kernel("walk"):
-                states = walk_states(stacked, padded, row_flats)
+                states = walk_states_matrix(prep, padded)
             with prof.kernel("gather"):
-                ratios = gather_log_ratios(stacked, self._log_bg, padded, states)
+                ratios = gather_ratios_matrix(prep, padded, states)
             with prof.kernel("kadane"):
-                batch: KadaneBatchResult = kadane_rows(ratios, lengths)
+                flat = kadane_columns(
+                    ratios.reshape(padded.shape[1], trees * padded.shape[0]),
+                    np.tile(lengths, trees),
+                )
+            matrix = matrix_from_batch(flat, trees, padded.shape[0])
         else:
             padded, lengths = pad_sequences(sequences)
-            states = walk_states(stacked, padded, row_flats)
-            ratios = gather_log_ratios(stacked, self._log_bg, padded, states)
-            batch = kadane_rows(ratios, lengths)
-        results = results_from_batch(batch)
+            states = walk_states_matrix(prep, padded)
+            ratios = gather_ratios_matrix(prep, padded, states)
+            flat = kadane_columns(
+                ratios.reshape(padded.shape[1], trees * padded.shape[0]),
+                np.tile(lengths, trees),
+            )
+            matrix = matrix_from_batch(flat, trees, padded.shape[0])
         registry = get_registry()
         if registry.enabled:
+            pairs = trees * len(sequences)
             registry.counter("backend.batch_calls").inc()
-            registry.counter("backend.batch_rows").inc(len(results))
+            registry.counter("backend.batch_rows").inc(pairs)
             registry.timer("backend.score_seconds").record(
                 time.perf_counter() - started
             )
             # Parity with the reference scorer's per-call counters so
             # observability consumers see one coherent trace whichever
             # backend ran (see docs/OBSERVABILITY.md).
-            registry.counter("similarity.calls").inc(len(results))
-            registry.counter("similarity.dp_cells").inc(int(lengths.sum()))
-            segment_lengths = registry.histogram("similarity.segment_length")
-            for result in results:
-                segment_lengths.observe(result.best_end - result.best_start)
-        return results
+            registry.counter("similarity.calls").inc(pairs)
+            registry.counter("similarity.dp_cells").inc(
+                int(lengths.sum()) * trees
+            )
+            _observe_segment_lengths(matrix)
+        return matrix
 
     def score_one_vs_many(
         self,
@@ -193,9 +254,8 @@ class PstBatchScorer:
             raise ValueError("cannot score an empty sequence")
         if not psts:
             return []
-        stacked = self._stack_for(psts)
-        row_flats = np.arange(len(psts), dtype=np.intp)
-        return self._score_rows(stacked, [encoded] * len(psts), row_flats)
+        prep = self._stack_for(psts)
+        return self._score_matrix_arrays(prep, [encoded]).column(0)
 
     def score_many_vs_one(
         self,
@@ -205,74 +265,77 @@ class PstBatchScorer:
         """Score many sequences against one tree (calibration column)."""
         if not sequences:
             return []
-        stacked = stack_flats([self.flat_for(pst)])
-        row_flats = np.zeros(len(sequences), dtype=np.intp)
-        return self._score_rows(stacked, sequences, row_flats)
+        prep = self._single_for(pst)
+        return self._score_matrix_arrays(prep, sequences).row(0)
+
+    def score_matrix_full(
+        self,
+        psts: Sequence[ProbabilisticSuffixTree],
+        sequences: Sequence[Sequence[int]],
+    ) -> ScoreMatrixResult:
+        """Full (tree × sequence) matrix in array form, one kernel call.
+
+        The preferred shape for the §4.2 driving loops: read ``log_z``
+        for the join test, materialize result objects only for joins.
+        """
+        if not psts or not sequences:
+            shape = (len(psts), len(sequences))
+            return ScoreMatrixResult(
+                log_z=np.zeros(shape, dtype=np.float64),
+                best_start=np.zeros(shape, dtype=np.int64),
+                best_end=np.zeros(shape, dtype=np.int64),
+                whole=np.zeros(shape, dtype=np.float64),
+            )
+        prep = self._stack_for(psts)
+        return self._score_matrix_arrays(prep, sequences)
 
     def score_matrix(
         self,
         psts: Sequence[ProbabilisticSuffixTree],
         sequences: Sequence[Sequence[int]],
     ) -> list[list[SimilarityResult]]:
-        """Full (tree × sequence) score matrix in one batched call."""
-        if not psts or not sequences:
-            return [[] for _ in psts]
-        stacked = self._stack_for(psts)
-        rows: list[Sequence[int]] = []
-        row_flats = np.empty(len(psts) * len(sequences), dtype=np.intp)
-        cursor = 0
-        for tree_index in range(len(psts)):
-            for seq in sequences:
-                rows.append(seq)
-                row_flats[cursor] = tree_index
-                cursor += 1
-        flat_results = self._score_rows(stacked, rows, row_flats)
-        width = len(sequences)
-        return [
-            flat_results[tree_index * width : (tree_index + 1) * width]
-            for tree_index in range(len(psts))
-        ]
+        """Full (tree × sequence) score matrix as nested result lists."""
+        return self.score_matrix_full(psts, sequences).to_lists()
 
     def prescore_matrix(
         self,
         psts: Sequence[ProbabilisticSuffixTree],
         sequences: Sequence[Sequence[int]],
         pool: "ScoringPool | None" = None,
-    ) -> list[list[SimilarityResult]]:
+    ) -> ScoreMatrixResult:
         """Score a (tree × sequence) chunk, optionally on a worker pool.
 
-        With *pool* the flats are shipped to worker processes; without,
-        this is :meth:`score_matrix`. Either way the caller must treat
-        the result as a *snapshot*: pairs against a tree that mutates
+        With *pool* the padded sequence block is fanned out to worker
+        processes that attach the flats' shared-memory segments (see
+        :mod:`repro.core.backends.shm`); without, this is
+        :meth:`score_matrix_full`. Either way the caller must treat the
+        result as a *snapshot*: pairs against a tree that mutates
         afterwards must be rescored before being committed.
         """
-        if pool is None:
-            return self.score_matrix(psts, sequences)
-        if not psts or not sequences:
-            return [[] for _ in psts]
+        if pool is None or not psts or not sequences:
+            return self.score_matrix_full(psts, sequences)
         flats = [self.flat_for(pst) for pst in psts]
-        raw_matrix = pool.prescore_matrix(
-            flats, sequences, self._log_bg, trace=current_trace_context()
+        padded, lengths = pad_sequences(sequences)
+        matrix = pool.prescore_matrix(
+            flats, padded, lengths, self._log_bg,
+            trace=current_trace_context(),
         )
-        results = [
-            [raw_to_result(raw) for raw in row] for row in raw_matrix
-        ]
         registry = get_registry()
         if registry.enabled:
             pairs = len(psts) * len(sequences)
-            cells = sum(len(seq) for seq in sequences) * len(psts)
+            cells = int(lengths.sum()) * len(psts)
             registry.counter("backend.parallel_chunks").inc()
             registry.counter("backend.batch_rows").inc(pairs)
             registry.counter("similarity.calls").inc(pairs)
             registry.counter("similarity.dp_cells").inc(cells)
-            segment_lengths = registry.histogram("similarity.segment_length")
-            for row in results:
-                for result in row:
-                    segment_lengths.observe(result.best_end - result.best_start)
-        return results
+            _observe_segment_lengths(matrix)
+        return matrix
 
     def forget(self) -> None:
-        """Drop the stack cache (releases references to cached trees)."""
+        """Drop the stack caches (releases references to cached trees)."""
         self._stack_psts = ()
         self._stack_versions = ()
         self._stack = None
+        self._single_pst = None
+        self._single_version = -1
+        self._single = None

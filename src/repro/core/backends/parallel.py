@@ -1,43 +1,148 @@
 """Multiprocessing fan-out for the (sequence × cluster) scoring matrix.
 
 The re-examination phase (§4.2) scores every sequence against every
-cluster. With ``--workers N`` the vectorized backend chunks that matrix
-by sequence block and prescores chunks on a ``ProcessPoolExecutor``;
-the driving loop then *commits* the prescored pairs sequentially,
-falling back to an in-process rescore for any pair whose cluster model
-absorbed a segment after the prescore snapshot (see
+cluster. With ``--workers N`` the vectorized backend splits the padded
+sequence block into per-worker column ranges and prescores them on a
+``ProcessPoolExecutor``; the driving loop then *commits* the prescored
+pairs sequentially, rescoring any pair whose cluster model absorbed a
+segment after the prescore snapshot (see
 ``CLUSEQ._recluster_vectorized``). Results are therefore identical to
 single-process runs — workers only change where the arithmetic happens.
 
-Workers never receive ``PSTNode`` trees: the pickled payload is the
-self-contained :class:`~repro.core.backends.flatten.FlattenedPST`
-arrays plus the encoded sequence chunk, so IPC cost is a few dense
-arrays per chunk, not a pointer graph.
+Wire format: workers receive a tuple of
+:class:`~repro.core.backends.shm.SharedFlatSpec` (segment name + array
+layout per tree — a few hundred bytes), the padded ``int32`` column
+slice, its lengths, and the background log vector. The model tables
+themselves travel through ``multiprocessing.shared_memory`` segments
+published once per (tree, version) by the pool's
+:class:`~repro.core.backends.shm.ShmFlatStore`; workers attach and
+rebuild zero-copy views instead of unpickling, and cache both the
+attachment and the prepared stack keyed by segment names, so steady
+state ships only sequence columns. Workers return the scored arrays
+(``log_z`` / bounds / whole), which the parent stitches back into one
+:class:`~repro.core.backends.vectorized.ScoreMatrixResult`.
 """
 
 from __future__ import annotations
 
 import time
+import weakref
 from concurrent.futures import Future, ProcessPoolExecutor
 from collections.abc import Sequence
 
 import numpy as np
 import numpy.typing as npt
 
-from ...obs import record_foreign_span
+from ...obs import get_registry, record_foreign_span
 from ..similarity import SimilarityResult, _safe_exp
 from .flatten import FlattenedPST
+from .shm import SharedFlatSpec, ShmFlatStore, attach_flat, specs_for
 from .vectorized import (
-    gather_log_ratios,
-    kadane_rows,
+    PreparedStack,
+    ScoreMatrixResult,
     pad_sequences,
+    prepare_stack,
+    score_matrix_stacked,
     stack_flats,
-    walk_states,
 )
 
 #: (log_similarity, best_start, best_end, whole_sequence_log) — the raw
-#: wire form of one scored pair, cheap to pickle back from a worker.
+#: wire form of one scored pair. Retained for tests and external
+#: callers that want a pickle-cheap scalar representation.
 RawScore = tuple[float, int, int, float]
+
+#: One worker chunk's reply: the four (trees × columns) score arrays
+#: plus (wall seconds, CPU seconds, attach seconds) measured in-worker.
+ChunkReply = tuple[
+    npt.NDArray[np.float64],
+    npt.NDArray[np.int64],
+    npt.NDArray[np.int64],
+    npt.NDArray[np.float64],
+    float,
+    float,
+    float,
+]
+
+#: Worker-side caches: segment attachments keyed by segment name, and
+#: prepared stacks keyed by (segment names, background bytes). Bounded
+#: jointly — both index into the same mapped segments, so they are
+#: cleared together (dropping the views is what lets a parent-unlinked
+#: segment's memory actually go away).
+_WORKER_FLATS: dict[str, tuple[object, FlattenedPST]] = {}
+_WORKER_PREPS: dict[tuple[object, ...], PreparedStack] = {}
+_WORKER_CACHE_MAX = 128
+
+
+def _worker_flat(spec: SharedFlatSpec) -> FlattenedPST:
+    cached = _WORKER_FLATS.get(spec.name)
+    if cached is not None:
+        return cached[1]
+    if len(_WORKER_FLATS) >= _WORKER_CACHE_MAX:
+        _worker_detach_all()
+    shm, flat = attach_flat(spec)
+    _WORKER_FLATS[spec.name] = (shm, flat)
+    return flat
+
+
+def _worker_detach_all() -> None:
+    """Drop every cached attachment and derived stack, releasing maps."""
+    _WORKER_PREPS.clear()
+    flats = list(_WORKER_FLATS.values())
+    _WORKER_FLATS.clear()
+    for shm, _flat in flats:
+        try:
+            shm.close()  # type: ignore[attr-defined]
+        except BufferError:  # pragma: no cover - a view still outstanding
+            pass
+
+
+def _worker_prep(
+    specs: Sequence[SharedFlatSpec], log_bg: npt.NDArray[np.float64]
+) -> tuple[PreparedStack, float]:
+    """Prepared stack for *specs* (cached) and the attach seconds paid."""
+    key: tuple[object, ...] = (
+        tuple(spec.name for spec in specs),
+        log_bg.tobytes(),
+    )
+    cached = _WORKER_PREPS.get(key)
+    if cached is not None:
+        return cached, 0.0
+    started = time.perf_counter()
+    flats = [_worker_flat(spec) for spec in specs]
+    attach_seconds = time.perf_counter() - started
+    prep = prepare_stack(stack_flats(flats), log_bg)
+    if len(_WORKER_PREPS) >= _WORKER_CACHE_MAX:
+        _WORKER_PREPS.clear()
+    _WORKER_PREPS[key] = prep
+    return prep, attach_seconds
+
+
+def _score_chunk_shm(
+    specs: tuple[SharedFlatSpec, ...],
+    padded: npt.NDArray[np.int32],
+    lengths: npt.NDArray[np.int32],
+    log_bg: npt.NDArray[np.float64],
+) -> ChunkReply:
+    """Worker entry point: score one padded column slice vs all trees.
+
+    Timings are measured inside the worker (the only place that can see
+    them) and shipped home so the parent can stitch a
+    ``backend.worker_chunk`` span onto the live trace and account the
+    shm attach cost (``backend.shm.attach_seconds``).
+    """
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    prep, attach_seconds = _worker_prep(specs, log_bg)
+    matrix = score_matrix_stacked(prep, padded, lengths)
+    return (
+        matrix.log_z,
+        matrix.best_start,
+        matrix.best_end,
+        matrix.whole,
+        time.perf_counter() - wall_start,
+        time.process_time() - cpu_start,
+        attach_seconds,
+    )
 
 
 def score_matrix_raw(
@@ -45,60 +150,30 @@ def score_matrix_raw(
     sequences: Sequence[Sequence[int]],
     log_bg: npt.NDArray[np.float64],
 ) -> list[list[RawScore]]:
-    """Tree-major raw §4.2 score matrix; runs inside worker processes."""
+    """Tree-major raw §4.2 score matrix, computed in-process.
+
+    The scalar wire form predates the shared-memory path; it remains
+    the reference shape for differential tests of the worker protocol.
+    """
     if not flats or not sequences:
         return [[] for _ in flats]
-    stacked = stack_flats(list(flats))
-    rows: list[Sequence[int]] = []
-    row_flats = np.empty(len(flats) * len(sequences), dtype=np.intp)
-    cursor = 0
-    for tree_index in range(len(flats)):
-        for seq in sequences:
-            rows.append(seq)
-            row_flats[cursor] = tree_index
-            cursor += 1
-    padded, lengths = pad_sequences(rows)
-    states = walk_states(stacked, padded, row_flats)
-    ratios = gather_log_ratios(stacked, log_bg, padded, states)
-    batch = kadane_rows(ratios, lengths)
-    width = len(sequences)
+    prep = prepare_stack(stack_flats(list(flats)), log_bg)
+    padded, lengths = pad_sequences(sequences)
+    matrix = score_matrix_stacked(prep, padded, lengths)
     out: list[list[RawScore]] = []
-    for tree_index in range(len(flats)):
+    for tree_index in range(matrix.trees):
         row_scores: list[RawScore] = []
-        for column in range(width):
-            row = tree_index * width + column
+        for column in range(matrix.columns):
             row_scores.append(
                 (
-                    float(batch.log_z[row]),
-                    int(batch.best_start[row]),
-                    int(batch.best_end[row]),
-                    float(batch.whole[row]),
+                    float(matrix.log_z[tree_index, column]),
+                    int(matrix.best_start[tree_index, column]),
+                    int(matrix.best_end[tree_index, column]),
+                    float(matrix.whole[tree_index, column]),
                 )
             )
         out.append(row_scores)
     return out
-
-
-def _score_chunk_timed(
-    flats: Sequence[FlattenedPST],
-    sequences: Sequence[Sequence[int]],
-    log_bg: npt.NDArray[np.float64],
-) -> tuple[list[list[RawScore]], float, float]:
-    """Worker entry point: the raw matrix plus its wall/CPU seconds.
-
-    The timing is measured inside the worker process (the only place
-    that can see it) and shipped home with the scores so the parent can
-    stitch a ``backend.worker_chunk`` span onto the live trace when one
-    is being exported; see §4.2 for the re-examination fan-out itself.
-    """
-    wall_start = time.perf_counter()
-    cpu_start = time.process_time()
-    raw = score_matrix_raw(flats, sequences, log_bg)
-    return (
-        raw,
-        time.perf_counter() - wall_start,
-        time.process_time() - cpu_start,
-    )
 
 
 def raw_to_result(raw: RawScore) -> SimilarityResult:
@@ -114,84 +189,197 @@ def raw_to_result(raw: RawScore) -> SimilarityResult:
     )
 
 
-class ScoringPool:
-    """A lazy process pool prescoring matrix chunks.
+class _PoolResources:
+    """Executor + shm store owned by one :class:`ScoringPool`.
 
-    The executor spawns on first use and must be released with
-    :meth:`close` (the CLUSEQ fit loop does so in a ``finally``).
-    ``workers`` ≤ 0 is rejected — callers decide between pool and
-    in-process scoring before constructing one.
+    Split out so the pool's ``weakref.finalize`` callback can close
+    both without holding a reference to the pool itself (a bound method
+    of the pool would keep it alive and the finalizer would never run).
+    """
+
+    def __init__(self) -> None:
+        self.executor: ProcessPoolExecutor | None = None
+        self.store = ShmFlatStore()
+
+    def ensure_executor(self, workers: int) -> ProcessPoolExecutor:
+        if self.executor is None:
+            self.executor = ProcessPoolExecutor(max_workers=workers)
+        return self.executor
+
+    def close(self) -> None:
+        if self.executor is not None:
+            self.executor.shutdown(wait=True, cancel_futures=True)
+            self.executor = None
+        self.store.close()
+
+
+class ScoringPool:
+    """A lazy process pool prescoring matrix column ranges.
+
+    The executor spawns on first use. :meth:`close` is idempotent, the
+    context-manager form calls it, and a ``weakref.finalize`` hook
+    closes the executor *and unlinks every shared-memory segment* even
+    when a caller forgets — segments in ``/dev/shm`` must never outlive
+    the pool. ``workers`` ≤ 0 is rejected — callers decide between pool
+    and in-process scoring before constructing one.
     """
 
     def __init__(self, workers: int) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1 for a ScoringPool")
         self.workers = workers
-        self._executor: ProcessPoolExecutor | None = None
+        self._resources = _PoolResources()
+        self._finalizer = weakref.finalize(self, self._resources.close)
 
-    def _pool(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
-        return self._executor
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
 
     def prescore_matrix(
         self,
         flats: Sequence[FlattenedPST],
-        sequences: Sequence[Sequence[int]],
+        padded: npt.NDArray[np.int32],
+        lengths: npt.NDArray[np.int32],
         log_bg: npt.NDArray[np.float64],
         trace: tuple[str, str] | None = None,
-    ) -> list[list[RawScore]]:
-        """Tree-major raw matrix of *sequences* against *flats*.
+    ) -> ScoreMatrixResult:
+        """Raw score matrix of the padded sequence block vs *flats*.
 
-        Sequence blocks are distributed across the pool; the caller is
-        responsible for validating every pair against current model
-        versions before trusting it (models may mutate after the
-        snapshot the flats represent).
+        Columns are split into one contiguous range per worker; each
+        range ships as (specs, padded slice, lengths slice) and comes
+        back as score arrays that are stitched into the full matrix.
+        The caller must treat the result as a snapshot and validate
+        every pair against current model versions before trusting it.
 
         *trace* is an optional ``(trace_id, parent_span_id)`` pair (from
         :func:`repro.obs.current_trace_context`): when given, each
         worker chunk's timing is stitched onto that trace as a finished
         ``backend.worker_chunk`` span when its result is committed.
         """
-        if not flats or not sequences:
-            return [[] for _ in flats]
-        block = max(1, -(-len(sequences) // self.workers))
-        futures: list[Future[tuple[list[list[RawScore]], float, float]]] = []
-        chunk_rows: list[int] = []
-        pool = self._pool()
-        for start in range(0, len(sequences), block):
-            chunk = list(sequences[start : start + block])
-            chunk_rows.append(len(chunk))
-            futures.append(
-                pool.submit(_score_chunk_timed, list(flats), chunk, log_bg)
+        if self.closed:
+            raise RuntimeError("ScoringPool is closed")
+        trees = len(flats)
+        columns = int(padded.shape[0])
+        if trees == 0 or columns == 0:
+            shape = (trees, columns)
+            return ScoreMatrixResult(
+                log_z=np.zeros(shape, dtype=np.float64),
+                best_start=np.zeros(shape, dtype=np.int64),
+                best_end=np.zeros(shape, dtype=np.int64),
+                whole=np.zeros(shape, dtype=np.float64),
             )
-        out: list[list[RawScore]] = [[] for _ in flats]
-        for index, future in enumerate(futures):
-            partial, wall_seconds, cpu_seconds = future.result()
-            if trace is not None:
-                record_foreign_span(
-                    "backend.worker_chunk",
+        specs = tuple(specs_for(self._resources.store, flats))
+        try:
+            block = max(1, -(-columns // self.workers))
+            executor = self._resources.ensure_executor(self.workers)
+            futures: list[tuple[int, int, Future[ChunkReply]]] = []
+            for start in range(0, columns, block):
+                stop = min(start + block, columns)
+                futures.append(
+                    (
+                        start,
+                        stop,
+                        executor.submit(
+                            _score_chunk_shm,
+                            specs,
+                            padded[start:stop],
+                            lengths[start:stop],
+                            log_bg,
+                        ),
+                    )
+                )
+            log_z = np.empty((trees, columns), dtype=np.float64)
+            best_start = np.empty((trees, columns), dtype=np.int64)
+            best_end = np.empty((trees, columns), dtype=np.int64)
+            whole = np.empty((trees, columns), dtype=np.float64)
+            attach_total = 0.0
+            for index, (start, stop, future) in enumerate(futures):
+                (
+                    part_z,
+                    part_start,
+                    part_end,
+                    part_whole,
                     wall_seconds,
                     cpu_seconds,
-                    trace_id=trace[0],
-                    parent_id=trace[1],
-                    attrs={
-                        "chunk": index,
-                        "rows": chunk_rows[index],
-                        "trees": len(flats),
-                    },
+                    attach_seconds,
+                ) = future.result()
+                log_z[:, start:stop] = part_z
+                best_start[:, start:stop] = part_start
+                best_end[:, start:stop] = part_end
+                whole[:, start:stop] = part_whole
+                attach_total += attach_seconds
+                if trace is not None:
+                    record_foreign_span(
+                        "backend.worker_chunk",
+                        wall_seconds,
+                        cpu_seconds,
+                        trace_id=trace[0],
+                        parent_id=trace[1],
+                        attrs={
+                            "chunk": index,
+                            "rows": stop - start,
+                            "trees": trees,
+                            "attach_seconds": attach_seconds,
+                        },
+                    )
+            registry = get_registry()
+            if registry.enabled and attach_total > 0.0:
+                registry.counter("backend.shm.attaches").inc()
+                registry.timer("backend.shm.attach_seconds").record(
+                    attach_total
                 )
-            for tree_index, scores in enumerate(partial):
-                out[tree_index].extend(scores)
-        return out
+            return ScoreMatrixResult(
+                log_z=log_z,
+                best_start=best_start,
+                best_end=best_end,
+                whole=whole,
+            )
+        finally:
+            for flat in flats:
+                self._resources.store.release(flat)
+
+    def prescore_lists(
+        self,
+        flats: Sequence[FlattenedPST],
+        sequences: Sequence[Sequence[int]],
+        log_bg: npt.NDArray[np.float64],
+        trace: tuple[str, str] | None = None,
+    ) -> list[list[RawScore]]:
+        """Tree-major :data:`RawScore` lists over the pool (test shape)."""
+        if not flats or not sequences:
+            return [[] for _ in flats]
+        padded, lengths = pad_sequences(sequences)
+        matrix = self.prescore_matrix(
+            flats, padded, lengths, log_bg, trace=trace
+        )
+        return [
+            [
+                (
+                    float(matrix.log_z[tree, column]),
+                    int(matrix.best_start[tree, column]),
+                    int(matrix.best_end[tree, column]),
+                    float(matrix.whole[tree, column]),
+                )
+                for column in range(matrix.columns)
+            ]
+            for tree in range(matrix.trees)
+        ]
 
     def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
+        """Release the executor and unlink every segment (idempotent)."""
+        self._finalizer()
 
     def __enter__(self) -> "ScoringPool":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+__all__ = [
+    "ChunkReply",
+    "RawScore",
+    "ScoringPool",
+    "raw_to_result",
+    "score_matrix_raw",
+]

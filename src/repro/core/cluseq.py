@@ -50,7 +50,13 @@ from ..obs import (
 )
 from ..sequences.database import SequenceDatabase
 from ..typing import PSTFactory
-from .backends import BACKENDS, PstBatchScorer, ScoringPool, resolve_backend
+from .backends import (
+    BACKENDS,
+    PstBatchScorer,
+    ScoreMatrixResult,
+    ScoringPool,
+    resolve_backend,
+)
 from .cluster import Cluster, Membership
 from .pst import APPROX_BYTES_PER_NODE
 from .consolidation import consolidate
@@ -473,15 +479,30 @@ class CLUSEQ:
         # clustering — only how fast scores are produced.
         backend = resolve_backend(params.backend)
         scorer = PstBatchScorer(background) if backend == "vectorized" else None
-        pool = (
-            ScoringPool(params.workers)
-            if scorer is not None and params.workers > 0
-            else None
-        )
+        if scorer is not None and params.workers > 0:
+            # The context manager guarantees executor shutdown and
+            # shared-memory segment unlink on every exit path.
+            with ScoringPool(params.workers) as pool:
+                return self._fit_loop(
+                    db, encoded, background, p_min, rng, scorer, pool
+                )
+        return self._fit_loop(db, encoded, background, p_min, rng, scorer, None)
 
+    def _fit_loop(
+        self,
+        db: SequenceDatabase,
+        encoded: list[list[int]],
+        background: npt.NDArray[np.float64],
+        p_min: float,
+        rng: np.random.Generator,
+        scorer: PstBatchScorer | None,
+        pool: ScoringPool | None,
+    ) -> ClusteringResult:
+        """The §4 iteration loop proper, scoring backend already resolved."""
+        params = self.params
         pst_factory = partial(
             build_seed_pst,
-            alphabet_size=alphabet_size,
+            alphabet_size=db.alphabet.size,
             max_depth=params.max_depth,
             significance_threshold=params.significance_threshold,
             p_min=p_min,
@@ -508,219 +529,215 @@ class CLUSEQ:
         ) = None
         run_start = time.perf_counter()
 
-        try:
-            for iteration in range(params.max_iterations):
-                iter_start = time.perf_counter()
+        for iteration in range(params.max_iterations):
+            iter_start = time.perf_counter()
 
-                # -- phase 1: new cluster generation ---------------------------------
-                with span("seed"):
-                    unclustered = [i for i, ids in assignments.items() if not ids]
-                    # While the similarity threshold is still being adjusted,
-                    # keep seeds flowing from the unclustered pool: sequences
-                    # ejected by a rising t must be able to found new clusters,
-                    # otherwise an early over-merge is irreversible. The floor
-                    # scales with the pool because greedy min-max selection
-                    # favours outliers (they are maximally dissimilar), so with
-                    # a large pool a single seed per iteration is usually
-                    # wasted on noise.
-                    requested = k_n
-                    if requested == 0 and unclustered and not threshold_converged:
-                        requested = max(1, len(unclustered) // 20)
-                    # Prefer recently-ejected sequences as seed candidates; a
-                    # sequence unclustered for many consecutive iterations is
-                    # most likely a genuine outlier, not an undiscovered
-                    # cluster. Fall back to the full pool when the filter would
-                    # empty it (e.g. the first iterations).
-                    fresh = [i for i in unclustered if unclustered_streak[i] <= 3]
-                    candidates = fresh if fresh else unclustered
-                    seeds = select_seeds(
-                        candidates=candidates,
-                        encoded_lookup=lambda i: encoded[i],
-                        existing_clusters=clusters,
-                        background=background,
-                        count=min(requested, len(unclustered)),
-                        sample_multiplier=params.sample_multiplier,
-                        rng=rng,
-                        pst_factory=pst_factory,
-                    )
-                    for choice in seeds:
-                        clusters.append(
-                            Cluster(
-                                cluster_id=next_cluster_id,
-                                pst=pst_factory(encoded[choice.sequence_index]),
-                                seed_index=choice.sequence_index,
-                                created_at_iteration=iteration,
-                            )
+            # -- phase 1: new cluster generation ---------------------------------
+            with span("seed"):
+                unclustered = [i for i, ids in assignments.items() if not ids]
+                # While the similarity threshold is still being adjusted,
+                # keep seeds flowing from the unclustered pool: sequences
+                # ejected by a rising t must be able to found new clusters,
+                # otherwise an early over-merge is irreversible. The floor
+                # scales with the pool because greedy min-max selection
+                # favours outliers (they are maximally dissimilar), so with
+                # a large pool a single seed per iteration is usually
+                # wasted on noise.
+                requested = k_n
+                if requested == 0 and unclustered and not threshold_converged:
+                    requested = max(1, len(unclustered) // 20)
+                # Prefer recently-ejected sequences as seed candidates; a
+                # sequence unclustered for many consecutive iterations is
+                # most likely a genuine outlier, not an undiscovered
+                # cluster. Fall back to the full pool when the filter would
+                # empty it (e.g. the first iterations).
+                fresh = [i for i in unclustered if unclustered_streak[i] <= 3]
+                candidates = fresh if fresh else unclustered
+                seeds = select_seeds(
+                    candidates=candidates,
+                    encoded_lookup=lambda i: encoded[i],
+                    existing_clusters=clusters,
+                    background=background,
+                    count=min(requested, len(unclustered)),
+                    sample_multiplier=params.sample_multiplier,
+                    rng=rng,
+                    pst_factory=pst_factory,
+                )
+                for choice in seeds:
+                    clusters.append(
+                        Cluster(
+                            cluster_id=next_cluster_id,
+                            pst=pst_factory(encoded[choice.sequence_index]),
+                            seed_index=choice.sequence_index,
+                            created_at_iteration=iteration,
                         )
-                        next_cluster_id += 1
-                    n_new = len(seeds)
+                    )
+                    next_cluster_id += 1
+                n_new = len(seeds)
 
-                # -- iteration-0 threshold calibration ---------------------------------
-                # Committing memberships with a grossly under-set initial t
-                # merges everything into one irreversible mixture cluster
-                # before the paper's end-of-iteration adjustment can react.
-                # A dry scoring pass against the fresh seed models lets the
-                # valley heuristic pick the starting t; Table 6 shows the
-                # final t should not depend on the initial one anyway.
-                if (
-                    iteration == 0
-                    and params.adjust_threshold
-                    and params.calibrate_threshold
-                    and clusters
-                ):
-                    with span("calibrate"):
-                        calibrated = self._calibrate_initial_threshold(
-                            db, clusters, encoded, background, pst_factory, rng,
+            # -- iteration-0 threshold calibration ---------------------------------
+            # Committing memberships with a grossly under-set initial t
+            # merges everything into one irreversible mixture cluster
+            # before the paper's end-of-iteration adjustment can react.
+            # A dry scoring pass against the fresh seed models lets the
+            # valley heuristic pick the starting t; Table 6 shows the
+            # final t should not depend on the initial one anyway.
+            if (
+                iteration == 0
+                and params.adjust_threshold
+                and params.calibrate_threshold
+                and clusters
+            ):
+                with span("calibrate"):
+                    calibrated = self._calibrate_initial_threshold(
+                        db, clusters, encoded, background, pst_factory, rng,
+                        scorer,
+                    )
+                if calibrated is not None:
+                    log_t = calibrated
+                    # Permanent floor: separation between a cluster and
+                    # foreign sequences only improves as models mature,
+                    # so any later valley estimate *below* the one seen
+                    # against the pristine single-seed models is an
+                    # artefact (half-grown patchwork models compress
+                    # the similarity scale). Following it down is the
+                    # irreversible everything-merges failure mode.
+                    log_t_floor = log_t
+
+            # -- phase 2: sequence reclustering ------------------------------------
+            with span("recluster"):
+                order = self._examination_order(len(db), clusters, assignments, rng)
+                all_log_sims: list[float] = []
+                membership_changes = 0
+                reclustering_work = 0
+                if scorer is not None:
+                    membership_changes, reclustering_work = (
+                        self._recluster_vectorized(
+                            order,
+                            encoded,
+                            clusters,
+                            assignments,
+                            unclustered_streak,
+                            background,
+                            log_t,
+                            all_log_sims,
                             scorer,
+                            pool,
                         )
-                    if calibrated is not None:
-                        log_t = calibrated
-                        # Permanent floor: separation between a cluster and
-                        # foreign sequences only improves as models mature,
-                        # so any later valley estimate *below* the one seen
-                        # against the pristine single-seed models is an
-                        # artefact (half-grown patchwork models compress
-                        # the similarity scale). Following it down is the
-                        # irreversible everything-merges failure mode.
-                        log_t_floor = log_t
-
-                # -- phase 2: sequence reclustering ------------------------------------
-                with span("recluster"):
-                    order = self._examination_order(len(db), clusters, assignments, rng)
-                    all_log_sims: list[float] = []
-                    membership_changes = 0
-                    reclustering_work = 0
-                    if scorer is not None:
-                        membership_changes, reclustering_work = (
-                            self._recluster_vectorized(
-                                order,
-                                encoded,
-                                clusters,
-                                assignments,
-                                unclustered_streak,
-                                background,
-                                log_t,
-                                all_log_sims,
-                                scorer,
-                                pool,
-                            )
-                        )
-                    else:
-                        for index in order:
-                            seq = encoded[index]
-                            results = [
-                                similarity(cluster.pst, seq, background)
-                                for cluster in clusters
-                            ]
-                            reclustering_work += len(seq) * len(clusters)
-                            if self._commit_examination(
-                                index,
-                                seq,
-                                clusters,
-                                results,
-                                log_t,
-                                assignments,
-                                unclustered_streak,
-                                all_log_sims,
-                            ):
-                                membership_changes += 1
-
-                # -- phase 3: consolidation ----------------------------------------------
-                with span("consolidate"):
-                    before = len(clusters)
-                    clusters, removed = consolidate(
-                        clusters,
-                        params.resolved_min_unique(),
-                        dissolve_covered=params.dissolve_covered,
                     )
-                    if removed:
-                        removed_ids = {cluster.cluster_id for cluster in removed}
-                        for index, ids in assignments.items():
-                            if ids & removed_ids:
-                                assignments[index] = ids - removed_ids
-                    n_removed = len(removed)
-
-                if params.rebuild_each_iteration:
-                    with span("rebuild"):
-                        self._rebuild_cluster_models(clusters, encoded, pst_factory)
-
-                # -- phase 4: threshold adjustment ------------------------------------------
-                valley_linear: float | None = None
-                threshold_moved = False
-                if params.adjust_threshold and not threshold_converged:
-                    with span("adjust_threshold"):
-                        valley = valley_finder(
-                            all_log_sims, buckets=params.histogram_buckets
-                        )
-                    if valley is not None:
-                        valley_linear = valley.threshold
-                        if abs(log_t - valley.log_threshold) < 0.01:
-                            threshold_converged = True
-                        else:
-                            # Blend in log scale (geometric mean). Clamp at
-                            # max(1, calibration floor): t ≥ 1 is the
-                            # paper's lower bound, and the calibration floor
-                            # guards against artefact valleys from immature
-                            # models (see the calibration comment above).
-                            blended = (log_t + valley.log_threshold) / 2.0
-                            new_log_t = max(blended, log_t_floor, 0.0)
-                            threshold_moved = abs(new_log_t - log_t) > 1e-12
-                            log_t = new_log_t
-
-                # -- growth factor & termination ---------------------------------------------
-                if n_new > 0:
-                    growth = max(n_new - n_removed, 0) / n_new
                 else:
-                    growth = 0.0
-                k_n = int(round(len(clusters) * growth))
+                    for index in order:
+                        seq = encoded[index]
+                        results = [
+                            similarity(cluster.pst, seq, background)
+                            for cluster in clusters
+                        ]
+                        reclustering_work += len(seq) * len(clusters)
+                        if self._commit_examination(
+                            index,
+                            seq,
+                            clusters,
+                            [r.log_similarity for r in results],
+                            results.__getitem__,
+                            log_t,
+                            assignments,
+                            unclustered_streak,
+                            all_log_sims,
+                        ):
+                            membership_changes += 1
 
-                # The paper terminates when "the clustering produced by the
-                # current iteration remains the same as that of the previous
-                # iteration" — compared *after* consolidation, so a seed
-                # cluster that was immediately dismissed does not count as a
-                # change. While t is still converging the run continues even
-                # if memberships momentarily repeat.
-                snapshot = (
-                    tuple(sorted(cluster.cluster_id for cluster in clusters)),
-                    tuple(
-                        tuple(sorted(assignments[i])) for i in range(len(db))
-                    ),
+            # -- phase 3: consolidation ----------------------------------------------
+            with span("consolidate"):
+                before = len(clusters)
+                clusters, removed = consolidate(
+                    clusters,
+                    params.resolved_min_unique(),
+                    dissolve_covered=params.dissolve_covered,
                 )
-                stable = (
-                    prev_snapshot is not None
-                    and snapshot == prev_snapshot
-                    and not threshold_moved
-                )
-                prev_snapshot = snapshot
+                if removed:
+                    removed_ids = {cluster.cluster_id for cluster in removed}
+                    for index, ids in assignments.items():
+                        if ids & removed_ids:
+                            assignments[index] = ids - removed_ids
+                n_removed = len(removed)
 
-                # History is appended *after* the termination logic so the
-                # final iteration — on either exit path (stability here,
-                # max_iterations via loop exhaustion) — records its full
-                # elapsed time, its membership-change count and whether it
-                # was the stable one.
-                stats = IterationStats(
-                    iteration=iteration,
-                    new_clusters=n_new,
-                    clusters_before_consolidation=before,
-                    clusters_removed=n_removed,
-                    clusters_after=len(clusters),
-                    unclustered=sum(1 for ids in assignments.values() if not ids),
-                    membership_changes=membership_changes,
-                    threshold=math.exp(log_t) if log_t < 709 else math.inf,
-                    log_threshold=log_t,
-                    valley=valley_linear,
-                    elapsed_seconds=time.perf_counter() - iter_start,
-                    reclustering_work=reclustering_work,
-                    stable=stable,
-                )
-                history.append(stats)
-                self._observe_iteration(stats, clusters, log_t)
-                if stable:
-                    break
+            if params.rebuild_each_iteration:
+                with span("rebuild"):
+                    self._rebuild_cluster_models(clusters, encoded, pst_factory)
 
-        finally:
-            if pool is not None:
-                pool.close()
+            # -- phase 4: threshold adjustment ------------------------------------------
+            valley_linear: float | None = None
+            threshold_moved = False
+            if params.adjust_threshold and not threshold_converged:
+                with span("adjust_threshold"):
+                    valley = valley_finder(
+                        all_log_sims, buckets=params.histogram_buckets
+                    )
+                if valley is not None:
+                    valley_linear = valley.threshold
+                    if abs(log_t - valley.log_threshold) < 0.01:
+                        threshold_converged = True
+                    else:
+                        # Blend in log scale (geometric mean). Clamp at
+                        # max(1, calibration floor): t ≥ 1 is the
+                        # paper's lower bound, and the calibration floor
+                        # guards against artefact valleys from immature
+                        # models (see the calibration comment above).
+                        blended = (log_t + valley.log_threshold) / 2.0
+                        new_log_t = max(blended, log_t_floor, 0.0)
+                        threshold_moved = abs(new_log_t - log_t) > 1e-12
+                        log_t = new_log_t
+
+            # -- growth factor & termination ---------------------------------------------
+            if n_new > 0:
+                growth = max(n_new - n_removed, 0) / n_new
+            else:
+                growth = 0.0
+            k_n = int(round(len(clusters) * growth))
+
+            # The paper terminates when "the clustering produced by the
+            # current iteration remains the same as that of the previous
+            # iteration" — compared *after* consolidation, so a seed
+            # cluster that was immediately dismissed does not count as a
+            # change. While t is still converging the run continues even
+            # if memberships momentarily repeat.
+            snapshot = (
+                tuple(sorted(cluster.cluster_id for cluster in clusters)),
+                tuple(
+                    tuple(sorted(assignments[i])) for i in range(len(db))
+                ),
+            )
+            stable = (
+                prev_snapshot is not None
+                and snapshot == prev_snapshot
+                and not threshold_moved
+            )
+            prev_snapshot = snapshot
+
+            # History is appended *after* the termination logic so the
+            # final iteration — on either exit path (stability here,
+            # max_iterations via loop exhaustion) — records its full
+            # elapsed time, its membership-change count and whether it
+            # was the stable one.
+            stats = IterationStats(
+                iteration=iteration,
+                new_clusters=n_new,
+                clusters_before_consolidation=before,
+                clusters_removed=n_removed,
+                clusters_after=len(clusters),
+                unclustered=sum(1 for ids in assignments.values() if not ids),
+                membership_changes=membership_changes,
+                threshold=math.exp(log_t) if log_t < 709 else math.inf,
+                log_threshold=log_t,
+                valley=valley_linear,
+                elapsed_seconds=time.perf_counter() - iter_start,
+                reclustering_work=reclustering_work,
+                stable=stable,
+            )
+            history.append(stats)
+            self._observe_iteration(stats, clusters, log_t)
+            if stable:
+                break
 
         converged = bool(history) and history[-1].stable
         registry = get_registry()
@@ -838,7 +855,8 @@ class CLUSEQ:
         index: int,
         seq: list[int],
         clusters: list[Cluster],
-        results: Sequence[SimilarityResult],
+        log_sims: Sequence[float],
+        result_for: Callable[[int], SimilarityResult],
         log_t: float,
         assignments: dict[int, set[int]],
         unclustered_streak: dict[int, int],
@@ -846,17 +864,22 @@ class CLUSEQ:
     ) -> bool:
         """Apply one sequence's §4.2–§4.4 examination outcome.
 
-        *results* holds the sequence's score against each cluster, in
-        cluster order. Shared by the reference and vectorized paths —
-        the join rule, the segment absorption and the bookkeeping are
-        the semantics both backends must agree on. Returns whether the
-        sequence's membership set changed.
+        *log_sims* holds the sequence's log-SIM against each cluster,
+        in cluster order; *result_for* materializes the full result
+        (with segment bounds) for a cluster position and is called only
+        for clusters the sequence actually joins. Joins are the sparse
+        outcome, so the vectorized path never builds result objects for
+        the dense reject majority. Shared by the reference and
+        vectorized paths — the join rule, the segment absorption and
+        the bookkeeping are the semantics both backends must agree on.
+        Returns whether the sequence's membership set changed.
         """
         joined: list[tuple[Cluster, SimilarityResult]] = []
-        for cluster, result in zip(clusters, results):
-            all_log_sims.append(result.log_similarity)
-            if result.log_similarity >= log_t:
-                joined.append((cluster, result))
+        for position, cluster in enumerate(clusters):
+            log_sim = log_sims[position]
+            all_log_sims.append(log_sim)
+            if log_sim >= log_t:
+                joined.append((cluster, result_for(position)))
         new_ids = {cluster.cluster_id for cluster, _ in joined}
         changed = new_ids != assignments[index]
         for cluster, result in joined:
@@ -935,7 +958,8 @@ class CLUSEQ:
                         index,
                         seq,
                         clusters,
-                        results,
+                        [r.log_similarity for r in results],
+                        results.__getitem__,
                         log_t,
                         assignments,
                         unclustered_streak,
@@ -947,27 +971,44 @@ class CLUSEQ:
             versions = [pst.version for pst in psts]
             block_seqs = [encoded[index] for index in block]
             matrix = scorer.prescore_matrix(psts, block_seqs, pool=pool)
+            # One bulk convert: reading the scalars for the join tests
+            # through numpy indexing would cost a boxed float per pair.
+            log_z_rows = matrix.log_z.tolist()
             stale = 0
             for offset, index in enumerate(block):
                 seq = encoded[index]
-                results = []
+                log_sims: list[float] = []
+                rescored: dict[int, SimilarityResult] = {}
                 for position_c, cluster in enumerate(clusters):
                     if (
                         cluster.pst is psts[position_c]
                         and cluster.pst.version == versions[position_c]
                     ):
-                        results.append(matrix[position_c][offset])
+                        log_sims.append(log_z_rows[position_c][offset])
                     else:
                         stale += 1
-                        results.append(
-                            similarity(cluster.pst, seq, background)
-                        )
+                        result = similarity(cluster.pst, seq, background)
+                        rescored[position_c] = result
+                        log_sims.append(result.log_similarity)
+
+                def result_for(
+                    position_c: int,
+                    _matrix: ScoreMatrixResult = matrix,
+                    _offset: int = offset,
+                    _rescored: dict[int, SimilarityResult] = rescored,
+                ) -> SimilarityResult:
+                    fresh = _rescored.get(position_c)
+                    if fresh is not None:
+                        return fresh
+                    return _matrix.result(position_c, _offset)
+
                 reclustering_work += len(seq) * len(clusters)
                 if self._commit_examination(
                     index,
                     seq,
                     clusters,
-                    results,
+                    log_sims,
+                    result_for,
                     log_t,
                     assignments,
                     unclustered_streak,

@@ -158,6 +158,39 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge_binned(
+        self,
+        bucket_counts: Sequence[int],
+        count: int,
+        total: float,
+        minimum: float,
+        maximum: float,
+    ) -> None:
+        """Fold in a batch that was already binned by the caller.
+
+        The hot batched scorer bins thousands of observations per call
+        with vectorized ops; routing each through :meth:`observe` would
+        dominate the kernel it is measuring. *bucket_counts* must use
+        this histogram's bucket rule — index ``bisect_left(bounds,
+        value)``, one trailing +inf bucket — and the aggregates must
+        describe exactly the binned batch.
+        """
+        if count == 0:
+            return
+        if len(bucket_counts) != len(self.bucket_counts):
+            raise ValueError(
+                f"expected {len(self.bucket_counts)} bucket counts, "
+                f"got {len(bucket_counts)}"
+            )
+        for index, bucket_count in enumerate(bucket_counts):
+            self.bucket_counts[index] += int(bucket_count)
+        self.count += count
+        self.total += total
+        if minimum < self.min:
+            self.min = minimum
+        if maximum > self.max:
+            self.max = maximum
+
     def to_dict(self) -> dict[str, object]:
         return {
             "type": "histogram",

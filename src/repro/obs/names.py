@@ -105,6 +105,15 @@ METRICS: frozenset[str] = frozenset(
         "backend.parallel_chunks",
         "backend.flatten_builds",
         "backend.flatten_nodes",
+        # shared-memory flat publishing (repro.core.backends.shm)
+        "backend.shm.publishes",
+        "backend.shm.publish_seconds",
+        "backend.shm.reuses",
+        "backend.shm.attaches",
+        "backend.shm.attach_seconds",
+        "backend.shm.segments",
+        "backend.shm.bytes",
+        "backend.shm.unlinks",
         # reference similarity measure
         "similarity.calls",
         "similarity.dp_cells",
@@ -154,7 +163,15 @@ SPAN_PREFIXES: tuple[str, ...] = ("baseline.",)
 
 #: Hot-path kernel timer names (``prof.kernel(...)``).
 KERNELS: frozenset[str] = frozenset(
-    {"flatten", "pad", "walk", "gather", "kadane", "recover_replay"}
+    {
+        "flatten",
+        "pad",
+        "walk",
+        "gather",
+        "kadane",
+        "recover_replay",
+        "shm_publish",
+    }
 )
 
 #: Cache hit/miss channel names (``prof.cache_hit/cache_miss``).

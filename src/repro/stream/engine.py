@@ -40,18 +40,24 @@ from __future__ import annotations
 
 import math
 import os
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Union
 
 import numpy as np
 
-from ..core.backends import BACKENDS, PstBatchScorer, resolve_backend
+from ..core.backends import (
+    BACKENDS,
+    PstBatchScorer,
+    ScoreMatrixResult,
+    resolve_backend,
+)
 from ..core.cluseq import CluseqParams, ClusteringResult
 from ..core.cluster import Cluster, Membership
 from ..core.consolidation import consolidate
 from ..core.persistence import result_from_dict, result_to_dict
+from ..core.pst import ProbabilisticSuffixTree
 from ..core.seeding import build_seed_pst, select_seeds
 from ..core.similarity import SimilarityResult, similarity
 from ..core.smoothing import default_p_min
@@ -215,6 +221,23 @@ class StreamStats:
             "checkpoints_written": self.checkpoints_written,
             "log_threshold": self.log_threshold,
         }
+
+
+@dataclass(frozen=True)
+class _PrescoredBatch:
+    """Snapshot of one batch's full (cluster × sequence) score matrix.
+
+    ``psts``/``versions`` pin the models the matrix was computed
+    against; ``log_z_rows`` is the join-test matrix pre-converted to
+    Python floats (one bulk ``tolist`` instead of a boxed scalar per
+    pair). Full :class:`~repro.core.similarity.SimilarityResult`
+    objects are materialized lazily from ``matrix`` only for joins.
+    """
+
+    psts: list[ProbabilisticSuffixTree]
+    versions: list[int]
+    matrix: ScoreMatrixResult
+    log_z_rows: list[list[float]]
 
 
 class StreamingCluseq:
@@ -484,10 +507,13 @@ class StreamingCluseq:
                 if self._replaying:
                     batch_span.set_attr("replay", True)
             with span("stream.score"):
-                for encoded in batch:
+                prescored = self._prescore_batch(batch)
+                for column, encoded in enumerate(batch):
                     index = self._next_index
                     self._next_index += 1
-                    assigned.append(self._assign(index, encoded))
+                    assigned.append(
+                        self._assign(index, encoded, prescored, column)
+                    )
             self._sequences += len(batch)
             self._batches += 1
             self._maintain()
@@ -535,29 +561,99 @@ class StreamingCluseq:
             for cluster in clusters
         ]
 
-    def _assign(self, index: int, encoded: list[int]) -> int | None:
+    def _prescore_batch(self, batch: list[list[int]]) -> "_PrescoredBatch | None":
+        """Score the whole (cluster × batch) matrix in one kernel call.
+
+        Only worthwhile with the vectorized scorer, a real batch and
+        live clusters. The matrix is a *snapshot*: every absorb inside
+        the batch bumps a cluster PST's version, so :meth:`_assign`
+        validates each (sequence, cluster) pair by model identity and
+        version and rescores stale pairs against the live model —
+        committed scores are exactly the sequential loop's.
+        """
+        clusters = self.result.clusters
+        if self._scorer is None or len(batch) < 2 or not clusters:
+            return None
+        psts = [cluster.pst for cluster in clusters]
+        versions = [pst.version for pst in psts]
+        matrix = self._scorer.score_matrix_full(psts, batch)
+        return _PrescoredBatch(psts, versions, matrix, matrix.log_z.tolist())
+
+    def _rescore_one(
+        self, cluster: Cluster, encoded: list[int]
+    ) -> SimilarityResult:
+        """Live rescore of one (sequence, cluster) pair gone stale."""
+        if self._scorer is not None:
+            # The many-vs-one shape keeps the single-tree prepared
+            # stack, leaving the batch-wide multi-tree cache intact.
+            return self._scorer.score_many_vs_one(cluster.pst, [encoded])[0]
+        return similarity(cluster.pst, encoded, self.result.background)
+
+    def _assign(
+        self,
+        index: int,
+        encoded: list[int],
+        prescored: "_PrescoredBatch | None" = None,
+        column: int = 0,
+    ) -> int | None:
         """The §4.2–§4.4 join rule for one stream sequence."""
-        best: tuple[Cluster, SimilarityResult] | None = None
         window = self.config.adjust_every > 0
         clusters = self.result.clusters
-        # One sequence against every cluster model: a natural batch row.
-        # Models only mutate *after* this sequence's scores are all in
-        # (the absorb below), matching the reference loop's ordering, so
-        # the batched scores commit identically.
-        scores = self._score_against(clusters, encoded)
-        for cluster, scored in zip(clusters, scores):
+        log_sims: list[float]
+        result_for: Callable[[int], SimilarityResult]
+        if prescored is not None and len(prescored.psts) == len(clusters):
+            # Column *column* of the batch snapshot, validated pair by
+            # pair; only the winning cluster materializes a full result.
+            log_sims = []
+            rescored: dict[int, SimilarityResult] = {}
+            for position, cluster in enumerate(clusters):
+                if (
+                    cluster.pst is prescored.psts[position]
+                    and cluster.pst.version == prescored.versions[position]
+                ):
+                    log_sims.append(prescored.log_z_rows[position][column])
+                else:
+                    fresh = self._rescore_one(cluster, encoded)
+                    rescored[position] = fresh
+                    log_sims.append(fresh.log_similarity)
+
+            def result_for(
+                position: int,
+                _matrix: ScoreMatrixResult = prescored.matrix,
+                _column: int = column,
+                _rescored: dict[int, SimilarityResult] = rescored,
+            ) -> SimilarityResult:
+                fresh = _rescored.get(position)
+                if fresh is not None:
+                    return fresh
+                return _matrix.result(position, _column)
+
+        else:
+            # One sequence against every cluster model: a natural batch
+            # row. Models only mutate *after* this sequence's scores are
+            # all in (the absorb below), matching the reference loop's
+            # ordering, so the batched scores commit identically.
+            results = self._score_against(clusters, encoded)
+            log_sims = [result.log_similarity for result in results]
+            result_for = results.__getitem__
+        best: tuple[Cluster, int] | None = None
+        best_log_sim = 0.0
+        for position, cluster in enumerate(clusters):
+            log_sim = log_sims[position]
             if window:
-                self._recent_scores.append(scored.log_similarity)
-            if best is None or scored.log_similarity > best[1].log_similarity:
-                best = (cluster, scored)
+                self._recent_scores.append(log_sim)
+            if best is None or log_sim > best_log_sim:
+                best = (cluster, position)
+                best_log_sim = log_sim
         if window and len(self._recent_scores) > self.config.score_window:
             del self._recent_scores[: -self.config.score_window]
-        if best is None or best[1].log_similarity < self.log_threshold:
+        if best is None or best_log_sim < self.log_threshold:
             self.result.assignments[index] = set()
             self._outliers += 1
             self._pool.add(index, encoded)
             return None
-        cluster, scored = best
+        cluster, best_position = best
+        scored = result_for(best_position)
         cluster.set_member(
             Membership(
                 sequence_index=index,

@@ -290,3 +290,160 @@ class TestKadaneImplementationsAgree:
             assert np.array_equal(a.best_start, b.best_start)
             assert np.array_equal(a.best_end, b.best_end)
             assert np.array_equal(a.whole, b.whole)
+
+
+class TestMatrixKernelAgreement:
+    """The full-matrix pipeline against the per-pair reference.
+
+    ``score_matrix_stacked`` walks a column-major ``(width, trees,
+    sequences)`` cube and runs one batched Kadane scan over all
+    tree×sequence columns at once; these properties pin that pipeline
+    — including the pair-step walk closure and the post-hoc segment
+    reconstruction — to the reference scorer and to the row-list
+    kernels it replaced.
+    """
+
+    @staticmethod
+    def _grouped(scenarios):
+        by_alphabet: dict[int, list] = {}
+        for pst, background, sequences in scenarios:
+            by_alphabet.setdefault(pst.alphabet_size, []).append(
+                (pst, background, sequences)
+            )
+        return by_alphabet
+
+    def test_score_matrix_full_matches_reference(self, scenarios):
+        """Every matrix cell equals ``similarity`` — ragged batch."""
+        checked = 0
+        for group in self._grouped(scenarios).values():
+            psts = [pst for pst, _, _ in group[:6]]
+            background = group[0][1]
+            # Ragged on purpose: pool sequences from several scenarios
+            # so lengths differ within one padded block.
+            sequences = [seq for _, _, seqs in group[:3] for seq in seqs]
+            scorer = PstBatchScorer(background)
+            matrix = scorer.score_matrix_full(psts, sequences)
+            assert matrix.log_z.shape == (len(psts), len(sequences))
+            for t, pst in enumerate(psts):
+                for c, seq in enumerate(sequences):
+                    got = matrix.result(t, c)
+                    want = similarity(pst, seq, background)
+                    _assert_results_equal(
+                        got, want, f"alphabet {pst.alphabet_size} cell {t},{c}"
+                    )
+                    checked += 1
+        assert checked >= N_CASES
+
+    def test_prescore_pool_none_equals_full(self, scenarios):
+        pst, background, sequences = scenarios[0]
+        scorer = PstBatchScorer(background)
+        full = scorer.score_matrix_full([pst], sequences)
+        pre = scorer.prescore_matrix([pst], sequences, pool=None)
+        assert np.array_equal(full.log_z, pre.log_z)
+        assert np.array_equal(full.best_start, pre.best_start)
+        assert np.array_equal(full.best_end, pre.best_end)
+        assert np.array_equal(full.whole, pre.whole)
+
+    def test_prescore_pool_equals_in_process(self, scenarios):
+        """Worker count is invisible: pooled matrix bit-equals serial."""
+        from repro.core.backends import ScoringPool
+
+        groups = list(self._grouped(scenarios).values())[:3]
+        with ScoringPool(2) as pool:
+            for group in groups:
+                psts = [pst for pst, _, _ in group[:4]]
+                background = group[0][1]
+                sequences = group[0][2]
+                scorer = PstBatchScorer(background)
+                serial = scorer.prescore_matrix(psts, sequences, pool=None)
+                pooled = scorer.prescore_matrix(psts, sequences, pool=pool)
+                assert np.array_equal(serial.log_z, pooled.log_z)
+                assert np.array_equal(serial.best_start, pooled.best_start)
+                assert np.array_equal(serial.best_end, pooled.best_end)
+                assert np.array_equal(serial.whole, pooled.whole)
+
+    def test_walk_states_matrix_matches_row_walk(self, scenarios):
+        """The (width, trees, sequences) cube agrees with the row walk."""
+        from repro.core.backends.vectorized import (
+            prepare_stack,
+            walk_states_matrix,
+        )
+
+        for group in list(self._grouped(scenarios).values())[:5]:
+            psts = [pst for pst, _, _ in group[:4]]
+            background = group[0][1]
+            sequences = group[0][2]
+            flats = [pst.flattened() for pst in psts]
+            stacked = stack_flats(flats)
+            prep = prepare_stack(stacked, log_background(background))
+            padded, lengths = pad_sequences(sequences)
+            cube = walk_states_matrix(prep, padded)
+            assert cube.shape == (padded.shape[1], len(psts), len(sequences))
+            for t in range(len(psts)):
+                rows = walk_states(
+                    stacked, padded, np.full(len(sequences), t, dtype=np.intp)
+                )
+                # cube is position-leading; compare against the
+                # (batch, width) row layout transposed. Real positions
+                # only: the row walk pins padding to the root while the
+                # cube lets it drift (its ratios are masked downstream).
+                transposed = cube[:, t, :].T
+                for r, length in enumerate(lengths):
+                    assert np.array_equal(
+                        transposed[r, :length], rows[r, :length]
+                    ), f"tree {t} row {r}"
+
+    def test_pair_table_fallback_is_identical(self, scenarios):
+        """walk_table2=None (over-budget closure) changes nothing."""
+        import dataclasses
+
+        from repro.core.backends.vectorized import (
+            prepare_stack,
+            walk_states_matrix,
+        )
+
+        for pst, background, sequences in scenarios[:40]:
+            stacked = stack_flats([pst.flattened()])
+            prep = prepare_stack(stacked, log_background(background))
+            if prep.walk_table2 is None:
+                continue
+            single = dataclasses.replace(prep, walk_table2=None)
+            padded, lengths = pad_sequences(sequences)
+            paired_cube = walk_states_matrix(prep, padded)
+            single_cube = walk_states_matrix(single, padded)
+            # Real positions only: beyond a sequence's length the two
+            # arms may drift apart (padding ratios are masked out).
+            for r, length in enumerate(lengths):
+                assert np.array_equal(
+                    paired_cube[:length, :, r], single_cube[:length, :, r]
+                ), f"row {r}"
+
+    def test_kadane_columns_matches_row_scans(self):
+        """Column layout ≡ row layout, numpy and python dispatch arms."""
+        from repro.core.backends.vectorized import kadane_columns
+
+        rng = np.random.default_rng(99)
+        for _ in range(N_CASES):
+            rows = int(rng.integers(1, 2 * KADANE_NUMPY_MIN_ROWS))
+            width = int(rng.integers(1, 30))
+            pool = np.array([-2.0, -0.5, 0.0, 0.5, 2.0])
+            ratios = rng.choice(pool, size=(rows, width))
+            lengths = rng.integers(1, width + 1, size=rows).astype(np.int32)
+            want = _kadane_rows_python(ratios, lengths)
+            got = kadane_columns(np.ascontiguousarray(ratios.T), lengths)
+            assert np.array_equal(want.log_z, got.log_z)
+            assert np.array_equal(want.best_start, got.best_start)
+            assert np.array_equal(want.best_end, got.best_end)
+            assert np.array_equal(want.whole, got.whole)
+
+    def test_width_one_columns(self):
+        """width=1 takes the no-restart branch: segment is [0, 1)."""
+        from repro.core.backends.vectorized import kadane_columns
+
+        columns = np.array([[-1.5, 0.0, 2.25]])
+        lengths = np.ones(3, dtype=np.int32)
+        batch = kadane_columns(columns, lengths)
+        assert np.array_equal(batch.log_z, columns[0])
+        assert np.array_equal(batch.best_start, np.zeros(3, dtype=np.int64))
+        assert np.array_equal(batch.best_end, np.ones(3, dtype=np.int64))
+        assert np.array_equal(batch.whole, columns[0])

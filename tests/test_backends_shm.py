@@ -1,0 +1,271 @@
+"""Shared-memory segment hygiene for the parallel scoring path.
+
+The shm module's contract (see src/repro/core/backends/shm.py) is that
+segments never outlive their usefulness: publish/attach round-trips are
+zero-copy and bit-exact, refcounts hold stale segments alive only while
+a prescore is in flight, version bumps (new flat objects) drop the old
+segments, and pool shutdown — including a simulated worker crash —
+leaves nothing behind in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from multiprocessing.shared_memory import SharedMemory
+
+import numpy as np
+import pytest
+
+from repro.core.backends import PstBatchScorer, ScoringPool
+from repro.core.backends.parallel import score_matrix_raw
+from repro.core.backends.shm import (
+    ARRAY_FIELDS,
+    ShmFlatStore,
+    attach_flat,
+    publish_flat,
+    specs_for,
+)
+from repro.core.backends.vectorized import log_background, pad_sequences
+from repro.core.pst import ProbabilisticSuffixTree
+
+
+def _build_pst(seed: int = 7, alphabet: int = 6) -> ProbabilisticSuffixTree:
+    rng = np.random.default_rng(seed)
+    pst = ProbabilisticSuffixTree(
+        alphabet_size=alphabet, max_depth=4, significance_threshold=2
+    )
+    for _ in range(8):
+        pst.add_sequence([int(s) for s in rng.integers(0, alphabet, 40)])
+    return pst
+
+
+def _sequences(seed: int, count: int, alphabet: int = 6) -> list[list[int]]:
+    rng = np.random.default_rng(seed)
+    return [
+        [int(s) for s in rng.integers(0, alphabet, int(length))]
+        for length in rng.integers(5, 40, count)
+    ]
+
+
+def _segment_exists(name: str) -> bool:
+    """Whether the named segment is still linked (attachable)."""
+    try:
+        shm = SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    shm.close()
+    return True
+
+
+def _dev_shm_leftovers() -> list[str]:
+    """This process's cluseq segments still present in /dev/shm."""
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover - non-Linux fallback
+        return []
+    prefix = f"cluseq-{os.getpid()}-"
+    return [n for n in os.listdir(root) if n.startswith(prefix)]
+
+
+class TestPublishAttachRoundTrip:
+    def test_attached_flat_is_bit_identical(self):
+        flat = _build_pst().flattened()
+        shm, spec = publish_flat(flat)
+        try:
+            worker_shm, rebuilt = attach_flat(spec)
+            try:
+                assert rebuilt.version == flat.version
+                assert rebuilt.alphabet_size == flat.alphabet_size
+                assert rebuilt.max_depth == flat.max_depth
+                assert rebuilt.p_min == flat.p_min
+                for field in ARRAY_FIELDS:
+                    original = getattr(flat, field)
+                    view = getattr(rebuilt, field)
+                    assert np.array_equal(original, view)
+                    assert view.dtype == original.dtype
+                    # Zero-copy: the view maps the segment, read-only.
+                    assert not view.flags.writeable
+                    assert not view.flags.owndata
+                    del view
+            finally:
+                # The rebuilt flat's arrays are buffer exports over the
+                # mapping — drop them before closing, as the worker
+                # cache does.
+                del rebuilt
+                worker_shm.close()
+        finally:
+            shm.close()
+            shm.unlink()
+        assert not _segment_exists(spec.name)
+
+    def test_segment_names_are_deterministic(self):
+        flat = _build_pst().flattened()
+        shm_a, spec_a = publish_flat(flat)
+        shm_b, spec_b = publish_flat(flat)
+        try:
+            prefix = f"cluseq-{os.getpid()}-"
+            assert spec_a.name.startswith(prefix)
+            assert spec_b.name.startswith(prefix)
+            counter_a = int(spec_a.name.rsplit("-", 1)[1])
+            counter_b = int(spec_b.name.rsplit("-", 1)[1])
+            assert counter_b == counter_a + 1
+        finally:
+            for shm in (shm_a, shm_b):
+                shm.close()
+                shm.unlink()
+
+    def test_spec_pickles_small(self):
+        import pickle
+
+        flat = _build_pst().flattened()
+        shm, spec = publish_flat(flat)
+        try:
+            wire = pickle.dumps(spec)
+            # The whole point of the shm path: the wire form must not
+            # scale with the model tables.
+            assert len(wire) < 2048
+            assert len(wire) < spec.nbytes
+        finally:
+            shm.close()
+            shm.unlink()
+
+
+class TestStoreLifecycle:
+    def test_pin_release_refcounts(self):
+        store = ShmFlatStore()
+        flat = _build_pst().flattened()
+        spec = store.pin(flat)
+        assert store.refcount_of(flat) == 1
+        # Re-pinning the same flat reuses the segment, no republish.
+        again = store.pin(flat)
+        assert again.name == spec.name
+        assert store.refcount_of(flat) == 2
+        assert store.segment_names == [spec.name]
+        store.release(flat)
+        assert store.refcount_of(flat) == 1
+        # Live (not stale) segments survive hitting refcount zero.
+        store.release(flat)
+        assert store.refcount_of(flat) == 0
+        assert _segment_exists(spec.name)
+        store.close()
+        assert not _segment_exists(spec.name)
+
+    def test_version_bump_drops_stale_segment(self):
+        store = ShmFlatStore()
+        pst = _build_pst()
+        old_flat = pst.flattened()
+        old_spec = store.pin(old_flat)
+        store.release(old_flat)
+        # Mutate the tree: the next export is a new flat object with a
+        # bumped version — identity is the (tree, version) key.
+        pst.add_sequence([0, 1, 2, 3])
+        new_flat = pst.flattened()
+        assert new_flat is not old_flat
+        assert new_flat.version > old_flat.version
+        specs = specs_for(store, [new_flat])
+        # sync() inside specs_for marked the old segment stale; with no
+        # pins in flight it is unlinked immediately.
+        assert not _segment_exists(old_spec.name)
+        assert [spec.version for spec in specs] == [new_flat.version]
+        assert _segment_exists(specs[0].name)
+        store.close()
+        assert not _segment_exists(specs[0].name)
+
+    def test_stale_segment_survives_until_unpinned(self):
+        store = ShmFlatStore()
+        pst = _build_pst()
+        old_flat = pst.flattened()
+        old_spec = store.pin(old_flat)  # in-flight prescore holds a pin
+        pst.add_sequence([1, 2, 1, 2])
+        store.sync([pst.flattened()])
+        # Stale but pinned: the in-flight chunk may still be attaching.
+        assert _segment_exists(old_spec.name)
+        store.release(old_flat)
+        assert not _segment_exists(old_spec.name)
+        store.close()
+
+    def test_close_is_idempotent(self):
+        store = ShmFlatStore()
+        flat = _build_pst().flattened()
+        spec = store.pin(flat)
+        store.close()
+        store.close()
+        assert not _segment_exists(spec.name)
+        assert _dev_shm_leftovers() == []
+
+
+class TestPoolHygiene:
+    def test_pool_prescore_matches_in_process(self):
+        psts = [_build_pst(seed) for seed in (3, 4, 5)]
+        flats = [pst.flattened() for pst in psts]
+        sequences = _sequences(11, 25)
+        background = np.full(psts[0].alphabet_size, 1.0 / psts[0].alphabet_size)
+        log_bg = log_background(background)
+        expected = score_matrix_raw(flats, sequences, log_bg)
+        with ScoringPool(2) as pool:
+            got = pool.prescore_lists(flats, sequences, log_bg)
+        assert got == expected  # bit-identical, worker count invisible
+
+    def test_pool_shutdown_leaves_no_segments(self):
+        psts = [_build_pst(seed) for seed in (3, 4)]
+        flats = [pst.flattened() for pst in psts]
+        sequences = _sequences(12, 10)
+        log_bg = log_background(
+            np.full(psts[0].alphabet_size, 1.0 / psts[0].alphabet_size)
+        )
+        pool = ScoringPool(1)
+        padded, lengths = pad_sequences(sequences)
+        pool.prescore_matrix(flats, padded, lengths, log_bg)
+        names = list(pool._resources.store.segment_names)
+        assert len(names) == len(flats)
+        pool.close()
+        pool.close()  # idempotent
+        assert pool.closed
+        for name in names:
+            assert not _segment_exists(name)
+        assert _dev_shm_leftovers() == []
+        with pytest.raises(RuntimeError):
+            pool.prescore_matrix(flats, padded, lengths, log_bg)
+
+    def test_finalizer_reclaims_forgotten_pool(self):
+        psts = [_build_pst(seed) for seed in (6, 7)]
+        flats = [pst.flattened() for pst in psts]
+        sequences = _sequences(13, 8)
+        log_bg = log_background(
+            np.full(psts[0].alphabet_size, 1.0 / psts[0].alphabet_size)
+        )
+        pool = ScoringPool(1)
+        padded, lengths = pad_sequences(sequences)
+        pool.prescore_matrix(flats, padded, lengths, log_bg)
+        names = list(pool._resources.store.segment_names)
+        assert names
+        del pool  # no close(): the weakref.finalize hook must fire
+        gc.collect()
+        for name in names:
+            assert not _segment_exists(name)
+        assert _dev_shm_leftovers() == []
+
+    def test_worker_crash_does_not_leak_segments(self):
+        psts = [_build_pst(seed) for seed in (8, 9)]
+        flats = [pst.flattened() for pst in psts]
+        sequences = _sequences(14, 8)
+        log_bg = log_background(
+            np.full(psts[0].alphabet_size, 1.0 / psts[0].alphabet_size)
+        )
+        pool = ScoringPool(1)
+        padded, lengths = pad_sequences(sequences)
+        pool.prescore_matrix(flats, padded, lengths, log_bg)
+        names = list(pool._resources.store.segment_names)
+        executor = pool._resources.executor
+        assert executor is not None
+        # Simulate a worker crash: kill the worker processes while they
+        # still hold segment mappings. The parent's unlink (via close)
+        # must still clear /dev/shm — POSIX keeps the memory alive for
+        # mappers, but the *name* must go.
+        for process in list(executor._processes.values()):
+            process.terminate()
+            process.join()
+        pool.close()
+        for name in names:
+            assert not _segment_exists(name)
+        assert _dev_shm_leftovers() == []

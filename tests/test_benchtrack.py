@@ -15,6 +15,7 @@ if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
 from tools.benchtrack import (  # noqa: E402
+    check_parallel,
     check_regressions,
     ingest,
     load_bench_document,
@@ -179,6 +180,68 @@ class TestCheck:
             check_regressions(new_ledger(), bench_doc(), tolerance=1.5)
 
 
+def parallel_doc(serial=0.10, parallel=0.05, cpu_count=4):
+    return bench_doc(
+        environment={"cpu_count": cpu_count, "python": "3.11", "machine": "x"},
+        results=[
+            {"backend": "reference", "workers": 0, "seconds": 1.0,
+             "speedup": 1.0},
+            {"backend": "vectorized", "workers": 0, "seconds": serial,
+             "speedup": 1.0 / serial},
+            {"backend": "vectorized", "workers": 2, "seconds": parallel,
+             "speedup": 1.0 / parallel},
+        ],
+    )
+
+
+class TestCheckParallel:
+    def test_faster_parallel_passes(self):
+        assert check_parallel(parallel_doc()) == []
+
+    def test_slower_parallel_fails(self):
+        messages = check_parallel(parallel_doc(serial=0.05, parallel=0.10))
+        assert len(messages) == 1
+        assert "workers=2" in messages[0]
+        assert "serial" in messages[0]
+
+    def test_within_tolerance_passes(self):
+        # 8% slower sits inside the default 10% noise allowance.
+        assert check_parallel(parallel_doc(serial=0.100, parallel=0.108)) == []
+        assert check_parallel(
+            parallel_doc(serial=0.100, parallel=0.108), tolerance=0.05
+        ) != []
+
+    def test_single_core_machine_skips(self):
+        # Parallel speedup is physically impossible on one core: the
+        # check passes trivially rather than failing for the hardware.
+        doc = parallel_doc(serial=0.05, parallel=0.10, cpu_count=1)
+        assert check_parallel(doc) == []
+
+    def test_document_cpu_count_preferred(self):
+        # The document records the machine that *ran* the bench; an
+        # explicit cpu_count argument (the CLI path) still wins.
+        doc = parallel_doc(serial=0.05, parallel=0.10, cpu_count=1)
+        assert check_parallel(doc, cpu_count=4) != []
+
+    def test_reference_rows_are_not_twins(self):
+        # The reference row differs in more than `workers`, so the
+        # vectorized workers=2 row never pairs against it.
+        doc = parallel_doc()
+        doc["results"] = [row for row in doc["results"]
+                          if not (row["backend"] == "vectorized"
+                                  and row["workers"] == 0)]
+        assert check_parallel(doc) == []
+
+    def test_invalid_document_reported(self):
+        messages = check_parallel({"schema": "other"})
+        assert messages
+        assert all("invalid bench document" in m for m in messages)
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            check_parallel(parallel_doc(), tolerance=-0.1)
+
+
 class TestCli:
     def run(self, *argv, cwd=REPO_ROOT):
         return subprocess.run(
@@ -227,6 +290,29 @@ class TestCli:
         assert any(
             entry["source"] == "BENCH_PR5.json" for entry in ledger["entries"]
         )
+
+    def test_check_parallel_cli_pass_fail_and_skip(self, tmp_path):
+        ok_path = tmp_path / "ok.json"
+        ok_path.write_text(json.dumps(parallel_doc()))
+        ok = self.run("check-parallel", str(ok_path))
+        assert ok.returncode == 0, ok.stderr
+        assert "passed" in ok.stdout
+
+        bad_path = tmp_path / "bad.json"
+        bad_path.write_text(json.dumps(parallel_doc(serial=0.05,
+                                                    parallel=0.10)))
+        failed = self.run("check-parallel", str(bad_path))
+        assert failed.returncode == 1
+        assert "PARALLEL REGRESSION" in failed.stderr
+
+        # Same regressed document, but the bench machine had one core:
+        # the CLI prints the skip and exits 0.
+        single = parallel_doc(serial=0.05, parallel=0.10, cpu_count=1)
+        single_path = tmp_path / "single.json"
+        single_path.write_text(json.dumps(single))
+        skipped = self.run("check-parallel", str(single_path))
+        assert skipped.returncode == 0, skipped.stderr
+        assert "skipped" in skipped.stdout
 
     def test_no_subcommand_prints_help(self):
         result = self.run()

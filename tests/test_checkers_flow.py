@@ -760,6 +760,102 @@ def test_leak(path):
         assert len(violations) == 1
         assert "inline" in violations[0].message
 
+    def test_leaked_pool_constructor_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/r.py",
+            """
+def score(flats, sequences):
+    pool = ScoringPool(2)
+    results = pool.prescore_lists(flats, sequences)
+    return results
+""",
+            "CLQ009",
+        )
+        assert [v.rule_id for v in violations] == ["CLQ009"]
+        assert "ScoringPool" in violations[0].message
+
+    def test_pool_with_block_passes(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/r.py",
+            """
+def score(flats, sequences):
+    with ScoringPool(2) as pool:
+        return pool.prescore_lists(flats, sequences)
+""",
+            "CLQ009",
+        )
+        assert violations == []
+
+    def test_qualified_executor_constructor_fires(self, tmp_path):
+        # The Attribute arm: futures.ProcessPoolExecutor(...) is the
+        # same acquisition as the bare name.
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/r.py",
+            """
+from concurrent import futures
+
+def fan_out(tasks):
+    executor = futures.ProcessPoolExecutor(2)
+    handles = [executor.submit(t) for t in tasks]
+    return [h.result() for h in handles]
+""",
+            "CLQ009",
+        )
+        assert [v.rule_id for v in violations] == ["CLQ009"]
+        assert "ProcessPoolExecutor" in violations[0].message
+
+    def test_shared_memory_closed_on_all_paths_passes(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/r.py",
+            """
+def attach(name):
+    segment = SharedMemory(name=name)
+    try:
+        return bytes(segment.buf)
+    finally:
+        segment.close()
+""",
+            "CLQ009",
+        )
+        assert violations == []
+
+    def test_shared_memory_leak_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/r.py",
+            """
+def attach(name):
+    segment = SharedMemory(name=name)
+    payload = bytes(segment.buf)
+    return payload
+""",
+            "CLQ009",
+        )
+        assert [v.rule_id for v in violations] == ["CLQ009"]
+        assert "SharedMemory" in violations[0].message
+
+    def test_executor_as_self_attr_with_close_passes(self, tmp_path):
+        # The parallel module's shape: the executor and the segment
+        # store live on a resources object whose close() releases both.
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/r.py",
+            """
+class PoolResources:
+    def __init__(self, workers):
+        self.executor = ProcessPoolExecutor(workers)
+
+    def close(self):
+        self.executor.shutdown()
+""",
+            "CLQ009",
+        )
+        assert violations == []
+
 
 # -- CLQ010: telemetry-name registry -------------------------------------------
 

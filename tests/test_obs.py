@@ -2,6 +2,7 @@
 
 import io
 import json
+import math
 import logging
 import sys
 import threading
@@ -98,6 +99,46 @@ class TestHistogram:
             Histogram(buckets=[3.0, 1.0])
         with pytest.raises(ValueError):
             Histogram(buckets=[1.0, 1.0])
+
+    def test_merge_binned_equals_observe_loop(self):
+        # The batched scorer's fast path: np.searchsorted(side="left")
+        # is the vectorized twin of observe()'s bisect_left rule, so a
+        # merged batch must leave the histogram in exactly the state an
+        # observe() loop would.
+        import numpy as np
+
+        bounds = [1.0, 10.0, 100.0]
+        values = [0.5, 1.0, 5.0, 10.0, 99.0, 1000.0, 1.0, 42.0]
+        looped = Histogram(buckets=bounds)
+        for v in values:
+            looped.observe(v)
+        merged = Histogram(buckets=bounds)
+        bins = np.searchsorted(np.asarray(bounds), values, side="left")
+        counts = np.bincount(bins, minlength=len(bounds) + 1)
+        merged.merge_binned(
+            counts.tolist(), len(values), float(sum(values)),
+            min(values), max(values),
+        )
+        assert merged.bucket_counts == looped.bucket_counts
+        assert merged.count == looped.count
+        assert merged.total == pytest.approx(looped.total)
+        assert merged.min == looped.min
+        assert merged.max == looped.max
+        # A second merge folds in, it does not overwrite.
+        merged.merge_binned([1, 0, 0, 0], 1, 0.25, 0.25, 0.25)
+        assert merged.count == looped.count + 1
+        assert merged.min == 0.25
+
+    def test_merge_binned_empty_batch_is_noop(self):
+        h = Histogram(buckets=[1.0])
+        h.merge_binned([0, 0], 0, 0.0, math.inf, -math.inf)
+        assert h.count == 0
+        assert h.to_dict()["min"] is None
+
+    def test_merge_binned_length_mismatch_rejected(self):
+        h = Histogram(buckets=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            h.merge_binned([1, 2], 3, 1.0, 0.1, 0.9)
 
 
 class TestTimer:

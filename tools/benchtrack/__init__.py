@@ -13,10 +13,16 @@ perf-smoke gate.
 
 Usage::
 
-    python -m tools.benchtrack ingest BENCH_PR5.json
+    python -m tools.benchtrack ingest BENCH_PR8.json
     python -m tools.benchtrack report
     python -m tools.benchtrack check BENCH_smoke.json --tolerance 0.5
+    python -m tools.benchtrack check-parallel BENCH_smoke.json --min-cpus 2
     python -m tools.benchtrack --check BENCH_smoke.json   # sugar
+
+``check-parallel`` is the intra-document gate: it pairs ``workers>0``
+rows against their ``workers=0`` twin and fails when parallel scoring
+is slower than serial (skipped below ``--min-cpus`` — a single-core
+machine cannot show parallel speedup).
 
 Stdlib only — no numpy, no third-party deps — so it runs anywhere the
 CI does, including before the project venv is built.
@@ -26,6 +32,7 @@ from __future__ import annotations
 
 from .ledger import (
     LEDGER_SCHEMA,
+    check_parallel,
     check_regressions,
     ingest,
     load_ledger,
@@ -38,6 +45,7 @@ from .schema import BENCH_SCHEMA, load_bench_document, stamp_bench_document, val
 __all__ = [
     "BENCH_SCHEMA",
     "LEDGER_SCHEMA",
+    "check_parallel",
     "check_regressions",
     "ingest",
     "load_bench_document",

@@ -1,10 +1,14 @@
 """CLQ009 — resource discipline (flow-sensitive).
 
 Leaked file handles corrupt the streaming subsystem's durability story
-(an unclosed journal handle keeps buffered bytes out of recovery) and
-leaked lock acquisitions deadlock the parallel scorer. The rule checks
-every acquisition site against the small set of ownership patterns the
-codebase sanctions:
+(an unclosed journal handle keeps buffered bytes out of recovery),
+leaked lock acquisitions deadlock the parallel scorer, and leaked
+executors or shared-memory segments outlive the run (orphan worker
+processes, stale ``/dev/shm`` files). Acquisitions are method calls
+(``open``/``acquire``/``kernel``) and the constructors of known
+resource-owning classes (executors, ``SharedMemory``,
+``ScoringPool``). The rule checks every acquisition site against the
+small set of ownership patterns the codebase sanctions:
 
 * **``with`` item** — ``with open(p) as f:`` / ``with lock:``. The
   runtime releases on every path; nothing more to prove.
@@ -48,17 +52,49 @@ _CLOSERS = frozenset({"close", "release", "__exit__"})
 #: never stops and the telemetry ledger records garbage).
 _ACQUIRERS = frozenset({"open", "acquire", "kernel"})
 
+#: Constructors whose *instances* are the resource: executors own
+#: worker processes, shared-memory segments own kernel-backed mappings,
+#: scoring pools own both. Matched by class name whether called bare
+#: (``ProcessPoolExecutor(...)``) or qualified
+#: (``futures.ProcessPoolExecutor(...)``).
+_CONSTRUCTOR_ACQUIRERS = frozenset(
+    {
+        "ProcessPoolExecutor",
+        "ThreadPoolExecutor",
+        "SharedMemory",
+        "ScoringPool",
+    }
+)
+
 
 def _is_acquisition(node: ast.AST) -> ast.Call | None:
     """The call if *node* acquires a handle/lock, else ``None``."""
     if not isinstance(node, ast.Call):
         return None
     func = node.func
-    if isinstance(func, ast.Name) and func.id == "open":
+    if isinstance(func, ast.Name) and (
+        func.id == "open" or func.id in _CONSTRUCTOR_ACQUIRERS
+    ):
         return node
-    if isinstance(func, ast.Attribute) and func.attr in _ACQUIRERS:
+    if isinstance(func, ast.Attribute) and (
+        func.attr in _ACQUIRERS or func.attr in _CONSTRUCTOR_ACQUIRERS
+    ):
         return node
     return None
+
+
+def _binds_call(value: ast.expr | None, call: ast.Call) -> bool:
+    """Whether *value* binds *call*'s result, unwrapping one ``IfExp``.
+
+    ``pool = ScoringPool(w) if cond else None`` binds the pool to a
+    name exactly like the unconditional spelling does; the conditional
+    arm must not demote it to an (unbindable) inline leak.
+    """
+    if value is call:
+        return True
+    return isinstance(value, ast.IfExp) and (
+        value.body is call or value.orelse is call
+    )
 
 
 def _with_item_exprs(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[int]:
@@ -176,14 +212,16 @@ class ResourceDisciplineRule(Rule):
         # what crosses the boundary.
         if isinstance(element, ast.Return):
             value = element.value
-            if value is call:
+            if _binds_call(value, call):
                 return None
             if isinstance(value, ast.Tuple) and call in value.elts:
                 return None
         targets: list[ast.expr] = []
-        if isinstance(element, ast.Assign) and element.value is call:
+        if isinstance(element, ast.Assign) and _binds_call(element.value, call):
             targets = list(element.targets)
-        elif isinstance(element, ast.AnnAssign) and element.value is call:
+        elif isinstance(element, ast.AnnAssign) and _binds_call(
+            element.value, call
+        ):
             targets = [element.target]
         if targets:
             if len(targets) == 1:
