@@ -14,6 +14,11 @@ Subcommands
     or stdin through the micro-batch streaming engine, optionally with
     a durable state directory (journal + checkpoints) that ``--resume``
     recovers from after a crash.
+``serve``
+    Clustering-as-a-service: load a saved model (or stream checkpoint)
+    into the versioned registry and serve classify/ingest/clusters
+    endpoints over HTTP with micro-batched scoring and hot reload.
+    See docs/SERVING.md.
 ``telemetry``
     Inspect a telemetry JSON snapshot (v1 or v2): summarize it as a
     table, or convert it to Prometheus text exposition.
@@ -250,6 +255,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flags(stream)
 
+    serve = subparsers.add_parser(
+        "serve", help="serve a saved model over HTTP (docs/SERVING.md)"
+    )
+    serve.add_argument(
+        "model",
+        help="model snapshot (`cluster --save-model`), stream checkpoint, "
+        "or stream state directory",
+    )
+    serve.add_argument(
+        "--name", default="default", help="registry name for the model"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8777, help="listen port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        metavar="N",
+        help="flush the micro-batch once N sequences are waiting",
+    )
+    serve.add_argument(
+        "--batch-delay-ms",
+        type=float,
+        default=2.0,
+        metavar="MS",
+        help="max milliseconds a request waits for batch-mates",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="request queue bound; beyond it classify answers 503",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="score batches on N worker processes (0 = in-process)",
+    )
+    serve.add_argument(
+        "--ready-file",
+        metavar="PATH",
+        default=None,
+        help="write '<host> <port>' to PATH once listening (for CI/scripts)",
+    )
+    _add_telemetry_flags(serve)
+
     telemetry = subparsers.add_parser(
         "telemetry", help="inspect or convert a telemetry JSON snapshot"
     )
@@ -471,6 +527,61 @@ def _command_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+    import signal
+
+    from .obs import get_registry
+    from .serve import ModelLoadError, ModelRegistry, ServeApp
+
+    with contextlib.ExitStack() as stack:
+        # /metrics needs a live registry even when the user passed no
+        # telemetry flags; install a private one rather than serving an
+        # empty exposition.
+        if not get_registry().enabled:
+            stack.enter_context(use_registry(MetricsRegistry()))
+        registry = ModelRegistry()
+        try:
+            registry.load(args.name, args.model)
+        except ModelLoadError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+        async def _run() -> int:
+            app = ServeApp(
+                registry,
+                model_name=args.name,
+                max_batch=args.max_batch,
+                max_delay=args.batch_delay_ms / 1000.0,
+                max_queue=args.queue_size,
+                workers=args.workers,
+            )
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                except NotImplementedError:  # pragma: no cover - non-POSIX
+                    pass
+            try:
+                host, port = await app.start(args.host, args.port)
+                print(
+                    f"serving {args.name!r} on http://{host}:{port}",
+                    file=sys.stderr,
+                )
+                if args.ready_file:
+                    with open(args.ready_file, "w", encoding="utf-8") as handle:
+                        handle.write(f"{host} {port}\n")
+                await stop.wait()
+                print("shutting down", file=sys.stderr)
+            finally:
+                await app.close()
+            return 0
+
+        return asyncio.run(_run())
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     ds = generate_clustered_database(
         num_sequences=args.sequences,
@@ -546,6 +657,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_classify(args)
     if args.command == "stream":
         return _command_stream(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "telemetry":
         return _command_telemetry(args)
     if args.command == "generate":

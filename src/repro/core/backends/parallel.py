@@ -145,6 +145,11 @@ def _score_chunk_shm(
     )
 
 
+def _probe_task() -> int:
+    """Trivial round-trip task for :meth:`ScoringPool.probe`."""
+    return 42
+
+
 def score_matrix_raw(
     flats: Sequence[FlattenedPST],
     sequences: Sequence[Sequence[int]],
@@ -364,6 +369,40 @@ class ScoringPool:
             ]
             for tree in range(matrix.trees)
         ]
+
+    def reset(self) -> None:
+        """Replace a broken executor (and its segments) with a fresh one.
+
+        A ``ProcessPoolExecutor`` whose worker died (OOM kill, segfault)
+        is permanently broken: every later submit raises
+        ``BrokenProcessPool``. A long-running server cannot treat that
+        as fatal, so ``reset()`` tears down the executor *and* the shm
+        store (workers cached attachments into the dead processes;
+        republishing is cheaper than reasoning about stale maps) and
+        arms a fresh lazy pair. Raises ``RuntimeError`` on a closed
+        pool — closed means the owner is done, not recovering.
+        """
+        if self.closed:
+            raise RuntimeError("cannot reset a closed ScoringPool")
+        self._finalizer.detach()
+        self._resources.close()
+        self._resources = _PoolResources()
+        self._finalizer = weakref.finalize(self, self._resources.close)
+
+    def probe(self, timeout: float = 30.0) -> bool:
+        """Round-trip a trivial task through a worker; False if broken.
+
+        Spawns the executor if it has not started yet (a truthful probe
+        must exercise the real worker path). Returns ``False`` on a
+        closed pool, a broken executor, or a probe that times out.
+        """
+        if self.closed:
+            return False
+        try:
+            executor = self._resources.ensure_executor(self.workers)
+            return executor.submit(_probe_task).result(timeout=timeout) == 42
+        except Exception:
+            return False
 
     def close(self) -> None:
         """Release the executor and unlink every segment (idempotent)."""

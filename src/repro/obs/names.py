@@ -118,6 +118,24 @@ METRICS: frozenset[str] = frozenset(
         "similarity.calls",
         "similarity.dp_cells",
         "similarity.segment_length",
+        # serving subsystem (repro.serve)
+        "serve.requests",
+        "serve.request_seconds",
+        "serve.errors",
+        "serve.classified",
+        "serve.outliers",
+        "serve.ingested",
+        "serve.ingest_absorbed",
+        "serve.rejected",
+        "serve.queue_depth",
+        "serve.batch.flushes",
+        "serve.batch.requests",
+        "serve.batch.sequences",
+        "serve.batch.score_seconds",
+        "serve.pool_resets",
+        "serve.reloads",
+        "serve.reload_seconds",
+        "serve.model_epoch",
         # profiler value gauges/series (emitted via HotPathProfiler)
         "model.clusters",
         "model.pst_nodes",

@@ -1,0 +1,260 @@
+"""Micro-batching dispatcher: coalesce classify requests into one kernel.
+
+Concurrent ``/v1/classify`` requests each carry a handful of
+sequences; scoring them one request at a time would pay the batch
+scorer's fixed costs (stack-cache validation, kernel launch overhead,
+padding) per request. The dispatcher instead drains a bounded queue
+under a (max batch size, max delay) window and pushes **all** waiting
+sequences through a single
+:meth:`~repro.core.backends.dispatch.PstBatchScorer` full-matrix
+invocation — the PR 8 kernel pipeline — against one acquired
+:class:`~repro.serve.registry.ModelVersion`, so the flat/stack caches
+and the walk/Kadane kernels are amortized across clients.
+
+Backpressure is the queue bound: when it is full, :meth:`submit`
+raises :class:`QueueFullError` and the HTTP layer answers 503 with a
+``Retry-After`` hint instead of letting latency grow without bound.
+
+When the dispatcher runs with a :class:`ScoringPool` (``--workers``)
+and that pool's executor dies (a worker OOM-killed or segfaulted),
+the flush falls back to in-process scoring for the affected batch,
+resets the pool, and keeps serving — a crashed worker pool must never
+poison a long-running server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from ..core.backends.parallel import ScoringPool
+from ..obs import get_logger, get_registry
+from .registry import ClassifyOutcome, ModelRegistry, ModelVersion
+
+__all__ = ["BatchStats", "MicroBatcher", "QueueFullError"]
+
+_logger = get_logger("serve.batching")
+
+
+class QueueFullError(RuntimeError):
+    """The request queue is at capacity; the caller should shed load."""
+
+
+@dataclass
+class _Item:
+    sequences: list[list[str]]
+    future: "asyncio.Future[tuple[list[ClassifyOutcome | None], ModelVersion]]"
+    enqueued: float
+
+
+@dataclass
+class BatchStats:
+    """Dispatcher counters, exposed for tests and the stats endpoint."""
+
+    flushes: int = 0
+    requests: int = 0
+    sequences: int = 0
+    rejected: int = 0
+    pool_resets: int = 0
+    occupancy_sum: float = 0.0
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Mean requests coalesced per flush (the batching win metric)."""
+        return self.occupancy_sum / self.flushes if self.flushes else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "flushes": self.flushes,
+            "requests": self.requests,
+            "sequences": self.sequences,
+            "rejected": self.rejected,
+            "pool_resets": self.pool_resets,
+            "mean_occupancy": self.mean_occupancy,
+        }
+
+
+@dataclass
+class MicroBatcher:
+    """Bounded-queue request coalescer over one registry model."""
+
+    registry: ModelRegistry
+    model_name: str = "default"
+    #: Flush when this many sequences are waiting...
+    max_batch: int = 64
+    #: ...or when the oldest waiting request has aged this long.
+    max_delay: float = 0.002
+    #: Queue bound in *requests*; beyond it, submit() sheds load.
+    max_queue: int = 256
+    #: Optional worker pool for the scoring fan-out (``--workers``).
+    pool: ScoringPool | None = None
+    stats: BatchStats = field(default_factory=BatchStats)
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        if self.max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        # Created lazily inside the running loop: on py3.9 an
+        # asyncio.Queue binds the *construction-time* loop, and the
+        # batcher is typically built before asyncio.run() starts one.
+        self._queue: asyncio.Queue[_Item] | None = None
+        self._task: asyncio.Task[None] | None = None
+        self._closed = False
+
+    def start(self) -> None:
+        """Spawn the dispatcher task on the running event loop."""
+        if self._queue is None:
+            self._queue = asyncio.Queue(maxsize=self.max_queue)
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._dispatch())
+
+    async def close(self) -> None:
+        """Stop dispatching; pending requests are failed, not dropped silently."""
+        self._closed = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+        while self._queue is not None and not self._queue.empty():
+            item = self._queue.get_nowait()
+            if not item.future.done():
+                item.future.set_exception(RuntimeError("server shutting down"))
+
+    async def submit(
+        self, sequences: list[list[str]]
+    ) -> tuple[list[ClassifyOutcome | None], ModelVersion]:
+        """Enqueue one request; resolves with its outcomes and the
+        model version they were scored against.
+
+        Raises :class:`QueueFullError` immediately when the queue is at
+        capacity — backpressure must be visible to the client *now*,
+        not after the queue has already grown a latency mountain.
+        """
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        self.start()
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[
+            tuple[list[ClassifyOutcome | None], ModelVersion]
+        ] = loop.create_future()
+        item = _Item(sequences=sequences, future=future, enqueued=time.monotonic())
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self.stats.rejected += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("serve.rejected").inc()
+            raise QueueFullError(
+                f"request queue at capacity ({self.max_queue})"
+            ) from None
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("serve.queue_depth").set(self._queue.qsize())
+        return await future
+
+    async def _dispatch(self) -> None:
+        assert self._queue is not None
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            size = len(first.sequences)
+            deadline = time.monotonic() + self.max_delay
+            try:
+                while size < self.max_batch:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    try:
+                        item = await asyncio.wait_for(
+                            self._queue.get(), remaining
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                    batch.append(item)
+                    size += len(item.sequences)
+            except asyncio.CancelledError:
+                # Shutdown landed mid-window: these items left the queue
+                # already, so close() cannot see them — fail them here.
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(
+                            RuntimeError("server shutting down")
+                        )
+                raise
+            self._flush(batch)
+
+    def _flush(self, batch: list[_Item]) -> None:
+        """Score one coalesced batch against one acquired model version.
+
+        Synchronous on purpose: the scoring kernel is numpy-bound and
+        releases no useful concurrency to the loop; running it inline
+        keeps request/score/respond on one thread with no cross-thread
+        mutation hazards against ``/v1/stream/ingest``.
+        """
+        registry = get_registry()
+        if registry.enabled and self._queue is not None:
+            registry.gauge("serve.queue_depth").set(self._queue.qsize())
+        started = time.perf_counter()
+        sequences: list[list[str]] = []
+        for item in batch:
+            sequences.extend(item.sequences)
+        version = self.registry.acquire(self.model_name)
+        try:
+            try:
+                outcomes = self._score(version, sequences)
+            except Exception as exc:
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                return
+            offset = 0
+            for item in batch:
+                chunk = outcomes[offset : offset + len(item.sequences)]
+                offset += len(item.sequences)
+                if not item.future.done():
+                    item.future.set_result((chunk, version))
+        finally:
+            version.release()
+        self.stats.flushes += 1
+        self.stats.requests += len(batch)
+        self.stats.sequences += len(sequences)
+        self.stats.occupancy_sum += len(batch)
+        if registry.enabled:
+            registry.counter("serve.batch.flushes").inc()
+            registry.histogram("serve.batch.requests").observe(len(batch))
+            registry.histogram("serve.batch.sequences").observe(len(sequences))
+            registry.timer("serve.batch.score_seconds").record(
+                time.perf_counter() - started
+            )
+
+    def _score(
+        self, version: ModelVersion, sequences: list[list[str]]
+    ) -> list[ClassifyOutcome | None]:
+        if self.pool is None:
+            return version.classify_batch(sequences)
+        try:
+            return version.classify_batch(sequences, pool=self.pool)
+        except BrokenProcessPool:
+            # A worker died (OOM, segfault, kill). Recover the pool for
+            # the next flush and answer this one in-process — shedding
+            # correct work because a worker crashed is not acceptable.
+            self.stats.pool_resets += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("serve.pool_resets").inc()
+            _logger.warning(
+                "scoring pool broken; resetting and scoring in-process",
+                extra={"model": version.name, "epoch": version.epoch},
+            )
+            self.pool.reset()
+            return version.classify_batch(sequences)

@@ -1,0 +1,342 @@
+"""Versioned model registry with epoch/refcount hot swap.
+
+A *model* is a fitted :class:`~repro.core.cluseq.ClusteringResult`
+plus its alphabet — exactly what ``cluster --save-model`` writes via
+:mod:`repro.core.persistence`, or what the streaming engine captures
+in a ``repro.stream/v1`` checkpoint. The registry loads either format
+(:func:`load_model_payload` sniffs the ``format``/``format_version``
+tag, and accepts a stream state *directory* by resolving its
+``checkpoint.json``), wraps it in a :class:`ModelVersion` carrying its
+own :class:`~repro.core.backends.dispatch.PstBatchScorer`, and serves
+it to request handlers under an epoch/refcount protocol:
+
+* ``acquire()`` returns the live version with its refcount bumped;
+  ``release()`` drops it. Every scoring pass runs against exactly one
+  acquired version.
+* ``reload()`` builds the replacement *completely* — parsed, scored
+  against nothing, ready to serve — and then swaps the registry slot
+  in one assignment under the lock. In-flight requests finish on the
+  version they acquired; new acquisitions see only the new epoch.
+  There is never a moment where a half-loaded model is visible.
+* The retired version's refcount drains to zero as in-flight work
+  completes; ``ModelVersion.drained`` flips, its caches are dropped,
+  and the memory goes with the last reference.
+
+Thread-safe by a plain mutex: acquire/release/swap are a few pointer
+operations, far off any hot path (scoring happens *outside* the lock).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.backends.dispatch import PstBatchScorer
+from ..core.backends.parallel import ScoringPool
+from ..core.cluseq import ClusteringResult
+from ..core.persistence import FORMAT_VERSION, result_from_dict
+from ..obs import get_registry
+from ..sequences.alphabet import Alphabet
+from ..stream.checkpoint import CHECKPOINT_FILENAME, read_checkpoint
+from ..stream.journal import STREAM_FORMAT
+
+__all__ = [
+    "ClassifyOutcome",
+    "ModelLoadError",
+    "ModelRegistry",
+    "ModelVersion",
+    "load_model_payload",
+]
+
+
+class ModelLoadError(ValueError):
+    """A model source that cannot be loaded (missing, foreign, corrupt)."""
+
+
+def load_model_payload(path: str) -> tuple[ClusteringResult, Alphabet, str]:
+    """Load ``(result, alphabet, kind)`` from any supported source.
+
+    *path* may be a ``core.persistence`` snapshot (``kind="snapshot"``),
+    a ``repro.stream/v1`` checkpoint file (``kind="checkpoint"``), or a
+    stream state directory containing ``checkpoint.json``. The alphabet
+    must be embedded — a server cannot encode requests without one.
+    """
+    target = path
+    if os.path.isdir(target):
+        target = os.path.join(target, CHECKPOINT_FILENAME)
+    if not os.path.exists(target):
+        raise ModelLoadError(f"no model source at {target}")
+    with open(target, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ModelLoadError(f"{target}: not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ModelLoadError(f"{target}: model source must be a JSON object")
+    if payload.get("format") == STREAM_FORMAT:
+        # Re-read through the checkpoint reader so its validation
+        # (format tag, object shape) stays the single source of truth.
+        state = read_checkpoint(target)
+        result_payload = state.get("result")
+        if not isinstance(result_payload, dict):
+            raise ModelLoadError(f"{target}: checkpoint carries no model state")
+        kind = "checkpoint"
+    elif payload.get("format_version") == FORMAT_VERSION:
+        result_payload = payload
+        kind = "snapshot"
+    else:
+        raise ModelLoadError(
+            f"{target}: neither a persistence snapshot nor a "
+            f"{STREAM_FORMAT} checkpoint"
+        )
+    result = result_from_dict(result_payload)
+    symbols = result_payload.get("alphabet")
+    if not symbols:
+        raise ModelLoadError(
+            f"{target}: model does not embed an alphabet; a server "
+            "cannot encode request sequences without one"
+        )
+    return result, Alphabet(symbols), kind
+
+
+@dataclass
+class ClassifyOutcome:
+    """One sequence's classification against one model version."""
+
+    cluster_id: int | None
+    log_similarity: float
+    best_start: int
+    best_end: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "cluster": self.cluster_id,
+            "log_similarity": self.log_similarity,
+            "segment": [self.best_start, self.best_end],
+        }
+
+
+class ModelVersion:
+    """One immutable-by-convention loaded model generation.
+
+    Classification never mutates the model; ``/v1/stream/ingest``
+    does (absorbing §4.4 segments), which is safe because every PST
+    carries a mutation version counter and the scorer re-flattens any
+    tree whose version moved — the same contract the streaming engine
+    relies on.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        epoch: int,
+        result: ClusteringResult,
+        alphabet: Alphabet,
+        source: str,
+        kind: str,
+    ) -> None:
+        self.name = name
+        self.epoch = epoch
+        self.result = result
+        self.alphabet = alphabet
+        self.source = source
+        self.kind = kind
+        self.loaded_unix = time.time()
+        self.scorer = PstBatchScorer(result.background)
+        self._lock = threading.Lock()
+        self._refs = 0
+        self._retired = False
+        self._drained = threading.Event()
+
+    @property
+    def refs(self) -> int:
+        return self._refs
+
+    @property
+    def retired(self) -> bool:
+        return self._retired
+
+    @property
+    def drained(self) -> bool:
+        """True once retired with no outstanding references."""
+        return self._drained.is_set()
+
+    def _acquire(self) -> None:
+        with self._lock:
+            self._refs += 1
+
+    def release(self) -> None:
+        """Drop one reference; finishes the drain when retired."""
+        with self._lock:
+            if self._refs <= 0:
+                raise RuntimeError(f"release() without acquire on {self!r}")
+            self._refs -= 1
+            drained = self._retired and self._refs == 0
+        if drained:
+            self.scorer.forget()
+            self._drained.set()
+
+    def _retire(self) -> None:
+        with self._lock:
+            self._retired = True
+            drained = self._refs == 0
+        if drained:
+            self.scorer.forget()
+            self._drained.set()
+
+    def wait_drained(self, timeout: float | None = None) -> bool:
+        """Block until every in-flight reference is released."""
+        return self._drained.wait(timeout)
+
+    def classify_batch(
+        self,
+        sequences: list[list[str]],
+        pool: ScoringPool | None = None,
+    ) -> list[ClassifyOutcome | None]:
+        """Classify raw symbol sequences; ``None`` marks an unencodable one.
+
+        All encodable sequences go through **one** batch-scorer matrix
+        call (amortizing the flat/stack caches across every request in
+        the micro-batch); the decision rule is the paper's: best
+        cluster by log-similarity, outlier below the model's final
+        threshold — bit-identical to ``ClusteringResult.predict``.
+        """
+        from ..sequences.alphabet import AlphabetError
+
+        encoded: list[list[int]] = []
+        positions: list[int] = []
+        for position, symbols in enumerate(sequences):
+            try:
+                row = self.alphabet.encode(symbols)
+            except AlphabetError:
+                continue
+            if len(row) == 0:
+                continue
+            encoded.append(list(row))
+            positions.append(position)
+        outcomes: list[ClassifyOutcome | None] = [None] * len(sequences)
+        if not encoded:
+            return outcomes
+        psts = [cluster.pst for cluster in self.result.clusters]
+        if pool is not None:
+            matrix = self.scorer.prescore_matrix(psts, encoded, pool=pool)
+        else:
+            matrix = self.scorer.score_matrix_full(psts, encoded)
+        threshold = self.result.final_log_threshold
+        for column, position in enumerate(positions):
+            best_tree = -1
+            best_log = float("-inf")
+            for tree in range(matrix.trees):
+                log_z = float(matrix.log_z[tree, column])
+                if log_z > best_log:
+                    best_log = log_z
+                    best_tree = tree
+            if best_tree >= 0 and best_log >= threshold:
+                outcomes[position] = ClassifyOutcome(
+                    cluster_id=self.result.clusters[best_tree].cluster_id,
+                    log_similarity=best_log,
+                    best_start=int(matrix.best_start[best_tree, column]),
+                    best_end=int(matrix.best_end[best_tree, column]),
+                )
+            else:
+                outcomes[position] = ClassifyOutcome(
+                    cluster_id=None,
+                    log_similarity=best_log,
+                    best_start=0,
+                    best_end=0,
+                )
+        return outcomes
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "model": self.name,
+            "epoch": self.epoch,
+            "source": self.source,
+            "kind": self.kind,
+            "loaded_unix": self.loaded_unix,
+            "clusters": len(self.result.clusters),
+            "log_threshold": self.result.final_log_threshold,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ModelVersion(name={self.name!r}, epoch={self.epoch}, "
+            f"refs={self._refs}, retired={self._retired})"
+        )
+
+
+class ModelRegistry:
+    """Named models, each at some epoch, hot-swappable under load."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._models: dict[str, ModelVersion] = {}
+        self._sources: dict[str, str] = {}
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def load(self, name: str, source: str) -> ModelVersion:
+        """Load *source* as epoch 1 of *name* (or swap if it exists)."""
+        return self._install(name, source)
+
+    def reload(self, name: str, source: str | None = None) -> ModelVersion:
+        """Re-read the model's source (or a new one) and hot-swap it.
+
+        The old epoch keeps serving its in-flight requests and drains;
+        callers that acquired before the swap are never torn between
+        generations.
+        """
+        with self._lock:
+            if name not in self._models:
+                raise KeyError(f"no model named {name!r}")
+            resolved = source if source is not None else self._sources[name]
+        return self._install(name, resolved)
+
+    def _install(self, name: str, source: str) -> ModelVersion:
+        started = time.perf_counter()
+        result, alphabet, kind = load_model_payload(source)
+        with self._lock:
+            previous = self._models.get(name)
+            epoch = previous.epoch + 1 if previous is not None else 1
+            version = ModelVersion(name, epoch, result, alphabet, source, kind)
+            self._models[name] = version
+            self._sources[name] = source
+        if previous is not None:
+            previous._retire()
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("serve.reloads").inc()
+            registry.timer("serve.reload_seconds").record(
+                time.perf_counter() - started
+            )
+            registry.gauge("serve.model_epoch").set(epoch)
+        return version
+
+    def get(self, name: str) -> ModelVersion:
+        """The live version of *name* (no refcount taken)."""
+        with self._lock:
+            version = self._models.get(name)
+        if version is None:
+            raise KeyError(f"no model named {name!r}")
+        return version
+
+    def acquire(self, name: str) -> ModelVersion:
+        """The live version with one reference taken; pair with release.
+
+        The bump happens under the registry lock so a concurrent
+        ``reload`` either retires the version *after* this reference is
+        counted (the drain waits for it) or swaps first (and this call
+        returns the new epoch) — the in-between does not exist.
+        """
+        with self._lock:
+            version = self._models.get(name)
+            if version is None:
+                raise KeyError(f"no model named {name!r}")
+            version._acquire()
+        return version

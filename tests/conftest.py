@@ -63,3 +63,19 @@ def simple_pst():
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def serve_model_path(tmp_path_factory):
+    """A small fitted model snapshot (with alphabet) for serve tests."""
+    from repro.core.cluseq import CLUSEQ, CluseqParams
+    from repro.core.persistence import save_result
+
+    db = generate_two_cluster_toy(size_per_cluster=20, length=30, seed=5)
+    params = CluseqParams(
+        k=2, significance_threshold=3, similarity_threshold=1.2, seed=0
+    )
+    result = CLUSEQ(params).fit(db)
+    path = tmp_path_factory.mktemp("serve") / "model.json"
+    save_result(result, str(path), alphabet=db.alphabet)
+    return str(path)

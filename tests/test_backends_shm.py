@@ -269,3 +269,72 @@ class TestPoolHygiene:
         for name in names:
             assert not _segment_exists(name)
         assert _dev_shm_leftovers() == []
+
+
+class TestPoolReset:
+    """A long-running server must survive a crashed worker pool."""
+
+    def test_reset_recovers_from_worker_crash(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        psts = [_build_pst(seed) for seed in (15, 16)]
+        flats = [pst.flattened() for pst in psts]
+        sequences = _sequences(17, 12)
+        log_bg = log_background(
+            np.full(psts[0].alphabet_size, 1.0 / psts[0].alphabet_size)
+        )
+        expected = score_matrix_raw(flats, sequences, log_bg)
+        pool = ScoringPool(1)
+        try:
+            assert pool.prescore_lists(flats, sequences, log_bg) == expected
+            assert pool.probe()
+            # Crash the worker: the executor is now permanently broken
+            # and poisons every later submit.
+            executor = pool._resources.executor
+            assert executor is not None
+            for process in list(executor._processes.values()):
+                process.terminate()
+                process.join()
+            padded, lengths = pad_sequences(sequences)
+            with pytest.raises(BrokenProcessPool):
+                pool.prescore_matrix(flats, padded, lengths, log_bg)
+            assert not pool.probe()
+            stale = list(pool._resources.store.segment_names)
+            pool.reset()
+            # The old store's segments were unlinked by the reset...
+            for name in stale:
+                assert not _segment_exists(name)
+            # ...and the fresh executor scores bit-identically again.
+            assert not pool.closed
+            assert pool.probe()
+            assert pool.prescore_lists(flats, sequences, log_bg) == expected
+        finally:
+            pool.close()
+        assert _dev_shm_leftovers() == []
+
+    def test_reset_on_closed_pool_raises(self):
+        pool = ScoringPool(1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.reset()
+        assert not pool.probe()
+
+    def test_finalizer_still_reclaims_after_reset(self):
+        psts = [_build_pst(seed) for seed in (18, 19)]
+        flats = [pst.flattened() for pst in psts]
+        sequences = _sequences(20, 6)
+        log_bg = log_background(
+            np.full(psts[0].alphabet_size, 1.0 / psts[0].alphabet_size)
+        )
+        pool = ScoringPool(1)
+        padded, lengths = pad_sequences(sequences)
+        pool.prescore_matrix(flats, padded, lengths, log_bg)
+        pool.reset()
+        pool.prescore_matrix(flats, padded, lengths, log_bg)
+        names = list(pool._resources.store.segment_names)
+        assert names
+        del pool  # the re-armed finalizer must reclaim the new resources
+        gc.collect()
+        for name in names:
+            assert not _segment_exists(name)
+        assert _dev_shm_leftovers() == []

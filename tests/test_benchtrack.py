@@ -17,6 +17,7 @@ if str(REPO_ROOT) not in sys.path:
 from tools.benchtrack import (  # noqa: E402
     check_parallel,
     check_regressions,
+    check_serving,
     ingest,
     load_bench_document,
     load_ledger,
@@ -242,6 +243,94 @@ class TestCheckParallel:
             check_parallel(parallel_doc(), tolerance=-0.1)
 
 
+def serving_doc(rps=500.0, p99=8.0, **overrides):
+    doc = bench_doc(
+        bench="serving",
+        workload={"sequences": 64, "requests": 200},
+        results=[
+            {
+                "mode": "classify",
+                "workers": 0,
+                "seconds": 2.0,
+                "requests": 200,
+                "rejected": 0,
+                "errors": 0,
+                "req_per_second": rps,
+                "p50_ms": p99 / 3,
+                "p99_ms": p99,
+                "batch_occupancy": 3.5,
+            }
+        ],
+    )
+    doc.update(overrides)
+    return doc
+
+
+class TestCheckServing:
+    def test_no_baseline_passes(self):
+        assert check_serving(new_ledger(), serving_doc()) == []
+
+    def test_same_numbers_pass(self):
+        ledger = new_ledger()
+        ingest(ledger, serving_doc())
+        assert check_serving(ledger, serving_doc()) == []
+
+    def test_throughput_collapse_fails(self):
+        ledger = new_ledger()
+        ingest(ledger, serving_doc(rps=500.0))
+        messages = check_serving(ledger, serving_doc(rps=100.0))
+        assert len(messages) == 1
+        assert "req_per_second" in messages[0]
+
+    def test_latency_collapse_fails(self):
+        ledger = new_ledger()
+        ingest(ledger, serving_doc(p99=8.0))
+        messages = check_serving(ledger, serving_doc(p99=40.0))
+        assert len(messages) == 1
+        assert "p99_ms" in messages[0]
+
+    def test_both_directions_reported(self):
+        ledger = new_ledger()
+        ingest(ledger, serving_doc(rps=500.0, p99=8.0))
+        messages = check_serving(ledger, serving_doc(rps=100.0, p99=40.0))
+        assert len(messages) == 2
+
+    def test_within_tolerance_passes(self):
+        ledger = new_ledger()
+        ingest(ledger, serving_doc(rps=500.0, p99=8.0))
+        # -40% throughput and +90% p99 both sit inside the defaults
+        # (50% drop allowed, 100% rise allowed).
+        assert check_serving(ledger, serving_doc(rps=300.0, p99=15.0)) == []
+
+    def test_metric_fields_do_not_fork_config_keys(self):
+        # Measurement fields (req_per_second, p99_ms, counts...) must
+        # not participate in row matching, or every run would be a "new
+        # configuration" and the gate would never fire.
+        ledger = new_ledger()
+        ingest(ledger, serving_doc(rps=500.0))
+        messages = check_serving(ledger, serving_doc(rps=10.0, p99=99.0))
+        assert messages  # rows matched despite every measurement moving
+
+    def test_different_workload_never_compared(self):
+        ledger = new_ledger()
+        ingest(ledger, serving_doc())
+        other = serving_doc(rps=1.0, workload={"sequences": 9, "requests": 9})
+        assert check_serving(ledger, other) == []
+
+    def test_invalid_document_reported(self):
+        messages = check_serving(new_ledger(), {"schema": "other"})
+        assert messages
+        assert all("invalid bench document" in m for m in messages)
+
+    def test_bad_tolerances_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            check_serving(new_ledger(), serving_doc(), tolerance=1.5)
+        with pytest.raises(ValueError, match="latency"):
+            check_serving(
+                new_ledger(), serving_doc(), latency_tolerance=-0.5
+            )
+
+
 class TestCli:
     def run(self, *argv, cwd=REPO_ROOT):
         return subprocess.run(
@@ -313,6 +402,30 @@ class TestCli:
         skipped = self.run("check-parallel", str(single_path))
         assert skipped.returncode == 0, skipped.stderr
         assert "skipped" in skipped.stdout
+
+    def test_check_serving_cli_pass_and_fail(self, tmp_path):
+        ledger_path = tmp_path / "ledger.json"
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(serving_doc()))
+        ingested = self.run(
+            "ingest", str(baseline_path),
+            "--ledger", str(ledger_path), "--report", "",
+        )
+        assert ingested.returncode == 0, ingested.stderr
+
+        ok = self.run(
+            "check-serving", str(baseline_path), "--ledger", str(ledger_path)
+        )
+        assert ok.returncode == 0, ok.stderr
+        assert "passed" in ok.stdout
+
+        regressed_path = tmp_path / "regressed.json"
+        regressed_path.write_text(json.dumps(serving_doc(rps=50.0, p99=99.0)))
+        failed = self.run(
+            "check-serving", str(regressed_path), "--ledger", str(ledger_path)
+        )
+        assert failed.returncode == 1
+        assert "SERVING REGRESSION" in failed.stderr
 
     def test_no_subcommand_prints_help(self):
         result = self.run()

@@ -245,6 +245,76 @@ class TestImportLayering:
         )
         assert violations == []
 
+    def test_core_importing_serve_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "from repro.serve import ServeApp\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_backends_importing_serve_fires(self, tmp_path):
+        # Fires twice: once as core->serve, once as backends->serve.
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/backends/bad.py",
+            "from ...serve.registry import ModelRegistry\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001", "CLQ001"]
+
+    def test_stream_importing_serve_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/stream/bad.py",
+            "import repro.serve.app\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_serve_importing_cli_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/serve/bad.py",
+            "from repro.cli import main\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_serve_relative_import_of_evaluation_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/serve/bad.py",
+            "from ..evaluation.metrics import evaluate_clustering\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_serve_importing_experiments_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/serve/bad.py",
+            "import repro.experiments.common\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_serve_allowed_layers_are_fine(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/serve/good.py",
+            "from ..core.cluseq import ClusteringResult\n"
+            "from ..core.backends.dispatch import PstBatchScorer\n"
+            "from ..stream.checkpoint import read_checkpoint\n"
+            "from ..sequences.alphabet import Alphabet\n"
+            "from ..obs import get_registry\n"
+            "from .http import HttpServer\n"
+            "import asyncio\nimport json\n",
+            "CLQ001",
+        )
+        assert violations == []
+
     def test_suppression_comment_silences(self, tmp_path):
         violations = check_source(
             tmp_path,

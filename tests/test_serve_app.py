@@ -1,0 +1,442 @@
+"""The serving application: endpoints, batching, backpressure, hot swap.
+
+The acceptance contract from the serving design: concurrent classify
+requests coalesce (batch occupancy > 1), queue overflow answers 503
+with ``Retry-After``, and a reload mid-flight never drops or tears a
+response.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.persistence import save_result
+from repro.obs import MetricsRegistry, use_registry
+from repro.serve import ModelRegistry, ServeApp, http_call
+from repro.sequences.generators import generate_two_cluster_toy
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture(scope="module")
+def query_strings():
+    db = generate_two_cluster_toy(size_per_cluster=8, length=30, seed=42)
+    return ["".join(record.symbols) for record in db]
+
+
+def make_app(serve_model_path, **kwargs):
+    registry = ModelRegistry()
+    registry.load(kwargs.pop("model_name", "default"), serve_model_path)
+    return ServeApp(registry, **kwargs)
+
+
+class TestClassify:
+    def test_batches_coalesce(self, serve_model_path, query_strings):
+        async def scenario():
+            app = make_app(
+                serve_model_path, max_batch=64, max_delay=0.02, max_queue=64
+            )
+            host, port = await app.start()
+            try:
+                responses = await asyncio.gather(
+                    *(
+                        http_call(
+                            host, port, "POST", "/v1/classify", {"sequence": s}
+                        )
+                        for s in query_strings
+                    )
+                )
+            finally:
+                await app.close()
+            return responses, app.batcher.stats
+
+        responses, stats = run(scenario())
+        assert all(r.status == 200 for r in responses)
+        assert stats.requests == len(responses)
+        # The whole point of the dispatcher: more than one request per kernel.
+        assert stats.mean_occupancy > 1
+
+    def test_multi_sequence_request_and_unencodable(
+        self, serve_model_path, query_strings
+    ):
+        async def scenario():
+            app = make_app(serve_model_path)
+            host, port = await app.start()
+            try:
+                return await http_call(
+                    host,
+                    port,
+                    "POST",
+                    "/v1/classify",
+                    {"sequences": [query_strings[0], "§§§", query_strings[1]]},
+                )
+            finally:
+                await app.close()
+
+        response = run(scenario())
+        assert response.status == 200
+        payload = response.json()
+        assert payload["epoch"] == 1
+        results = payload["results"]
+        assert len(results) == 3
+        assert "cluster" in results[0] and "cluster" in results[2]
+        assert results[1] == {"error": "unencodable sequence"}
+
+    def test_queue_overflow_is_503_with_retry_after(
+        self, serve_model_path, query_strings
+    ):
+        async def scenario():
+            # queue bound 1 and a generous delay window: the flood must
+            # overflow while the dispatcher is still waiting.
+            app = make_app(
+                serve_model_path, max_batch=256, max_delay=0.2, max_queue=1
+            )
+            host, port = await app.start()
+            try:
+                responses = await asyncio.gather(
+                    *(
+                        http_call(
+                            host, port, "POST", "/v1/classify", {"sequence": s}
+                        )
+                        for s in query_strings * 3
+                    )
+                )
+            finally:
+                await app.close()
+            return responses, app.batcher.stats
+
+        responses, stats = run(scenario())
+        statuses = sorted({r.status for r in responses})
+        assert statuses == [200, 503]
+        rejected = [r for r in responses if r.status == 503]
+        assert stats.rejected == len(rejected)
+        for response in rejected:
+            assert response.headers["retry-after"] == "1"
+            assert "capacity" in response.json()["error"]
+
+    def test_bad_bodies_are_400(self, serve_model_path):
+        async def scenario():
+            app = make_app(serve_model_path)
+            host, port = await app.start()
+            try:
+                empty = await http_call(host, port, "POST", "/v1/classify", {})
+                wrong = await http_call(
+                    host, port, "POST", "/v1/classify", {"sequences": [7]}
+                )
+                not_obj = await http_call(
+                    host, port, "POST", "/v1/classify", [1, 2]
+                )
+            finally:
+                await app.close()
+            return empty, wrong, not_obj
+
+        for response in run(scenario()):
+            assert response.status == 400
+
+    def test_get_classify_is_405(self, serve_model_path):
+        async def scenario():
+            app = make_app(serve_model_path)
+            host, port = await app.start()
+            try:
+                return await http_call(host, port, "GET", "/v1/classify")
+            finally:
+                await app.close()
+
+        assert run(scenario()).status == 405
+
+
+class TestHotSwap:
+    def test_inflight_requests_survive_reload(
+        self, serve_model_path, query_strings, tmp_path
+    ):
+        """A reload under load drops nothing and tears nothing.
+
+        Both model generations are loaded from the same snapshot, so
+        *every* response must match the single expected outcome set —
+        a torn read (half old arrays, half new) would break bit
+        equality — while epochs recorded across the run prove the swap
+        actually happened mid-flight.
+        """
+
+        async def scenario():
+            app = make_app(
+                serve_model_path, max_batch=8, max_delay=0.005, max_queue=512
+            )
+            host, port = await app.start()
+            try:
+                expected = await http_call(
+                    host,
+                    port,
+                    "POST",
+                    "/v1/classify",
+                    {"sequences": query_strings},
+                )
+                calls = [
+                    http_call(
+                        host, port, "POST", "/v1/classify",
+                        {"sequences": query_strings},
+                    )
+                    for _ in range(30)
+                ]
+                reloads = [
+                    http_call(
+                        host, port, "POST", "/admin/models/default/reload"
+                    )
+                    for _ in range(3)
+                ]
+                responses = await asyncio.gather(*calls, *reloads)
+            finally:
+                await app.close()
+            return expected, responses[:30], responses[30:]
+
+        expected, classifies, reloads = run(scenario())
+        assert expected.status == 200
+        baseline = expected.json()["results"]
+        assert all(r.status == 200 for r in reloads)
+        epochs = set()
+        for response in classifies:
+            assert response.status == 200
+            payload = response.json()
+            epochs.add(payload["epoch"])
+            assert payload["results"] == baseline
+        assert len(epochs) >= 1  # every one whole, from some single epoch
+
+
+class TestOtherEndpoints:
+    def test_healthz_clusters_stats(self, serve_model_path):
+        async def scenario():
+            app = make_app(serve_model_path)
+            host, port = await app.start()
+            try:
+                health = await http_call(host, port, "GET", "/healthz")
+                clusters = await http_call(host, port, "GET", "/v1/clusters")
+                stats = await http_call(host, port, "GET", "/v1/stats")
+                missing = await http_call(host, port, "GET", "/nowhere")
+            finally:
+                await app.close()
+            return health, clusters, stats, missing
+
+        health, clusters, stats, missing = run(scenario())
+        assert health.status == 200
+        assert health.json()["status"] == "ok"
+        assert health.json()["pool"] == "absent"
+        payload = clusters.json()
+        assert clusters.status == 200
+        assert payload["model"] == "default"
+        assert payload["clusters"]
+        assert {"cluster", "size", "pst_nodes"} <= set(payload["clusters"][0])
+        body = stats.json()
+        assert stats.status == 200
+        assert "batching" in body and "models" in body
+        assert missing.status == 404
+
+    def test_ingest_absorbs_and_counts(self, serve_model_path, query_strings):
+        async def scenario():
+            app = make_app(serve_model_path)
+            host, port = await app.start()
+            try:
+                ingest = await http_call(
+                    host,
+                    port,
+                    "POST",
+                    "/v1/stream/ingest",
+                    {"sequences": [query_strings[0], "§§§"]},
+                )
+                # The mutated model must still classify (scorer
+                # re-flattens trees whose version moved).
+                after = await http_call(
+                    host, port, "POST", "/v1/classify",
+                    {"sequence": query_strings[0]},
+                )
+            finally:
+                await app.close()
+            return ingest, after
+
+        ingest, after = run(scenario())
+        assert ingest.status == 200
+        payload = ingest.json()
+        assert payload["skipped"] == 1
+        assert len(payload["assignments"]) == 2
+        assert payload["assignments"][1] is None
+        assert after.status == 200
+
+    def test_reload_errors(self, serve_model_path, tmp_path):
+        async def scenario():
+            app = make_app(serve_model_path)
+            host, port = await app.start()
+            try:
+                ghost = await http_call(
+                    host, port, "POST", "/admin/models/ghost/reload"
+                )
+                bad_source = await http_call(
+                    host,
+                    port,
+                    "POST",
+                    "/admin/models/default/reload",
+                    {"path": str(tmp_path / "missing.json")},
+                )
+                bad_body = await http_call(
+                    host,
+                    port,
+                    "POST",
+                    "/admin/models/default/reload",
+                    {"path": 7},
+                )
+            finally:
+                await app.close()
+            return ghost, bad_source, bad_body
+
+        ghost, bad_source, bad_body = run(scenario())
+        assert ghost.status == 404
+        assert bad_source.status == 422
+        assert bad_body.status == 400
+
+    def test_reload_swaps_to_new_source(
+        self, serve_model_path, query_strings, tmp_path
+    ):
+        async def scenario():
+            app = make_app(serve_model_path)
+            host, port = await app.start()
+            try:
+                before = await http_call(host, port, "GET", "/v1/clusters")
+                reload_ = await http_call(
+                    host,
+                    port,
+                    "POST",
+                    "/admin/models/default/reload",
+                    {"path": serve_model_path},
+                )
+                after = await http_call(host, port, "GET", "/v1/clusters")
+            finally:
+                await app.close()
+            return before, reload_, after
+
+        before, reload_, after = run(scenario())
+        assert before.json()["epoch"] == 1
+        assert reload_.status == 200 and reload_.json()["epoch"] == 2
+        assert after.json()["epoch"] == 2
+
+    def test_metrics_endpoint_exposes_serve_series(
+        self, serve_model_path, query_strings
+    ):
+        async def scenario():
+            app = make_app(serve_model_path)
+            host, port = await app.start()
+            try:
+                await http_call(
+                    host, port, "POST", "/v1/classify",
+                    {"sequence": query_strings[0]},
+                )
+                return await http_call(host, port, "GET", "/metrics")
+            finally:
+                await app.close()
+
+        with use_registry(MetricsRegistry()):
+            response = run(scenario())
+        assert response.status == 200
+        assert response.content_type.startswith("text/plain")
+        text = response.body.decode()
+        assert "serve_requests" in text
+        assert "serve_batch_flushes" in text
+
+    def test_metrics_endpoint_without_registry(self, serve_model_path):
+        async def scenario():
+            app = make_app(serve_model_path)
+            host, port = await app.start()
+            try:
+                return await http_call(host, port, "GET", "/metrics")
+            finally:
+                await app.close()
+
+        response = run(scenario())
+        assert response.status == 200
+        assert b"disabled" in response.body
+
+
+class TestCliParser:
+    def test_serve_arguments_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "model.json",
+                "--name",
+                "prod",
+                "--port",
+                "0",
+                "--max-batch",
+                "32",
+                "--batch-delay-ms",
+                "1.5",
+                "--queue-size",
+                "128",
+                "--workers",
+                "2",
+                "--ready-file",
+                "/tmp/ready",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.model == "model.json"
+        assert args.name == "prod"
+        assert args.port == 0
+        assert args.max_batch == 32
+        assert args.batch_delay_ms == 1.5
+        assert args.queue_size == 128
+        assert args.workers == 2
+        assert args.ready_file == "/tmp/ready"
+
+    def test_cli_serve_rejects_bad_model(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["serve", str(tmp_path / "missing.json"), "--port", "0"])
+        assert code == 1
+        assert "no model source" in capsys.readouterr().err
+
+
+class TestShutdown:
+    def test_close_fails_pending_requests(self, serve_model_path, query_strings):
+        async def scenario():
+            app = make_app(
+                serve_model_path, max_batch=256, max_delay=5.0, max_queue=64
+            )
+            await app.start()
+            task = asyncio.get_running_loop().create_task(
+                app.batcher.submit([list(query_strings[0])])
+            )
+            await asyncio.sleep(0.05)  # parked in the delay window
+            await app.close()
+            with pytest.raises(RuntimeError, match="shutting down"):
+                await task
+
+        run(scenario())
+
+
+def test_save_and_serve_second_model(tmp_path, query_strings):
+    """Registry holds several named models; routes address them by name."""
+    from repro.core.cluseq import CLUSEQ, CluseqParams
+
+    db = generate_two_cluster_toy(size_per_cluster=10, length=30, seed=3)
+    result = CLUSEQ(
+        CluseqParams(k=2, significance_threshold=3, seed=0)
+    ).fit(db)
+    path = tmp_path / "second.json"
+    save_result(result, str(path), alphabet=db.alphabet)
+
+    registry = ModelRegistry()
+    registry.load("a", str(path))
+    registry.load("b", str(path))
+    assert registry.names() == ["a", "b"]
+    assert registry.get("a").epoch == 1
+    registry.reload("b")
+    assert registry.get("b").epoch == 2
+    assert registry.get("a").epoch == 1
+
+
+def test_query_strings_fixture_sanity(query_strings):
+    assert query_strings and all(isinstance(s, str) for s in query_strings)
+    assert json.dumps(query_strings)  # JSON-serializable for request bodies

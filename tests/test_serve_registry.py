@@ -1,0 +1,255 @@
+"""Versioned model registry: loading, classify fidelity, hot swap.
+
+The load path must accept both persistence snapshots and stream
+checkpoints (and classify bit-identically from either); the swap
+protocol must never show a torn model — every classification maps to
+exactly one epoch's expected output — and retired versions must drain
+their refcounts to zero.
+"""
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.core.persistence import load_result_with_alphabet, save_result
+from repro.serve.registry import (
+    ModelLoadError,
+    ModelRegistry,
+    ModelVersion,
+    load_model_payload,
+)
+from repro.sequences.generators import generate_two_cluster_toy
+
+
+@pytest.fixture(scope="module")
+def query_sequences():
+    db = generate_two_cluster_toy(size_per_cluster=6, length=30, seed=99)
+    return [list(record.symbols) for record in db]
+
+
+@pytest.fixture()
+def alt_model_path(tmp_path):
+    """A second, differently-fitted model (for observable swaps)."""
+    from repro.core.cluseq import CLUSEQ, CluseqParams
+
+    db = generate_two_cluster_toy(size_per_cluster=16, length=30, seed=21)
+    result = CLUSEQ(
+        CluseqParams(
+            k=2, significance_threshold=3, similarity_threshold=1.2, seed=1
+        )
+    ).fit(db)
+    path = tmp_path / "alt_model.json"
+    save_result(result, str(path), alphabet=db.alphabet)
+    return str(path)
+
+
+def make_checkpoint(model_path, state_dir):
+    """A stream checkpoint wrapping exactly the snapshot's model state."""
+    from repro.stream import StreamConfig, StreamingCluseq
+
+    result, alphabet = load_result_with_alphabet(model_path)
+    engine = StreamingCluseq(
+        result,
+        config=StreamConfig(batch_size=8),
+        alphabet=alphabet,
+        state_dir=str(state_dir),
+    )
+    with engine:
+        engine.checkpoint()
+    return state_dir
+
+
+class TestLoadModelPayload:
+    def test_snapshot_kind(self, serve_model_path):
+        result, alphabet, kind = load_model_payload(serve_model_path)
+        assert kind == "snapshot"
+        assert result.clusters and alphabet.size > 0
+
+    def test_checkpoint_kind_and_dir_resolution(self, serve_model_path, tmp_path):
+        state_dir = make_checkpoint(serve_model_path, tmp_path / "state")
+        # Directory resolves to its checkpoint.json...
+        _result, _alphabet, kind = load_model_payload(str(state_dir))
+        assert kind == "checkpoint"
+        # ...and the explicit file path works too.
+        _result, _alphabet, kind = load_model_payload(
+            str(state_dir / "checkpoint.json")
+        )
+        assert kind == "checkpoint"
+
+    def test_missing_source(self, tmp_path):
+        with pytest.raises(ModelLoadError, match="no model source"):
+            load_model_payload(str(tmp_path / "nope.json"))
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{{{")
+        with pytest.raises(ModelLoadError, match="not valid JSON"):
+            load_model_payload(str(path))
+
+    def test_foreign_document(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ModelLoadError, match="neither"):
+            load_model_payload(str(path))
+
+    def test_snapshot_without_alphabet(self, serve_model_path, tmp_path):
+        payload = json.loads(Path(serve_model_path).read_text())
+        payload.pop("alphabet")
+        path = tmp_path / "no_alphabet.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ModelLoadError, match="alphabet"):
+            load_model_payload(str(path))
+
+
+class TestClassifyFidelity:
+    def test_matches_predict_bit_identically(
+        self, serve_model_path, query_sequences
+    ):
+        result, alphabet, kind = load_model_payload(serve_model_path)
+        version = ModelVersion(
+            "m", 1, result, alphabet, serve_model_path, kind
+        )
+        reference, _ = load_result_with_alphabet(serve_model_path)
+        outcomes = version.classify_batch(query_sequences)
+        for symbols, outcome in zip(query_sequences, outcomes):
+            encoded = alphabet.encode(symbols)
+            assert outcome is not None
+            assert outcome.cluster_id == reference.predict(encoded)
+            scores = reference.score_sequence(encoded)
+            best = max(scores.values(), key=lambda s: s.log_similarity)
+            assert outcome.log_similarity == best.log_similarity
+
+    def test_unencodable_and_empty_marked_none(self, serve_model_path):
+        result, alphabet, kind = load_model_payload(serve_model_path)
+        version = ModelVersion(
+            "m", 1, result, alphabet, serve_model_path, kind
+        )
+        good = [alphabet.decode([0])[0]] * 10
+        outcomes = version.classify_batch([["§", "∆"], [], list(good)])
+        assert outcomes[0] is None
+        assert outcomes[1] is None
+        assert outcomes[2] is not None
+
+    def test_checkpoint_model_is_bit_identical_to_snapshot(
+        self, serve_model_path, tmp_path, query_sequences
+    ):
+        state_dir = make_checkpoint(serve_model_path, tmp_path / "state")
+        registry = ModelRegistry()
+        from_snapshot = registry.load("snap", serve_model_path)
+        from_checkpoint = registry.load("ckpt", str(state_dir))
+        snap = from_snapshot.classify_batch(query_sequences)
+        ckpt = from_checkpoint.classify_batch(query_sequences)
+        for a, b in zip(snap, ckpt):
+            assert a is not None and b is not None
+            assert a.cluster_id == b.cluster_id
+            assert a.log_similarity == b.log_similarity  # bit-identical
+            assert (a.best_start, a.best_end) == (b.best_start, b.best_end)
+
+
+class TestSwapProtocol:
+    def test_reload_bumps_epoch_and_retires_previous(
+        self, serve_model_path, alt_model_path
+    ):
+        registry = ModelRegistry()
+        first = registry.load("default", serve_model_path)
+        assert first.epoch == 1 and not first.retired
+        second = registry.reload("default", source=alt_model_path)
+        assert second.epoch == 2
+        assert first.retired and first.drained  # no refs were held
+        assert registry.get("default") is second
+        # reload without a source re-reads the last one.
+        third = registry.reload("default")
+        assert third.epoch == 3 and third.source == alt_model_path
+
+    def test_reload_unknown_name_raises(self, serve_model_path):
+        registry = ModelRegistry()
+        registry.load("default", serve_model_path)
+        with pytest.raises(KeyError):
+            registry.reload("ghost")
+
+    def test_refcounts_drain_to_zero(self, serve_model_path, alt_model_path):
+        registry = ModelRegistry()
+        registry.load("default", serve_model_path)
+        held = registry.acquire("default")
+        assert held.refs == 1
+        registry.reload("default", source=alt_model_path)
+        assert held.retired and not held.drained
+        held.release()
+        assert held.refs == 0 and held.drained
+        assert held.wait_drained(timeout=0)
+
+    def test_release_without_acquire_raises(self, serve_model_path):
+        registry = ModelRegistry()
+        version = registry.load("default", serve_model_path)
+        with pytest.raises(RuntimeError, match="release"):
+            version.release()
+
+    def test_concurrent_classify_sees_exactly_one_epoch(
+        self, serve_model_path, alt_model_path, query_sequences
+    ):
+        """Classifications racing a reload are old-or-new, never torn.
+
+        Expected outputs per epoch are computed up front; every scored
+        batch observed by a worker thread must match one epoch's
+        expectation exactly — a mixture would mean a torn model.
+        """
+        registry = ModelRegistry()
+        registry.load("default", serve_model_path)
+
+        def expected_for(path):
+            result, alphabet, kind = load_model_payload(path)
+            version = ModelVersion("x", 0, result, alphabet, path, kind)
+            return [
+                (o.cluster_id, o.log_similarity)
+                for o in version.classify_batch(query_sequences)
+            ]
+
+        by_epoch = {1: expected_for(serve_model_path)}
+        sources = [alt_model_path, serve_model_path]
+        for epoch in range(2, 8):
+            by_epoch[epoch] = expected_for(sources[epoch % 2])
+
+        stop = threading.Event()
+        observations = []
+        errors = []
+
+        def classify_loop():
+            while not stop.is_set():
+                version = registry.acquire("default")
+                try:
+                    outcomes = version.classify_batch(query_sequences)
+                    observations.append(
+                        (
+                            version.epoch,
+                            [
+                                (o.cluster_id, o.log_similarity)
+                                for o in outcomes
+                            ],
+                        )
+                    )
+                except Exception as exc:  # pragma: no cover - fail loudly
+                    errors.append(exc)
+                    return
+                finally:
+                    version.release()
+
+        threads = [threading.Thread(target=classify_loop) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        retired = []
+        for epoch in range(2, 8):
+            retired.append(registry.get("default"))
+            registry.reload("default", source=sources[epoch % 2])
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert observations
+        for epoch, outcomes in observations:
+            assert outcomes == by_epoch[epoch], f"torn read at epoch {epoch}"
+        # Every retired generation drains once the threads are done.
+        for version in retired:
+            assert version.wait_drained(timeout=10)
+            assert version.refs == 0

@@ -22,7 +22,12 @@ Usage::
 ``check-parallel`` is the intra-document gate: it pairs ``workers>0``
 rows against their ``workers=0`` twin and fails when parallel scoring
 is slower than serial (skipped below ``--min-cpus`` — a single-core
-machine cannot show parallel speedup).
+machine cannot show parallel speedup). ``check-serving`` is the
+serving-layer gate: against the ledger baseline for the same workload
+it enforces a ``req_per_second`` floor and a ``p99_ms`` ceiling
+(``benchmarks/bench_serving.py`` produces the documents)::
+
+    python -m tools.benchtrack check-serving BENCH_SERVING.json
 
 Stdlib only — no numpy, no third-party deps — so it runs anywhere the
 CI does, including before the project venv is built.
@@ -34,6 +39,7 @@ from .ledger import (
     LEDGER_SCHEMA,
     check_parallel,
     check_regressions,
+    check_serving,
     ingest,
     load_ledger,
     new_ledger,
@@ -47,6 +53,7 @@ __all__ = [
     "LEDGER_SCHEMA",
     "check_parallel",
     "check_regressions",
+    "check_serving",
     "ingest",
     "load_bench_document",
     "load_ledger",

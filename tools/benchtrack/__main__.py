@@ -8,11 +8,15 @@ Subcommands::
                                      [--metric M] [--tolerance T]
     python -m tools.benchtrack check-parallel BENCH.json
                                      [--min-cpus N] [--tolerance T]
+    python -m tools.benchtrack check-serving BENCH.json [--ledger L]
+                                     [--tolerance T] [--latency-tolerance T]
 
 ``--check BENCH.json`` (no subcommand) is sugar for ``check`` with the
 defaults — the form CI uses. ``check-parallel`` compares workers>0
 rows against their workers=0 twin inside one document and passes
-trivially below ``--min-cpus``.
+trivially below ``--min-cpus``. ``check-serving`` gates the serving
+bench against its ledger baseline on both throughput (req/s floor)
+and tail latency (p99 ceiling).
 """
 
 from __future__ import annotations
@@ -24,10 +28,13 @@ from pathlib import Path
 from typing import Optional
 
 from .ledger import (
+    DEFAULT_LATENCY_TOLERANCE,
     DEFAULT_METRIC,
+    DEFAULT_SERVING_TOLERANCE,
     DEFAULT_TOLERANCE,
     check_parallel,
     check_regressions,
+    check_serving,
     ingest,
     load_ledger,
     render_report,
@@ -124,6 +131,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional slowdown vs serial before failing "
         "(default: 0.1, absorbs runner noise)",
     )
+
+    cmd_serving = subparsers.add_parser(
+        "check-serving",
+        help="fail when a serving bench regresses vs the ledger "
+        "(req/s floor and p99 latency ceiling)",
+    )
+    cmd_serving.add_argument("bench_json", help="repro.bench/v1 document")
+    _add_ledger_flag(cmd_serving)
+    cmd_serving.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_SERVING_TOLERANCE,
+        help="allowed fractional req/s drop before failing "
+        f"(default: {DEFAULT_SERVING_TOLERANCE})",
+    )
+    cmd_serving.add_argument(
+        "--latency-tolerance",
+        type=float,
+        default=DEFAULT_LATENCY_TOLERANCE,
+        help="allowed fractional p99 rise before failing "
+        f"(default: {DEFAULT_LATENCY_TOLERANCE} — tail latency is noisy)",
+    )
     return parser
 
 
@@ -213,6 +242,23 @@ def _command_check_parallel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_check_serving(args: argparse.Namespace) -> int:
+    ledger = load_ledger(args.ledger)
+    doc = _load_doc(args.bench_json)
+    messages = check_serving(
+        ledger,
+        doc,
+        tolerance=args.tolerance,
+        latency_tolerance=args.latency_tolerance,
+    )
+    if messages:
+        for message in messages:
+            print(f"SERVING REGRESSION: {message}", file=sys.stderr)
+        return 1
+    print(f"benchtrack check-serving passed: {args.bench_json} vs {args.ledger}")
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -232,6 +278,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _command_check(args)
     if args.command == "check-parallel":
         return _command_check_parallel(args)
+    if args.command == "check-serving":
+        return _command_check_serving(args)
     parser.print_help()
     return 2
 

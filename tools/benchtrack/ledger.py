@@ -95,7 +95,20 @@ def ingest(
 
 #: Result-row fields that are measurements, not configuration.
 _METRIC_FIELDS = frozenset(
-    {"seconds", "pairs_per_second", "seqs_per_second", "speedup"}
+    {
+        "seconds",
+        "pairs_per_second",
+        "seqs_per_second",
+        "speedup",
+        # serving measurements (benchmarks/bench_serving.py)
+        "req_per_second",
+        "p50_ms",
+        "p99_ms",
+        "batch_occupancy",
+        "requests",
+        "rejected",
+        "errors",
+    }
 )
 
 
@@ -238,6 +251,81 @@ def check_parallel(
                 f"(ceiling {ceiling:.4g}s at tolerance {tolerance:.0%}, "
                 f"{cpu_count} CPUs)"
             )
+    return messages
+
+
+#: Default allowed fractional throughput drop / p99 rise for serving.
+DEFAULT_SERVING_TOLERANCE = 0.5
+DEFAULT_LATENCY_TOLERANCE = 1.0
+
+
+def check_serving(
+    ledger: dict[str, Any],
+    doc: dict[str, Any],
+    tolerance: float = DEFAULT_SERVING_TOLERANCE,
+    latency_tolerance: float = DEFAULT_LATENCY_TOLERANCE,
+) -> list[str]:
+    """Serving regression messages for *doc* vs its ledger baseline.
+
+    The serving analogue of :func:`check_regressions`, but two-sided:
+    ``req_per_second`` must not *drop* more than *tolerance* below the
+    baseline, and ``p99_ms`` must not *rise* more than
+    *latency_tolerance* above it. Latency gets its own (more generous)
+    allowance — tail latency on shared CI runners is far noisier than
+    throughput, and the gate exists to catch collapses, not scheduler
+    jitter. Rows or baselines missing either metric are skipped, as is
+    a missing (bench, workload) baseline entirely.
+    """
+    problems = validate_bench_document(doc)
+    if problems:
+        return [f"invalid bench document: {p}" for p in problems]
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    if latency_tolerance < 0.0:
+        raise ValueError(
+            f"latency tolerance must be >= 0, got {latency_tolerance}"
+        )
+    baseline = _baseline_entry(ledger, doc)
+    if baseline is None:
+        return []
+    base_rows = {
+        _config_key(row): row
+        for row in baseline["results"]
+        if isinstance(row, dict)
+    }
+    sha = baseline.get("git_sha") or "unstamped"
+    messages = []
+    for row in doc["results"]:
+        key = _config_key(row)
+        base = base_rows.get(key)
+        if base is None:
+            continue
+        new_rps = row.get("req_per_second")
+        old_rps = base.get("req_per_second")
+        if isinstance(new_rps, (int, float)) and isinstance(
+            old_rps, (int, float)
+        ):
+            floor = old_rps * (1.0 - tolerance)
+            if new_rps < floor:
+                messages.append(
+                    f"{doc['bench']} [{key}]: req_per_second regressed "
+                    f"{old_rps:.4g} -> {new_rps:.4g} "
+                    f"(floor {floor:.4g} at tolerance {tolerance:.0%}, "
+                    f"baseline {sha})"
+                )
+        new_p99 = row.get("p99_ms")
+        old_p99 = base.get("p99_ms")
+        if isinstance(new_p99, (int, float)) and isinstance(
+            old_p99, (int, float)
+        ):
+            ceiling = old_p99 * (1.0 + latency_tolerance)
+            if new_p99 > ceiling:
+                messages.append(
+                    f"{doc['bench']} [{key}]: p99_ms regressed "
+                    f"{old_p99:.4g} -> {new_p99:.4g} "
+                    f"(ceiling {ceiling:.4g} at tolerance "
+                    f"{latency_tolerance:.0%}, baseline {sha})"
+                )
     return messages
 
 

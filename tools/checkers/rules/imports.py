@@ -22,6 +22,7 @@ CORE_FORBIDDEN = (
     "repro.cli",
     "repro.evaluation",
     "repro.stream",
+    "repro.serve",
 )
 
 #: Top-level modules the obs layer may import besides the stdlib.
@@ -44,6 +45,20 @@ BACKENDS_ALLOWED_PREFIXES = (
 STREAM_ALLOWED_PREFIXES = (
     "repro.stream",
     "repro.core",
+    "repro.sequences",
+    "repro.obs",
+    "repro.typing",
+)
+
+#: ``repro.*`` prefixes the serving layer may depend on — everything
+#: below it (engine, stream checkpoints, sequences, obs, typing) but
+#: never the CLI/experiments/evaluation stack beside it. Nothing in
+#: the engine imports ``repro.serve`` back (CORE_FORBIDDEN plus the
+#: stream/backends/obs allowlists, which never listed it).
+SERVE_ALLOWED_PREFIXES = (
+    "repro.serve",
+    "repro.core",
+    "repro.stream",
     "repro.sequences",
     "repro.obs",
     "repro.typing",
@@ -99,17 +114,19 @@ def _absolute_targets(
 class ImportLayeringRule(Rule):
     rule_id = "CLQ001"
     summary = (
-        "core must not import experiments/cli/evaluation/stream; "
+        "core must not import experiments/cli/evaluation/stream/serve; "
         "core.backends only core/typing/obs; "
-        "stream only core/sequences/obs; obs stdlib only"
+        "stream only core/sequences/obs; "
+        "serve only core/stream/sequences/obs; obs stdlib only"
     )
 
     def check(self, context: FileContext) -> Iterator[Violation]:
         in_core = context.in_package("repro.core")
         in_obs = context.in_package("repro.obs")
         in_stream = context.in_package("repro.stream")
+        in_serve = context.in_package("repro.serve")
         in_backends = context.in_package("repro.core.backends")
-        if not (in_core or in_obs or in_stream):
+        if not (in_core or in_obs or in_stream or in_serve):
             return
         for node in ast.walk(context.tree):
             if not isinstance(node, (ast.Import, ast.ImportFrom)):
@@ -147,6 +164,19 @@ class ImportLayeringRule(Rule):
                             stmt,
                             f"repro.stream must not import {target} "
                             "(layering: stream -> core/sequences/obs only)",
+                        )
+                if in_serve:
+                    top = target.split(".", 1)[0]
+                    if top == "repro" and not any(
+                        target == prefix or target.startswith(prefix + ".")
+                        for prefix in SERVE_ALLOWED_PREFIXES
+                    ):
+                        yield self.violation(
+                            context,
+                            stmt,
+                            f"repro.serve must not import {target} "
+                            "(layering: serve -> core/stream/sequences/obs "
+                            "only)",
                         )
                 if in_obs:
                     top = target.split(".", 1)[0]
