@@ -15,7 +15,7 @@ lint:
 # engine, observability, sequence models, baselines), baseline
 # strictness (from pyproject [tool.mypy]) on the rest.
 typecheck:
-	mypy --strict src/repro/core src/repro/obs src/repro/stream src/repro/sequences src/repro/baselines
+	mypy --strict src/repro/core src/repro/obs src/repro/stream src/repro/shard src/repro/sequences src/repro/baselines
 	mypy src/repro
 
 # Repo-specific invariants (CLQ001-CLQ010, two-pass whole-program

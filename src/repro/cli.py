@@ -14,6 +14,11 @@ Subcommands
     or stdin through the micro-batch streaming engine, optionally with
     a durable state directory (journal + checkpoints) that ``--resume``
     recovers from after a crash.
+``shard``
+    Sharded online clustering: partition the stream across N
+    independent streaming shards (in-process or one OS process each)
+    with periodic cross-shard consolidation, per-shard durability and
+    whole-topology ``--resume``. See docs/SHARDING.md.
 ``serve``
     Clustering-as-a-service: load a saved model (or stream checkpoint)
     into the versioned registry and serve classify/ingest/clusters
@@ -46,6 +51,8 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from collections.abc import Callable
+from typing import Any
 
 from . import __version__
 from .core.backends import BACKENDS
@@ -255,6 +262,98 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_telemetry_flags(stream)
 
+    shard = subparsers.add_parser(
+        "shard",
+        help="sharded online clustering across N streaming shards "
+        "(docs/SHARDING.md)",
+    )
+    shard.add_argument(
+        "input",
+        help="newline-delimited sequence file, or '-' to read stdin",
+    )
+    shard.add_argument(
+        "--shards", type=int, default=2, help="number of streaming shards"
+    )
+    shard.add_argument(
+        "--router",
+        choices=("hash", "pst"),
+        default="hash",
+        help="sequence-to-shard assignment: content hash, or best "
+        "model likelihood over the last consolidation snapshot",
+    )
+    shard.add_argument(
+        "--runner",
+        choices=("inprocess", "process"),
+        default=None,
+        help="shard execution mode (default: inprocess, or the "
+        "manifest's runner on --resume)",
+    )
+    shard.add_argument(
+        "--alphabet",
+        metavar="SYMBOLS",
+        default=None,
+        help="cold-start with this symbol alphabet (e.g. 'acgt')",
+    )
+    shard.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="durable state root (manifest + dispatch WAL + one state "
+        "dir per shard)",
+    )
+    shard.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover every shard from --state-dir and roll the "
+        "dispatch WAL forward before ingesting",
+    )
+    shard.add_argument(
+        "--consolidate-every",
+        type=int,
+        default=16,
+        metavar="BATCHES",
+        help="global batches between cross-shard consolidation rounds "
+        "(0 = never)",
+    )
+    shard.add_argument(
+        "--merge-threshold",
+        type=float,
+        default=0.25,
+        metavar="DIST",
+        help="context-tree distance at or below which cross-shard "
+        "clusters merge (range 0..2)",
+    )
+    shard.add_argument("--batch-size", type=int, default=32)
+    shard.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=16,
+        metavar="BATCHES",
+        help="per-shard checkpoint interval in shard batches",
+    )
+    shard.add_argument(
+        "-t", "--threshold", type=float, default=1.2,
+        help="initial similarity threshold (cold start only)",
+    )
+    shard.add_argument(
+        "-c", "--significance", type=int, default=5,
+        help="significance threshold c (cold start only)",
+    )
+    shard.add_argument("--max-depth", type=int, default=6)
+    shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="auto",
+        help="scoring backend for the join/absorb path (bit-identical)",
+    )
+    shard.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip WAL fsyncs (faster, weaker durability)",
+    )
+    _add_telemetry_flags(shard)
+
     serve = subparsers.add_parser(
         "serve", help="serve a saved model over HTTP (docs/SERVING.md)"
     )
@@ -438,6 +537,28 @@ def _command_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _recover_or_report(
+    recover: "Callable[[str], Any]", state_dir: str
+) -> "tuple[Any, int]":
+    """Run a recover callable, mapping bad state dirs to clean errors.
+
+    Shared by ``stream --resume`` and ``shard --resume``: a missing,
+    empty or corrupt state directory prints one operator-readable line
+    on stderr and exits 2 instead of surfacing a raw traceback.
+    Returns ``(engine, 0)`` or ``(None, exit_code)``.
+    """
+    from .stream import CheckpointError, JournalError, ensure_resumable
+
+    try:
+        ensure_resumable(state_dir)
+        return recover(state_dir), 0
+    except (CheckpointError, JournalError) as exc:
+        print(
+            f"error: cannot resume from {state_dir}: {exc}", file=sys.stderr
+        )
+        return None, 2
+
+
 def _command_stream(args: argparse.Namespace) -> int:
     from .core.persistence import load_result_with_alphabet, save_result
     from .sequences.alphabet import Alphabet
@@ -468,7 +589,11 @@ def _command_stream(args: argparse.Namespace) -> int:
         if not args.state_dir:
             print("--resume requires --state-dir", file=sys.stderr)
             return 2
-        engine = StreamingCluseq.recover(args.state_dir)
+        engine, code = _recover_or_report(
+            StreamingCluseq.recover, args.state_dir
+        )
+        if engine is None:
+            return code
     elif args.model:
         result, alphabet = load_result_with_alphabet(args.model)
         engine = StreamingCluseq(
@@ -524,6 +649,95 @@ def _command_stream(args: argparse.Namespace) -> int:
     if args.save_model:
         save_result(engine.result, args.save_model, alphabet=engine.alphabet)
         print(f"model written to {args.save_model}", file=sys.stderr)
+    return 0
+
+
+def _command_shard(args: argparse.Namespace) -> int:
+    from .sequences.alphabet import Alphabet
+    from .shard import ShardConfig, ShardedStreamingCluseq
+    from .stream import StreamConfig, batched, read_encoded_lines
+
+    stream_config = StreamConfig(
+        batch_size=args.batch_size,
+        checkpoint_every=args.checkpoint_every,
+        journal_fsync=not args.no_fsync,
+        seed=args.seed,
+        backend=args.backend,
+    )
+    if args.resume:
+        if not args.state_dir:
+            print("--resume requires --state-dir", file=sys.stderr)
+            return 2
+        engine, code = _recover_or_report(
+            lambda state_dir: ShardedStreamingCluseq.recover(
+                state_dir, runner=args.runner
+            ),
+            args.state_dir,
+        )
+        if engine is None:
+            return code
+    elif args.alphabet:
+        config = ShardConfig(
+            shards=args.shards,
+            router=args.router,
+            runner=args.runner or "inprocess",
+            consolidate_every=args.consolidate_every,
+            merge_threshold=args.merge_threshold,
+            stream=stream_config,
+        )
+        engine = ShardedStreamingCluseq.cold_start(
+            alphabet=Alphabet(args.alphabet),
+            similarity_threshold=args.threshold,
+            significance_threshold=args.significance,
+            max_depth=args.max_depth,
+            config=config,
+            state_dir=args.state_dir,
+        )
+    else:
+        print(
+            "pass --alphabet, or --resume with --state-dir",
+            file=sys.stderr,
+        )
+        return 2
+    if engine.alphabet is None:
+        print(
+            "state dir does not embed an alphabet; cannot encode the stream",
+            file=sys.stderr,
+        )
+        return 1
+    batch_size = engine.config.stream.batch_size
+    with engine:
+        if args.input == "-":
+            encoded = read_encoded_lines(sys.stdin, engine.alphabet)
+            for batch in batched(encoded, batch_size):
+                engine.ingest_batch(batch)
+        else:
+            with open(args.input, encoding="utf-8") as handle:
+                encoded = read_encoded_lines(handle, engine.alphabet)
+                for batch in batched(encoded, batch_size):
+                    engine.ingest_batch(batch)
+        engine.flush()
+        if args.state_dir:
+            engine.checkpoint()
+        # Collect before close(): process-runner workers die with it.
+        stats = engine.stats()
+        rows = []
+        for shard, handle in enumerate(engine.handles):
+            for cluster_id, size, born, nodes in handle.cluster_summaries():
+                rows.append((shard, cluster_id, size, born, nodes))
+    print_table(
+        ["metric", "value"],
+        [
+            (key, value)
+            for key, value in stats.to_dict().items()
+            if key != "per_shard"
+        ],
+    )
+    rows.sort(key=lambda row: (-row[2], row[0], row[1]))
+    if rows:
+        print_table(
+            ["shard", "cluster", "size", "born (batch)", "PST nodes"], rows
+        )
     return 0
 
 
@@ -657,6 +871,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _command_classify(args)
     if args.command == "stream":
         return _command_stream(args)
+    if args.command == "shard":
+        return _command_shard(args)
     if args.command == "serve":
         return _command_serve(args)
     if args.command == "telemetry":

@@ -258,6 +258,61 @@ class ProbabilisticSuffixTree:
 
             prune_to(self, self.max_nodes, strategy=self.prune_strategy)
 
+    def merge_counts(self, other: "ProbabilisticSuffixTree") -> int:
+        """Fold *other*'s observation counts into this tree, in place.
+
+        The merge is a node-by-node sum over the union of the two
+        tries: matching contexts add their ``count`` and
+        ``next_counts``; contexts present only in *other* are created
+        (up to this tree's ``max_depth``). This generalizes the
+        paper's §4.5 overlap-driven consolidation to cluster PSTs that
+        were trained on disjoint shards of a stream: merging two trees
+        built from sequence sets A and B yields exactly the tree that
+        would have been built from A ∪ B (for shared depths), so a
+        cross-shard merge is equivalent to having routed both partitions
+        to one shard. The post-merge prune keeps the merged model
+        parsimonious ("Approximate learning of parsimonious Bayesian
+        context trees", PAPERS.md) rather than letting merged tries
+        grow without bound.
+
+        Returns the number of nodes created. Deterministic: children
+        are visited in sorted symbol order, so repeated merges of the
+        same pair produce bit-identical trees.
+        """
+        if other.alphabet_size != self.alphabet_size:
+            raise ValueError(
+                f"alphabet size mismatch: {self.alphabet_size} != "
+                f"{other.alphabet_size}"
+            )
+        created = 0
+        stack: list[tuple[PSTNode, PSTNode, int]] = [(self.root, other.root, 0)]
+        while stack:
+            mine, theirs, depth = stack.pop()
+            mine.count += theirs.count
+            for symbol in sorted(theirs.next_counts):
+                mine.next_counts[symbol] = (
+                    mine.next_counts.get(symbol, 0) + theirs.next_counts[symbol]
+                )
+            if depth >= self.max_depth:
+                continue
+            # Reverse-sorted push: LIFO pop then visits symbols in
+            # ascending order, keeping node-creation order deterministic.
+            for symbol in sorted(theirs.children, reverse=True):
+                child = mine.children.get(symbol)
+                if child is None:
+                    child = PSTNode()
+                    mine.children[symbol] = child
+                    self._node_count += 1
+                    created += 1
+                stack.append((child, theirs.children[symbol], depth + 1))
+        self._sequences_added += other._sequences_added
+        self._invalidate()
+        if self.max_nodes is not None and self._node_count > self.max_nodes:
+            from .pruning import prune_to
+
+            prune_to(self, self.max_nodes, strategy=self.prune_strategy)
+        return created
+
     # -- lookup --------------------------------------------------------------------
 
     def node_for(self, segment: Sequence[int]) -> PSTNode | None:

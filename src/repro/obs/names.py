@@ -58,6 +58,16 @@ METRICS: frozenset[str] = frozenset(
         "stream.clusters_dismissed",
         "stream.checkpoints",
         "stream.checkpoint_bytes",
+        # sharded streaming coordinator (repro.shard)
+        "shard.batches",
+        "shard.sequences",
+        "shard.clusters",
+        "shard.consolidations",
+        "shard.pairs_scored",
+        "shard.cross_merges",
+        "shard.recover_passes",
+        "shard.rollforward_batches",
+        "shard.rollforward_plans",
         # batch clustering driver
         "cluseq.iterations",
         "cluseq.final_clusters",
@@ -170,6 +180,10 @@ SPANS: frozenset[str] = frozenset(
         "stream.adjust_threshold",
         "stream.consolidate",
         "stream.checkpoint",
+        # Sharded streaming coordinator (repro.shard).
+        "shard.batch",
+        "shard.consolidate",
+        "shard.recover",
         # Stitched onto the caller's trace from pool workers
         # (record_foreign_span in repro.core.backends.parallel).
         "backend.worker_chunk",

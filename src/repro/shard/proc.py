@@ -1,0 +1,346 @@
+"""Multi-process shard runner: one OS process per shard.
+
+:class:`ProcessShard` satisfies the same
+:class:`~repro.shard.engine.ShardHandle` protocol as the in-process
+:class:`~repro.shard.engine.LocalShard`, but hosts its
+:class:`~repro.shard.engine.ShardEngine` in a dedicated child process,
+so N shards cluster on N cores. The coordinator drives each worker
+over a pipe with a strict request/response protocol — one outstanding
+command per shard, dispatched in shard-index order — which keeps the
+composite engine a deterministic function of the input stream: no
+scheduling interleaving can reorder the work a shard observes
+(asserted by the differential suite).
+
+Cluster exports for the consolidation pass ship as shared-memory
+segments via the PR 5/8 flat-export machinery
+(:func:`~repro.core.backends.shm.publish_flat`), with a plain pickled
+:class:`FlattenedPST` fallback when ``/dev/shm`` is unavailable; the
+coordinator copies the arrays out of the mapping immediately (they are
+tiny, and the router snapshot outlives the segment) and tells the
+worker to unlink after the round.
+
+Chaos hooks: setting ``REPRO_SHARD_CHAOS_FSYNC_AT=<n>`` (optionally
+scoped with ``REPRO_SHARD_CHAOS_SHARD=<i>``) makes the targeted worker
+``os._exit`` in place of its *n*-th ``os.fsync`` — the multi-process
+analogue of the in-process fault injector in ``tests/chaos.py``,
+exercising real process death at every durability boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from collections.abc import Sequence
+from dataclasses import asdict
+from typing import Any
+
+import numpy as np
+
+from ..core.backends.flatten import FlattenedPST
+from ..core.backends.shm import attach_flat, publish_flat
+from ..stream.engine import StreamConfig, StreamStats
+from .engine import (
+    ShardEngine,
+    build_shard_engine,
+    shard_cluster_summaries,
+    shard_state_digest,
+)
+from .plan import ClusterExport
+
+__all__ = ["ProcessShard", "ShardWorkerError"]
+
+#: Child exit code used by the chaos hook's simulated hard crash.
+_CHAOS_EXIT = 17
+
+_START_METHOD = (
+    "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+)
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker died or reported a failure."""
+
+
+def _install_chaos_hook(shard: int) -> None:
+    """Arm the fsync kill switch when the chaos env vars target us."""
+    at = os.environ.get("REPRO_SHARD_CHAOS_FSYNC_AT")
+    if at is None:
+        return
+    target = os.environ.get("REPRO_SHARD_CHAOS_SHARD")
+    if target is not None and int(target) != shard:
+        return
+    limit = int(at)
+    real_fsync = os.fsync
+    state = {"calls": 0}
+
+    def crashing_fsync(fd: int) -> None:
+        state["calls"] += 1
+        if state["calls"] == limit:
+            # Simulated power loss: the write behind this fsync never
+            # became durable and no cleanup runs.
+            os._exit(_CHAOS_EXIT)
+        real_fsync(fd)
+
+    os.fsync = crashing_fsync  # type: ignore[assignment]
+
+
+def _copy_flat(flat: FlattenedPST) -> FlattenedPST:
+    """An owned copy of a (possibly shm-backed) flat export."""
+    return FlattenedPST(
+        alphabet_size=flat.alphabet_size,
+        max_depth=flat.max_depth,
+        significance_threshold=flat.significance_threshold,
+        p_min=flat.p_min,
+        version=flat.version,
+        depths=np.array(flat.depths, copy=True),
+        suffix_links=np.array(flat.suffix_links, copy=True),
+        child_offsets=np.array(flat.child_offsets, copy=True),
+        child_symbols=np.array(flat.child_symbols, copy=True),
+        child_rows=np.array(flat.child_rows, copy=True),
+        transitions=np.array(flat.transitions, copy=True),
+        log_probs=np.array(flat.log_probs, copy=True),
+    )
+
+
+def _worker_main(
+    conn: Any,
+    shard: int,
+    spec: dict[str, Any],
+    stream_config: dict[str, Any],
+    state_dir: "str | None",
+    resume: bool,
+) -> None:
+    """Command loop hosting one shard engine (runs in the child)."""
+    _install_chaos_hook(shard)
+    engine: ShardEngine = build_shard_engine(
+        spec, StreamConfig.from_dict(stream_config), state_dir, resume
+    )
+    published: list[Any] = []
+    while True:
+        try:
+            op, payload = conn.recv()
+        except EOFError:  # pragma: no cover - coordinator vanished
+            break
+        try:
+            result: Any
+            if op == "ingest":
+                result = engine.ingest_batch(payload)
+            elif op == "apply_plan":
+                result = engine.apply_plan(payload["round"], payload["plan"])
+            elif op == "export_clusters":
+                rows = []
+                for cluster in engine.result.clusters:
+                    flat = cluster.pst.flattened()
+                    try:
+                        shm, shm_spec = publish_flat(flat)
+                        published.append(shm)
+                        rows.append(
+                            (
+                                cluster.cluster_id,
+                                cluster.pst.total_symbols,
+                                "shm",
+                                shm_spec,
+                            )
+                        )
+                    except OSError:  # pragma: no cover - no /dev/shm
+                        rows.append(
+                            (
+                                cluster.cluster_id,
+                                cluster.pst.total_symbols,
+                                "flat",
+                                flat,
+                            )
+                        )
+                result = rows
+            elif op == "release_exports":
+                for shm in published:
+                    shm.close()
+                    shm.unlink()
+                published = []
+                result = True
+            elif op == "export_pst":
+                result = None
+                for cluster in engine.result.clusters:
+                    if cluster.cluster_id == payload:
+                        result = cluster.pst.to_dict()
+                        break
+                if result is None:
+                    raise ValueError(f"no cluster {payload} on this shard")
+            elif op == "counters":
+                result = {
+                    "batches": engine.batches_ingested,
+                    "last_round": engine.last_round,
+                }
+            elif op == "stats":
+                result = asdict(engine.stats())
+            elif op == "state":
+                result = shard_state_digest(engine)
+            elif op == "summaries":
+                result = shard_cluster_summaries(engine)
+            elif op == "checkpoint":
+                if engine.state_dir is not None:
+                    engine.checkpoint()
+                result = True
+            elif op == "close":
+                engine.close()
+                conn.send(("ok", True))
+                break
+            else:
+                raise ValueError(f"unknown shard op {op!r}")
+        except Exception as exc:  # noqa: BLE001 - report, keep serving
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            continue
+        conn.send(("ok", result))
+    conn.close()
+
+
+class ProcessShard:
+    """Coordinator-side handle over one worker process."""
+
+    def __init__(
+        self, conn: Any, process: Any, shard: int
+    ) -> None:
+        self._conn = conn
+        self._process = process
+        self.shard = shard
+        self._batches = 0
+        self._last_round = -1
+
+    @classmethod
+    def spawn(
+        cls,
+        shard: int,
+        spec: dict[str, Any],
+        stream: StreamConfig,
+        state_dir: "str | None",
+        resume: bool,
+    ) -> "ProcessShard":
+        # Start the resource tracker *before* forking so every worker
+        # inherits it: publisher (worker) and attacher (coordinator)
+        # must share one tracker or each side's shutdown sweep
+        # double-reports the other's segments (see shm.py docstring).
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+        ctx = mp.get_context(_START_METHOD)
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                shard,
+                spec,
+                stream.to_dict(),
+                state_dir,
+                resume,
+            ),
+            daemon=True,
+            name=f"cluseq-shard-{shard}",
+        )
+        process.start()
+        child_conn.close()
+        handle = cls(parent_conn, process, shard)
+        counters = handle._call("counters", None)
+        handle._batches = int(counters["batches"])
+        handle._last_round = int(counters["last_round"])
+        return handle
+
+    def _call(self, op: str, payload: Any) -> Any:
+        try:
+            self._conn.send((op, payload))
+            status, result = self._conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise ShardWorkerError(
+                f"shard {self.shard} worker died mid-{op} "
+                f"(exitcode={self._process.exitcode})"
+            ) from exc
+        if status == "error":
+            raise ShardWorkerError(f"shard {self.shard}: {result}")
+        return result
+
+    @property
+    def batches(self) -> int:
+        return self._batches
+
+    @property
+    def last_round(self) -> int:
+        return self._last_round
+
+    def ingest_batch(
+        self, batch: Sequence[Sequence[int]]
+    ) -> "list[int | None]":
+        result = self._call("ingest", [list(seq) for seq in batch])
+        self._batches += 1
+        return list(result)
+
+    def apply_plan(
+        self, round_: int, plan: dict[str, Any]
+    ) -> tuple[int, int]:
+        merged, dropped = self._call(
+            "apply_plan", {"round": round_, "plan": plan}
+        )
+        self._last_round = round_
+        return int(merged), int(dropped)
+
+    def export_clusters(self, shard: int) -> list[ClusterExport]:
+        exports: list[ClusterExport] = []
+        for cluster_id, weight, kind, payload in self._call(
+            "export_clusters", None
+        ):
+            if kind == "shm":
+                shm, flat = attach_flat(payload)
+                try:
+                    owned = _copy_flat(flat)
+                finally:
+                    del flat
+                    shm.close()
+                exports.append(
+                    ClusterExport(
+                        shard=shard,
+                        cluster_id=int(cluster_id),
+                        weight=int(weight),
+                        flat=owned,
+                    )
+                )
+            else:
+                exports.append(
+                    ClusterExport(
+                        shard=shard,
+                        cluster_id=int(cluster_id),
+                        weight=int(weight),
+                        flat=payload,
+                    )
+                )
+        return exports
+
+    def export_pst(self, cluster_id: int) -> dict[str, Any]:
+        return dict(self._call("export_pst", cluster_id))
+
+    def release_exports(self) -> None:
+        self._call("release_exports", None)
+
+    def checkpoint(self) -> None:
+        self._call("checkpoint", None)
+
+    def stats(self) -> StreamStats:
+        return StreamStats(**self._call("stats", None))
+
+    def state_digest(self) -> dict[str, Any]:
+        return dict(self._call("state", None))
+
+    def cluster_summaries(self) -> list[tuple[int, int, int, int]]:
+        return [
+            (int(a), int(b), int(c), int(d))
+            for a, b, c, d in self._call("summaries", None)
+        ]
+
+    def close(self) -> None:
+        try:
+            self._call("close", None)
+        except ShardWorkerError:
+            pass
+        self._conn.close()
+        self._process.join(timeout=5)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.terminate()
+            self._process.join(timeout=5)

@@ -16,9 +16,11 @@ CLQ001).
 from .checkpoint import (
     CheckpointError,
     checkpoint_path,
+    ensure_resumable,
     journal_path,
     read_checkpoint,
     write_checkpoint,
+    write_json_atomic,
 )
 from .decay import DecayPolicy
 from .engine import StreamConfig, StreamingCluseq, StreamStats
@@ -26,6 +28,7 @@ from .journal import (
     STREAM_FORMAT,
     BatchRecord,
     JournalError,
+    PlanRecord,
     StreamJournal,
     journal_batches_after,
     read_journal,
@@ -46,6 +49,7 @@ __all__ = [
     "DriftingStream",
     "JournalError",
     "OutlierPool",
+    "PlanRecord",
     "StreamConfig",
     "StreamJournal",
     "StreamStats",
@@ -53,10 +57,12 @@ __all__ = [
     "batched",
     "checkpoint_path",
     "drifting_markov_stream",
+    "ensure_resumable",
     "journal_batches_after",
     "journal_path",
     "read_checkpoint",
     "read_journal",
     "read_encoded_lines",
     "write_checkpoint",
+    "write_json_atomic",
 ]

@@ -35,15 +35,13 @@ class CheckpointError(ValueError):
     """Raised when a checkpoint file is missing, corrupt or incompatible."""
 
 
-def write_checkpoint(path: PathLike, state: dict[str, Any]) -> int:
-    """Atomically write *state* (plus the format tag) to *path*.
+def write_json_atomic(path: PathLike, payload: dict[str, Any]) -> int:
+    """Atomically persist *payload* as compact JSON at *path*.
 
-    Returns the checkpoint size in bytes (the ``stream.checkpoint_bytes``
-    gauge). *state* must already contain ``journal_batches``.
+    Same temp-file/fsync/``os.replace`` discipline as checkpoints —
+    shared by the sharded engine's manifest and router snapshots.
+    Returns the document size in bytes.
     """
-    if "journal_batches" not in state:
-        raise CheckpointError("checkpoint state must record journal_batches")
-    payload = {"format": STREAM_FORMAT, **state}
     target = os.fspath(path)
     prof = get_profiler()
     started = time.perf_counter() if prof.enabled else 0.0
@@ -64,6 +62,17 @@ def write_checkpoint(path: PathLike, state: dict[str, Any]) -> int:
     return len(text.encode("utf-8"))
 
 
+def write_checkpoint(path: PathLike, state: dict[str, Any]) -> int:
+    """Atomically write *state* (plus the format tag) to *path*.
+
+    Returns the checkpoint size in bytes (the ``stream.checkpoint_bytes``
+    gauge). *state* must already contain ``journal_batches``.
+    """
+    if "journal_batches" not in state:
+        raise CheckpointError("checkpoint state must record journal_batches")
+    return write_json_atomic(path, {"format": STREAM_FORMAT, **state})
+
+
 def read_checkpoint(path: PathLike) -> dict[str, Any]:
     """Load and validate a checkpoint written by :func:`write_checkpoint`."""
     target = os.fspath(path)
@@ -82,6 +91,32 @@ def read_checkpoint(path: PathLike) -> dict[str, Any]:
             f"{payload.get('format')!r}; this build reads {STREAM_FORMAT}"
         )
     return payload
+
+
+def ensure_resumable(state_dir: PathLike) -> str:
+    """Validate that *state_dir* looks like a resumable state directory.
+
+    Raises :class:`CheckpointError` with an operator-readable message
+    when the directory is missing, is not a directory, or holds no
+    durable state at all (no checkpoint/journal/manifest) — the cases
+    that previously surfaced as raw tracebacks from ``--resume``.
+    Returns the normalized path.
+    """
+    target = os.fspath(state_dir)
+    if not os.path.exists(target):
+        raise CheckpointError(f"state directory {target} does not exist")
+    if not os.path.isdir(target):
+        raise CheckpointError(f"{target} is not a directory")
+    durable = [
+        name
+        for name in os.listdir(target)
+        if not name.endswith(".tmp")
+    ]
+    if not durable:
+        raise CheckpointError(
+            f"state directory {target} is empty — nothing to resume"
+        )
+    return target
 
 
 def checkpoint_path(state_dir: PathLike) -> str:

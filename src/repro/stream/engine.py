@@ -40,10 +40,11 @@ from __future__ import annotations
 
 import math
 import os
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Union
+from typing import Any, Union
 
 import numpy as np
 
@@ -79,7 +80,7 @@ from .checkpoint import (
     write_checkpoint,
 )
 from .decay import DecayPolicy
-from .journal import StreamJournal, journal_batches_after
+from .journal import BatchRecord, StreamJournal, journal_batches_after
 from .pool import OutlierPool
 
 _logger = get_logger("stream.engine")
@@ -376,15 +377,13 @@ class StreamingCluseq:
         return cls(result, config=config, alphabet=alphabet, state_dir=state_dir)
 
     @classmethod
-    def recover(cls, state_dir: PathLike) -> "StreamingCluseq":
-        """Rebuild an engine from its state directory after a crash.
+    def restore(cls, state_dir: PathLike) -> "StreamingCluseq":
+        """Rebuild the checkpointed state only — no journal replay.
 
-        Loads the newest checkpoint, restores every piece of engine
-        state it captured, then replays the journal records the
-        checkpoint had not yet absorbed. The result is bit-identical
-        to the engine that wrote the journal — same clusters, PST
-        counts, pool, counters and threshold — provided the state
-        directory was produced by the same build.
+        The building block of :meth:`recover`; subclasses with richer
+        replay protocols (the sharded engine's per-shard
+        ``ShardEngine``) restore first and then interleave their own
+        journal records.
         """
         state = read_checkpoint(checkpoint_path(state_dir))
         config = StreamConfig.from_dict(state["config"])
@@ -412,27 +411,36 @@ class StreamingCluseq:
         engine.log_threshold = float(state["log_threshold"])
         engine.result.final_log_threshold = engine.log_threshold
         engine._recent_scores = [float(x) for x in state["recent_scores"]]
+        engine._restore_extra(state.get("extra") or {})
+        return engine
+
+    @classmethod
+    def recover(cls, state_dir: PathLike) -> "StreamingCluseq":
+        """Rebuild an engine from its state directory after a crash.
+
+        Loads the newest checkpoint, restores every piece of engine
+        state it captured, then replays the journal records the
+        checkpoint had not yet absorbed. The result is bit-identical
+        to the engine that wrote the journal — same clusters, PST
+        counts, pool, counters and threshold — provided the state
+        directory was produced by the same build.
+        """
+        engine = cls.restore(state_dir)
+        checkpoint_batches = engine._batches
         replayed = 0
         records = journal_batches_after(
             journal_path(state_dir), after=engine._batches
         )
-        engine._replaying = True
         prof = get_profiler()
-        try:
-            # The replay runs under its own span and kernel timer so
-            # crash-recovery cost shows up in traces and profiles
-            # (replayed batches also carry a ``replay`` span attr).
-            with span("stream.recover"), prof.kernel("recover_replay"):
-                for record in records:
-                    if record.ordinal != engine._batches:
-                        raise ValueError(
-                            f"journal gap: expected batch {engine._batches}, "
-                            f"found {record.ordinal}"
-                        )
-                    engine._apply_batch(record.sequences)
-                    replayed += 1
-        finally:
-            engine._replaying = False
+        # The replay runs under its own span and kernel timer so
+        # crash-recovery cost shows up in traces and profiles
+        # (replayed batches also carry a ``replay`` span attr).
+        with engine.replaying(), span("stream.recover"), prof.kernel(
+            "recover_replay"
+        ):
+            for record in records:
+                engine.replay_batch(record)
+                replayed += 1
         registry = get_registry()
         if registry.enabled:
             registry.counter("stream.recover_passes").inc()
@@ -441,11 +449,38 @@ class StreamingCluseq:
             "recovered stream engine",
             extra={
                 "state_dir": os.fspath(state_dir),
-                "checkpoint_batches": int(counters["batches"]),
+                "checkpoint_batches": checkpoint_batches,
                 "replayed_batches": replayed,
             },
         )
         return engine
+
+    @contextmanager
+    def replaying(self) -> Iterator[None]:
+        """Mark journal replay: suppress re-journaling and checkpoints."""
+        self._replaying = True
+        try:
+            yield
+        finally:
+            self._replaying = False
+
+    def replay_batch(self, record: BatchRecord) -> list[int | None]:
+        """Re-apply one journaled batch; enforces ordinal contiguity."""
+        if record.ordinal != self._batches:
+            raise ValueError(
+                f"journal gap: expected batch {self._batches}, "
+                f"found {record.ordinal}"
+            )
+        return self._apply_batch(record.sequences)
+
+    # -- subclass extension points -------------------------------------------------
+
+    def _checkpoint_extra(self) -> dict[str, Any]:
+        """Extra state a subclass wants checkpointed (empty = omitted)."""
+        return {}
+
+    def _restore_extra(self, extra: dict[str, Any]) -> None:
+        """Restore state produced by :meth:`_checkpoint_extra`."""
 
     # -- ingestion ----------------------------------------------------------------
 
@@ -867,7 +902,7 @@ class StreamingCluseq:
         # Count this checkpoint before serializing so a recovered
         # engine's counter matches the uninterrupted run exactly.
         self._checkpoints += 1
-        state = {
+        state: dict[str, Any] = {
             "journal_batches": self._batches,
             "config": self.config.to_dict(),
             "result": result_to_dict(self.result, self.alphabet),
@@ -889,6 +924,9 @@ class StreamingCluseq:
                 "next_cluster_id": self._next_cluster_id,
             },
         }
+        extra = self._checkpoint_extra()
+        if extra:
+            state["extra"] = extra
         nbytes = write_checkpoint(checkpoint_path(self.state_dir), state)
         registry = get_registry()
         if registry.enabled:

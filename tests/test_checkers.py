@@ -315,6 +315,66 @@ class TestImportLayering:
         )
         assert violations == []
 
+    def test_shard_importing_cli_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/shard/bad.py",
+            "from repro.cli import main\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_shard_relative_import_of_evaluation_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/shard/bad.py",
+            "from ..evaluation.metrics import evaluate_clustering\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_shard_importing_serve_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/shard/bad.py",
+            "import repro.serve.app\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_core_importing_shard_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/core/bad.py",
+            "from repro.shard import ShardedStreamingCluseq\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_stream_importing_shard_fires(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/stream/bad.py",
+            "from ..shard.engine import ShardEngine\n",
+            "CLQ001",
+        )
+        assert rule_ids(violations) == ["CLQ001"]
+
+    def test_shard_allowed_layers_are_fine(self, tmp_path):
+        violations = check_source(
+            tmp_path,
+            "src/repro/shard/good.py",
+            "from ..stream.engine import StreamingCluseq\n"
+            "from ..core.backends.flatten import FlattenedPST\n"
+            "from ..sequences.alphabet import Alphabet\n"
+            "from ..obs import get_registry\n"
+            "from ..typing import PSTFactory\n"
+            "from .router import HashRouter\n"
+            "import multiprocessing\nimport json\n",
+            "CLQ001",
+        )
+        assert violations == []
+
     def test_suppression_comment_silences(self, tmp_path):
         violations = check_source(
             tmp_path,

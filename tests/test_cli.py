@@ -285,6 +285,40 @@ class TestStreamCommand:
         out = capsys.readouterr().out
         assert "240" in out  # both passes counted
 
+    def test_resume_missing_state_dir_fails_cleanly(
+        self, stream_file, tmp_path, capsys
+    ):
+        """Regression: --resume against a nonexistent dir used to dump
+        a raw traceback; it must exit 2 with a one-line error."""
+        code = main(
+            [
+                "stream", stream_file,
+                "--state-dir", str(tmp_path / "never-created"),
+                "--resume",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot resume" in err
+        assert "Traceback" not in err
+
+    def test_resume_empty_state_dir_fails_cleanly(
+        self, stream_file, tmp_path, capsys
+    ):
+        state_dir = tmp_path / "empty"
+        state_dir.mkdir()
+        code = main(
+            [
+                "stream", stream_file,
+                "--state-dir", str(state_dir),
+                "--resume",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot resume" in err
+        assert "nothing to resume" in err
+
     def test_stream_from_stdin(self, stream_file, capsys, monkeypatch):
         import io
         import sys as _sys
@@ -301,6 +335,109 @@ class TestStreamCommand:
         )
         assert code == 0
         assert "sequences" in capsys.readouterr().out
+
+
+class TestShardCommand:
+    @pytest.fixture
+    def stream_file(self, tmp_path):
+        from repro.stream import drifting_markov_stream
+
+        stream = drifting_markov_stream(
+            80, 40, alphabet_size=6, concentration=0.05, seed=7
+        )
+        symbols = "abcdef"
+        path = tmp_path / "stream.txt"
+        path.write_text(
+            "\n".join(
+                "".join(symbols[s] for s in seq) for seq in stream.sequences
+            )
+            + "\n"
+        )
+        return str(path)
+
+    def shard_args(self, stream_file, extra=()):
+        return [
+            "shard", stream_file,
+            "--alphabet", "abcdef",
+            "--shards", "2",
+            "--batch-size", "10",
+            "--consolidate-every", "4",
+            "--merge-threshold", "0.8",
+            "-t", "10", "-c", "3", "--max-depth", "4",
+            *extra,
+        ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["shard", "-"])
+        assert args.shards == 2
+        assert args.router == "hash"
+        assert args.runner is None
+        assert args.consolidate_every == 16
+        assert not args.resume
+
+    def test_cold_start_requires_alphabet(self, stream_file, capsys):
+        code = main(["shard", stream_file])
+        assert code == 2
+        assert "--alphabet" in capsys.readouterr().err
+
+    def test_resume_requires_state_dir(self, stream_file, capsys):
+        code = main(["shard", stream_file, "--resume"])
+        assert code == 2
+        assert "--state-dir" in capsys.readouterr().err
+
+    def test_cold_start_shard_run(self, stream_file, capsys):
+        code = main(self.shard_args(stream_file))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sequences" in out
+        assert "80" in out
+        assert "shard" in out
+
+    def test_durable_run_then_resume(self, stream_file, tmp_path, capsys):
+        state_dir = tmp_path / "state"
+        args = self.shard_args(
+            stream_file, ["--state-dir", str(state_dir)]
+        )
+        assert main(args) == 0
+        assert (state_dir / "manifest.json").exists()
+        assert (state_dir / "dispatch.jsonl").exists()
+        assert (state_dir / "shard-00" / "checkpoint.json").exists()
+        capsys.readouterr()
+        code = main(
+            [
+                "shard", stream_file,
+                "--state-dir", str(state_dir),
+                "--resume",
+            ]
+        )
+        assert code == 0
+        assert "160" in capsys.readouterr().out  # both passes counted
+
+    def test_resume_missing_state_dir_fails_cleanly(
+        self, stream_file, tmp_path, capsys
+    ):
+        """The shard runner shares the stream command's validation."""
+        code = main(
+            [
+                "shard", stream_file,
+                "--state-dir", str(tmp_path / "never-created"),
+                "--resume",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot resume" in err
+        assert "Traceback" not in err
+
+    def test_process_runner_matches_inprocess_output(
+        self, stream_file, capsys
+    ):
+        assert main(self.shard_args(stream_file)) == 0
+        inproc = capsys.readouterr().out
+        assert (
+            main(self.shard_args(stream_file, ["--runner", "process"])) == 0
+        )
+        assert capsys.readouterr().out == inproc
 
 
 class TestGenerateCommand:

@@ -1,0 +1,315 @@
+"""Crash/chaos recovery for the sharded streaming engine.
+
+The contract under test: a sharded engine killed at *any* durability
+boundary — any ``os.fsync`` or ``os.replace`` of any shard's WAL or
+checkpoint, the coordinator's dispatch WAL, the manifest, the router
+snapshot — can be rebuilt by ``ShardedStreamingCluseq.recover`` and,
+after ingesting the rest of the stream, reaches state bit-identical to
+a run that was never interrupted.
+
+The sweep is exhaustive where it is cheapest and sharpest (every fsync
+point at shards=2, every replace point at shards ∈ {1, 2, 4}) and
+strided elsewhere; the multi-process runner gets coordinator-side
+faults via the same injector plus real worker kills through the
+``REPRO_SHARD_CHAOS_*`` hooks in ``repro.shard.proc``. Fault
+injection lives in the pytest-free ``tests/chaos.py``.
+
+``CHAOS_SMOKE=1`` (the CI shard-smoke job) strides every sweep harder
+so the file finishes in seconds while still crossing each boundary
+kind at least once.
+"""
+
+import json
+import os
+
+import pytest
+
+from chaos import CrashPoint, FaultInjector, count_fault_points
+from repro.shard import ShardConfig, ShardedStreamingCluseq
+from repro.shard.proc import ShardWorkerError
+from repro.stream import (
+    CheckpointError,
+    DecayPolicy,
+    StreamConfig,
+    drifting_markov_stream,
+)
+
+ALPHABET_SIZE = 8
+
+#: CI smoke mode: cross every boundary kind, skip the long tail.
+SMOKE = bool(os.environ.get("CHAOS_SMOKE"))
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return drifting_markov_stream(
+        80,
+        40,
+        alphabet_size=ALPHABET_SIZE,
+        mean_length=30,
+        concentration=0.05,
+        seed=11,
+    )
+
+
+def make_config(shards, runner="inprocess", router="hash"):
+    # Tight cadences on purpose: 8 global batches hit 2 consolidation
+    # rounds, periodic checkpoints and decay, so the fault sweep
+    # crosses every kind of durability boundary the engine has.
+    return ShardConfig(
+        shards=shards,
+        router=router,
+        runner=runner,
+        consolidate_every=4,
+        merge_threshold=0.8,
+        stream=StreamConfig(
+            batch_size=10,
+            pool_size=64,
+            reseed_every=2,
+            reseed_k=2,
+            reseed_min_pool=6,
+            consolidate_every=8,
+            adjust_every=5,
+            decay=DecayPolicy(factor=0.9, every_batches=6),
+            checkpoint_every=3,
+            seed=3,
+        ),
+    )
+
+
+def make_engine(config, state_dir):
+    return ShardedStreamingCluseq.cold_start(
+        alphabet_size=ALPHABET_SIZE,
+        similarity_threshold=10.0,
+        significance_threshold=3,
+        max_depth=4,
+        config=config,
+        state_dir=state_dir,
+    )
+
+
+def full_digest(engine):
+    """Everything recovery must reproduce, JSON-normalized."""
+    return json.dumps(
+        {
+            "shards": engine.shard_states(),
+            "batches": engine.batches_ingested,
+            "sequences": engine.sequences_ingested,
+            "stats": {
+                key: value
+                for key, value in engine.stats().to_dict().items()
+                if key != "per_shard"
+            },
+        },
+        sort_keys=True,
+    )
+
+
+def feed(engine, sequences):
+    for seq in sequences:
+        engine.ingest(seq)
+    engine.flush()
+
+
+def reference_digest(shards, stream, router="hash"):
+    """The uncrashed run (memory-only; durability must not change it)."""
+    engine = make_engine(make_config(shards, router=router), None)
+    feed(engine, stream.sequences)
+    digest = full_digest(engine)
+    engine.close()
+    return digest
+
+
+def abandon(engine):
+    """Drop an engine as a kill would — but reap worker processes."""
+    if engine is None:
+        return
+    for handle in engine.handles:
+        try:
+            handle.close()
+        except Exception:
+            pass
+
+
+def recover_and_finish(config, state_dir, stream):
+    """Recover (or restart, when nothing was durable) and feed the rest."""
+    try:
+        recovered = ShardedStreamingCluseq.recover(state_dir)
+    except CheckpointError:
+        # The crash predates a durable manifest: provably nothing was
+        # ingested durably, so a cold start in place is the bit-exact
+        # continuation (only *.tmp litter can exist in the dir).
+        recovered = make_engine(config, state_dir)
+    feed(recovered, stream.sequences[recovered.sequences_ingested :])
+    recovered.checkpoint()
+    digest = full_digest(recovered)
+    recovered.close()
+    return digest
+
+
+def crash_points(config, tmp_path, stream, kind):
+    """Dry-run the full workload and count its *kind* fault points."""
+
+    def workload():
+        engine = make_engine(config, tmp_path / "dry")
+        feed(engine, stream.sequences)
+        engine.checkpoint()
+        engine.close()
+
+    return count_fault_points(workload, kind=kind)
+
+
+def run_chaos_sweep(shards, stream, tmp_path, kind, stride):
+    config = make_config(shards)
+    expected = reference_digest(shards, stream)
+    total = crash_points(config, tmp_path, stream, kind)
+    assert total > 0, f"workload performed no {kind} calls"
+    points = list(range(1, total + 1))[::stride]
+    for crash_at in points:
+        state_dir = tmp_path / f"crash-{kind}-{crash_at}"
+        injector = FaultInjector(crash_at=crash_at, kind=kind)
+        engine = None
+        crashed = False
+        with injector.armed():
+            try:
+                engine = make_engine(config, state_dir)
+                feed(engine, stream.sequences)
+                engine.checkpoint()
+            except CrashPoint:
+                crashed = True
+        assert crashed, f"injector never fired at {kind} #{crash_at}"
+        abandon(engine)
+        digest = recover_and_finish(config, state_dir, stream)
+        assert digest == expected, (
+            f"shards={shards}: recovery after a crash at {kind} "
+            f"#{crash_at}/{total} diverged from the uncrashed run"
+        )
+
+
+class TestChaosInProcess:
+    def test_every_fsync_boundary_two_shards(self, stream, tmp_path):
+        run_chaos_sweep(2, stream, tmp_path, "fsync", stride=5 if SMOKE else 1)
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_strided_fsync_boundaries(self, shards, stream, tmp_path):
+        run_chaos_sweep(
+            shards, stream, tmp_path, "fsync", stride=11 if SMOKE else 3
+        )
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_every_replace_boundary(self, shards, stream, tmp_path):
+        # os.replace publishes checkpoints and the manifest — few
+        # sites, each one a distinct atomic-rename protocol to break.
+        run_chaos_sweep(
+            shards, stream, tmp_path, "replace", stride=3 if SMOKE else 1
+        )
+
+    def test_crash_during_recovery_recovers(self, stream, tmp_path):
+        """Roll-forward itself dying must leave a recoverable dir."""
+        config = make_config(2)
+        expected = reference_digest(2, stream)
+        state_dir = tmp_path / "state"
+        engine = make_engine(config, state_dir)
+        # Crash the first run mid-stream, past a consolidation round.
+        injector = FaultInjector(crash_at=30, kind="fsync")
+        with injector.armed():
+            try:
+                feed(engine, stream.sequences)
+                engine.checkpoint()
+            except CrashPoint:
+                pass
+        abandon(engine)
+        # First recovery attempt dies while rolling forward.
+        injector = FaultInjector(crash_at=3, kind="fsync")
+        with injector.armed():
+            try:
+                ShardedStreamingCluseq.recover(state_dir)
+            except CrashPoint:
+                pass
+        # Second attempt must still converge.
+        digest = recover_and_finish(config, state_dir, stream)
+        assert digest == expected
+
+
+class TestChaosMultiProcess:
+    def test_coordinator_fsync_boundaries(self, stream, tmp_path):
+        """Coordinator-side faults with real worker processes attached."""
+        config = make_config(2, runner="process")
+        expected = reference_digest(2, stream)
+        total = crash_points(config, tmp_path, stream, "fsync")
+        points = list(range(1, total + 1))[:: 5 if SMOKE else 2]
+        for crash_at in points:
+            state_dir = tmp_path / f"crash-{crash_at}"
+            injector = FaultInjector(crash_at=crash_at, kind="fsync")
+            engine = None
+            with injector.armed():
+                try:
+                    engine = make_engine(config, state_dir)
+                    feed(engine, stream.sequences)
+                    engine.checkpoint()
+                    crashed = False
+                except CrashPoint:
+                    crashed = True
+            assert crashed, f"injector never fired at fsync #{crash_at}"
+            abandon(engine)
+            digest = recover_and_finish(config, state_dir, stream)
+            assert digest == expected, (
+                f"process runner: coordinator crash at fsync "
+                f"#{crash_at}/{total} diverged from the uncrashed run"
+            )
+
+    @pytest.mark.parametrize(
+        ("fsync_at", "shard"),
+        [(1, 0), (2, 0), (5, 1), (9, 1)] if not SMOKE else [(1, 0), (5, 1)],
+    )
+    def test_worker_killed_mid_fsync(
+        self, stream, tmp_path, monkeypatch, fsync_at, shard
+    ):
+        """A worker hard-killed (os._exit) at its N-th fsync."""
+        config = make_config(2, runner="process")
+        expected = reference_digest(2, stream)
+        state_dir = tmp_path / "state"
+        monkeypatch.setenv("REPRO_SHARD_CHAOS_FSYNC_AT", str(fsync_at))
+        monkeypatch.setenv("REPRO_SHARD_CHAOS_SHARD", str(shard))
+        engine = None
+        with pytest.raises(ShardWorkerError):
+            engine = make_engine(config, state_dir)
+            feed(engine, stream.sequences)
+            engine.checkpoint()
+        abandon(engine)
+        # Recovery must not inherit the kill switch.
+        monkeypatch.delenv("REPRO_SHARD_CHAOS_FSYNC_AT")
+        monkeypatch.delenv("REPRO_SHARD_CHAOS_SHARD")
+        digest = recover_and_finish(config, state_dir, stream)
+        assert digest == expected, (
+            f"process runner: shard {shard} killed at its fsync "
+            f"#{fsync_at} diverged from the uncrashed run"
+        )
+
+
+class TestChaosPstRouter:
+    def test_fsync_boundaries_with_router_snapshot(self, stream, tmp_path):
+        """The router.json publish is a crash point like any other."""
+        config = make_config(2, router="pst")
+        expected = reference_digest(2, stream, router="pst")
+        total = crash_points(config, tmp_path, stream, "fsync")
+        points = list(range(1, total + 1))[:: 13 if SMOKE else 4]
+        for crash_at in points:
+            state_dir = tmp_path / f"crash-{crash_at}"
+            injector = FaultInjector(crash_at=crash_at, kind="fsync")
+            engine = None
+            crashed = False
+            with injector.armed():
+                try:
+                    engine = make_engine(config, state_dir)
+                    feed(engine, stream.sequences)
+                    engine.checkpoint()
+                except CrashPoint:
+                    crashed = True
+            assert crashed
+            abandon(engine)
+            digest = recover_and_finish(config, state_dir, stream)
+            assert digest == expected, (
+                f"pst router: crash at fsync #{crash_at}/{total} "
+                "diverged from the uncrashed run"
+            )

@@ -22,7 +22,10 @@ Usage::
 ``check-parallel`` is the intra-document gate: it pairs ``workers>0``
 rows against their ``workers=0`` twin and fails when parallel scoring
 is slower than serial (skipped below ``--min-cpus`` — a single-core
-machine cannot show parallel speedup). ``check-serving`` is the
+machine cannot show parallel speedup); ``check-shards`` is its
+sharded-streaming sibling, pairing ``shards>1`` rows against their
+``shards=1`` twin (``benchmarks/bench_shard_throughput.py`` produces
+the documents). ``check-serving`` is the
 serving-layer gate: against the ledger baseline for the same workload
 it enforces a ``req_per_second`` floor and a ``p99_ms`` ceiling
 (``benchmarks/bench_serving.py`` produces the documents)::
@@ -40,6 +43,7 @@ from .ledger import (
     check_parallel,
     check_regressions,
     check_serving,
+    check_shards,
     ingest,
     load_ledger,
     new_ledger,
@@ -54,6 +58,7 @@ __all__ = [
     "check_parallel",
     "check_regressions",
     "check_serving",
+    "check_shards",
     "ingest",
     "load_bench_document",
     "load_ledger",

@@ -8,15 +8,18 @@ Subcommands::
                                      [--metric M] [--tolerance T]
     python -m tools.benchtrack check-parallel BENCH.json
                                      [--min-cpus N] [--tolerance T]
+    python -m tools.benchtrack check-shards BENCH.json
+                                     [--min-cpus N] [--tolerance T]
     python -m tools.benchtrack check-serving BENCH.json [--ledger L]
                                      [--tolerance T] [--latency-tolerance T]
 
 ``--check BENCH.json`` (no subcommand) is sugar for ``check`` with the
 defaults — the form CI uses. ``check-parallel`` compares workers>0
 rows against their workers=0 twin inside one document and passes
-trivially below ``--min-cpus``. ``check-serving`` gates the serving
-bench against its ledger baseline on both throughput (req/s floor)
-and tail latency (p99 ceiling).
+trivially below ``--min-cpus``; ``check-shards`` does the same for
+shards>1 rows against their shards=1 twin. ``check-serving`` gates the
+serving bench against its ledger baseline on both throughput (req/s
+floor) and tail latency (p99 ceiling).
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ from .ledger import (
     check_parallel,
     check_regressions,
     check_serving,
+    check_shards,
     ingest,
     load_ledger,
     render_report,
@@ -129,6 +133,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.1,
         help="allowed fractional slowdown vs serial before failing "
+        "(default: 0.1, absorbs runner noise)",
+    )
+
+    cmd_shards = subparsers.add_parser(
+        "check-shards",
+        help="fail when a shards>1 result is slower than its "
+        "shards=1 twin in the same bench document",
+    )
+    cmd_shards.add_argument("bench_json", help="repro.bench/v1 document")
+    cmd_shards.add_argument(
+        "--min-cpus",
+        type=int,
+        default=2,
+        metavar="N",
+        help="skip the check (pass) on machines with fewer CPUs "
+        "(default: 2 — shard parallelism needs real cores)",
+    )
+    cmd_shards.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.1,
+        help="allowed fractional slowdown vs single-shard before failing "
         "(default: 0.1, absorbs runner noise)",
     )
 
@@ -242,6 +268,36 @@ def _command_check_parallel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_check_shards(args: argparse.Namespace) -> int:
+    doc = _load_doc(args.bench_json)
+    import os
+
+    cpu_count = os.cpu_count() or 1
+    environment = doc.get("environment")
+    if isinstance(environment, dict) and isinstance(
+        environment.get("cpu_count"), int
+    ):
+        cpu_count = environment["cpu_count"]
+    if cpu_count < args.min_cpus:
+        print(
+            f"check-shards skipped: {cpu_count} CPU(s) < "
+            f"--min-cpus {args.min_cpus} (shard parallelism needs real cores)"
+        )
+        return 0
+    messages = check_shards(
+        doc,
+        min_cpus=args.min_cpus,
+        tolerance=args.tolerance,
+        cpu_count=cpu_count,
+    )
+    if messages:
+        for message in messages:
+            print(f"SHARD REGRESSION: {message}", file=sys.stderr)
+        return 1
+    print(f"benchtrack check-shards passed: {args.bench_json}")
+    return 0
+
+
 def _command_check_serving(args: argparse.Namespace) -> int:
     ledger = load_ledger(args.ledger)
     doc = _load_doc(args.bench_json)
@@ -278,6 +334,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _command_check(args)
     if args.command == "check-parallel":
         return _command_check_parallel(args)
+    if args.command == "check-shards":
+        return _command_check_shards(args)
     if args.command == "check-serving":
         return _command_check_serving(args)
     parser.print_help()

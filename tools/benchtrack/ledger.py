@@ -254,6 +254,75 @@ def check_parallel(
     return messages
 
 
+_SHARDS_ONLY = frozenset({"shards"})
+
+
+def check_shards(
+    doc: dict[str, Any],
+    min_cpus: int = 2,
+    tolerance: float = 0.1,
+    cpu_count: Optional[int] = None,
+) -> list[str]:
+    """Messages when a ``shards>1`` row is slower than its single-shard twin.
+
+    The sharded-streaming analogue of :func:`check_parallel`: pairs
+    result rows *within one document* that differ only in ``shards``
+    and fails any multi-shard row whose ``seconds`` exceeds the
+    ``shards=1`` row's by more than *tolerance* (fractional). Skipped
+    entirely — empty list — when the bench machine has fewer than
+    *min_cpus* CPUs, where shard parallelism cannot pay for its
+    routing/consolidation overhead by construction. The document's
+    recorded ``environment.cpu_count`` is preferred over this
+    machine's count.
+    """
+    problems = validate_bench_document(doc)
+    if problems:
+        return [f"invalid bench document: {p}" for p in problems]
+    if tolerance < 0.0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    if cpu_count is None:
+        environment = doc.get("environment")
+        if isinstance(environment, dict) and isinstance(
+            environment.get("cpu_count"), int
+        ):
+            cpu_count = environment["cpu_count"]
+        else:
+            import os
+
+            cpu_count = os.cpu_count() or 1
+    if cpu_count < min_cpus:
+        return []
+    single: dict[str, dict[str, Any]] = {}
+    for row in doc["results"]:
+        if isinstance(row, dict) and row.get("shards") == 1:
+            single[_config_key(row, ignore=_SHARDS_ONLY)] = row
+    messages = []
+    for row in doc["results"]:
+        if not isinstance(row, dict):
+            continue
+        shards = row.get("shards")
+        if not isinstance(shards, int) or shards <= 1:
+            continue
+        base = single.get(_config_key(row, ignore=_SHARDS_ONLY))
+        if base is None:
+            continue
+        seconds = row.get("seconds")
+        base_seconds = base.get("seconds")
+        if not isinstance(seconds, (int, float)) or not isinstance(
+            base_seconds, (int, float)
+        ):
+            continue
+        ceiling = base_seconds * (1.0 + tolerance)
+        if seconds > ceiling:
+            messages.append(
+                f"{doc['bench']} [{_config_key(row)}]: shards={shards} took "
+                f"{seconds:.4g}s vs {base_seconds:.4g}s single-shard "
+                f"(ceiling {ceiling:.4g}s at tolerance {tolerance:.0%}, "
+                f"{cpu_count} CPUs)"
+            )
+    return messages
+
+
 #: Default allowed fractional throughput drop / p99 rise for serving.
 DEFAULT_SERVING_TOLERANCE = 0.5
 DEFAULT_LATENCY_TOLERANCE = 1.0

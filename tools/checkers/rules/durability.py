@@ -8,7 +8,9 @@ write→fsync→``os.replace`` atomic checkpoint. A bare
 bug waiting for a crash, and a checkpoint-style helper that replaces
 before it fsyncs can publish a file whose blocks never hit the disk.
 
-Two checks, both scoped to non-test ``repro.stream`` modules:
+Two checks, scoped to non-test ``repro.stream`` *and* ``repro.shard``
+modules (the sharded coordinator persists its manifest, dispatch WAL
+and router snapshot through the same protocol):
 
 1. **Approved-writer containment.** Any write-mode ``open(...)`` /
    ``Path.open("w")`` — and any ``.write_text`` / ``.write_bytes``
@@ -92,10 +94,16 @@ def _iter_functions(
 @register
 class DurabilityRule(Rule):
     rule_id = "CLQ008"
-    summary = "stream file writes only via fsync-disciplined helpers, fsync before os.replace"
+    summary = (
+        "stream/shard file writes only via fsync-disciplined helpers, "
+        "fsync before os.replace"
+    )
 
     def check(self, context: FileContext) -> Iterator[Violation]:
-        if context.is_test_code or not context.in_package("repro.stream"):
+        if context.is_test_code or not (
+            context.in_package("repro.stream")
+            or context.in_package("repro.shard")
+        ):
             return
         program = context.program
         for func, owner in _iter_functions(context.tree):

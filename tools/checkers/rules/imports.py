@@ -23,6 +23,7 @@ CORE_FORBIDDEN = (
     "repro.evaluation",
     "repro.stream",
     "repro.serve",
+    "repro.shard",
 )
 
 #: Top-level modules the obs layer may import besides the stdlib.
@@ -59,6 +60,20 @@ SERVE_ALLOWED_PREFIXES = (
     "repro.serve",
     "repro.core",
     "repro.stream",
+    "repro.sequences",
+    "repro.obs",
+    "repro.typing",
+)
+
+#: ``repro.*`` prefixes the sharding layer may depend on — the stream
+#: engine it scales out and everything below it. The CLI imports
+#: ``repro.shard``; nothing below shard may import back up into it
+#: (``repro.shard`` is in CORE_FORBIDDEN and absent from the
+#: stream/serve/backends allowlists).
+SHARD_ALLOWED_PREFIXES = (
+    "repro.shard",
+    "repro.stream",
+    "repro.core",
     "repro.sequences",
     "repro.obs",
     "repro.typing",
@@ -114,10 +129,11 @@ def _absolute_targets(
 class ImportLayeringRule(Rule):
     rule_id = "CLQ001"
     summary = (
-        "core must not import experiments/cli/evaluation/stream/serve; "
+        "core must not import experiments/cli/evaluation/stream/serve/shard; "
         "core.backends only core/typing/obs; "
         "stream only core/sequences/obs; "
-        "serve only core/stream/sequences/obs; obs stdlib only"
+        "serve only core/stream/sequences/obs; "
+        "shard only stream/core/sequences/obs; obs stdlib only"
     )
 
     def check(self, context: FileContext) -> Iterator[Violation]:
@@ -125,8 +141,9 @@ class ImportLayeringRule(Rule):
         in_obs = context.in_package("repro.obs")
         in_stream = context.in_package("repro.stream")
         in_serve = context.in_package("repro.serve")
+        in_shard = context.in_package("repro.shard")
         in_backends = context.in_package("repro.core.backends")
-        if not (in_core or in_obs or in_stream or in_serve):
+        if not (in_core or in_obs or in_stream or in_serve or in_shard):
             return
         for node in ast.walk(context.tree):
             if not isinstance(node, (ast.Import, ast.ImportFrom)):
@@ -176,6 +193,19 @@ class ImportLayeringRule(Rule):
                             stmt,
                             f"repro.serve must not import {target} "
                             "(layering: serve -> core/stream/sequences/obs "
+                            "only)",
+                        )
+                if in_shard:
+                    top = target.split(".", 1)[0]
+                    if top == "repro" and not any(
+                        target == prefix or target.startswith(prefix + ".")
+                        for prefix in SHARD_ALLOWED_PREFIXES
+                    ):
+                        yield self.violation(
+                            context,
+                            stmt,
+                            f"repro.shard must not import {target} "
+                            "(layering: shard -> stream/core/sequences/obs "
                             "only)",
                         )
                 if in_obs:
